@@ -1,0 +1,1 @@
+bench/ablation.ml: Analysis Ansor Bert Counters Device Emit Fmt Horizontal List Lower Option Partition Program Sim Souffle Tables Vertical Zoo

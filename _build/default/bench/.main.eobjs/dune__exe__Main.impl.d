@@ -1,0 +1,1 @@
+bench/main.ml: Ablation Analyze Array Baseline Bechamel Benchmark Bert Device Efficientnet Fmt Hashtbl Instance List Lower Lstm Measure Mmoe Souffle Staged String Sys Tables Test Time Toolkit

@@ -1,0 +1,1 @@
+bench/tables.ml: Analysis Ansor Baseline Bert Counters Device Efficientnet Emit Fmt Hashtbl List Lower Option Program Sim Souffle Te Zoo

@@ -1,0 +1,72 @@
+(** Ablation benches for the design choices DESIGN.md calls out — beyond the
+    paper's own V0..V4 study (Table 4), these isolate individual mechanisms:
+
+    - the §6.5 LRU shared-memory cache vs. no cache at all,
+    - §6.5 instruction pipelining on/off,
+    - the cooperative-launch capacity fraction the partitioner assumes,
+    - the horizontal-transformation group-size cap. *)
+
+let dev = Device.a100
+
+let compile_custom ~reuse ~pipeline (p : Program.t) : Sim.result =
+  let p1, _ = Horizontal.apply p in
+  let p2, _ = Vertical.apply ~fold_into_reduce:true p1 in
+  let an = Analysis.run p2 in
+  let scheds = Ansor.schedule_program dev p2 in
+  let part = Partition.run dev an scheds in
+  let groups = List.map Emit.group_of_subprogram part.Partition.subprograms in
+  let opts =
+    { Emit.default_options with Emit.reuse_cache = reuse; pipeline }
+  in
+  Sim.run dev (Emit.emit dev p2 an scheds opts groups)
+
+let run () =
+  Tables.section "Ablation — §6.5 mechanisms in isolation (full models, ms)";
+  Fmt.pr "  %-14s %10s %10s %10s %10s@." "" "none" "+reuse" "+pipeline"
+    "+both";
+  List.iter
+    (fun name ->
+      let e = Option.get (Zoo.find name) in
+      let p = Lower.run (e.Zoo.full ()) in
+      let t ~reuse ~pipeline = Sim.time_ms (compile_custom ~reuse ~pipeline p) in
+      Fmt.pr "  %-14s %10.3f %10.3f %10.3f %10.3f@." e.Zoo.name
+        (t ~reuse:false ~pipeline:false)
+        (t ~reuse:true ~pipeline:false)
+        (t ~reuse:false ~pipeline:true)
+        (t ~reuse:true ~pipeline:true))
+    [ "BERT"; "LSTM"; "EfficientNet" ];
+  Tables.note "reuse cuts DRAM traffic; pipelining overlaps loads with tensor-core math";
+
+  Tables.section "Ablation — cooperative-capacity fraction (BERT, kernels / ms)";
+  let p = Lower.run (Bert.create ()) in
+  List.iter
+    (fun frac ->
+      let device = { dev with Device.coop_capacity_frac = frac } in
+      let r = Souffle.compile ~cfg:(Souffle.config ~device ()) p in
+      Fmt.pr "  frac=%.2f  kernels=%-4d syncs=%-4d time=%.3f ms@." frac
+        (Souffle.num_kernels r)
+        r.Souffle.sim.Sim.total.Counters.grid_syncs
+        (Souffle.time_ms r))
+    [ 0.25; 0.5; 0.75; 1.0 ];
+  Tables.note "larger budgets fuse more aggressively: fewer kernels, more grid syncs";
+  Tables.note "frac=1.0 over-fuses and slows down - the Sec. 9 'Slowdown' effect:";
+  Tables.note "grid syncs serialize stages whose own grids under-fill the device";
+
+  Tables.section "Ablation — LRU cache capacity (BERT attention subgraph)";
+  let p = Lower.run (Bert.attention_subgraph ()) in
+  let p1, _ = Horizontal.apply p in
+  let p2, _ = Vertical.apply ~fold_into_reduce:true p1 in
+  let an = Analysis.run p2 in
+  let scheds = Ansor.schedule_program dev p2 in
+  let part = Partition.run dev an scheds in
+  let groups = List.map Emit.group_of_subprogram part.Partition.subprograms in
+  List.iter
+    (fun frac ->
+      let opts = { Emit.default_options with Emit.cache_capacity_frac = frac } in
+      let sim = Sim.run dev (Emit.emit dev p2 an scheds opts groups) in
+      Fmt.pr "  cache=%4.0f%% of aggregate smem: DRAM %6.2f MB, time %7.2f us@."
+        (100. *. frac)
+        (Counters.mb (Counters.global_load_bytes sim.Sim.total))
+        sim.Sim.total.Counters.time_us)
+    [ 0.0; 0.125; 0.25; 0.5; 1.0 ];
+  Tables.note "a bigger on-chip budget keeps more intermediates out of DRAM"

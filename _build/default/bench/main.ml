@@ -1,0 +1,95 @@
+(* Benchmark harness entry point.
+
+   `dune exec bench/main.exe` regenerates every table and figure of the
+   paper's evaluation and then runs the Bechamel micro-benchmarks of the
+   compiler passes (one Test.make per table/figure pipeline).  Pass a
+   section name to run only that section:
+
+     dune exec bench/main.exe -- table1 table3 table4 table5 fig6 table6
+     dune exec bench/main.exe -- overhead bechamel
+*)
+
+open Bechamel
+open Toolkit
+
+(* one Bechamel test per table/figure: each times the full compile pipeline
+   that backs that experiment (the simulated execution is part of the
+   artifact, so it is included) *)
+let bechamel_tests () =
+  let bert_tiny = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
+  let mmoe = Lower.run (Mmoe.create ()) in
+  let eff_sub = Lower.run (snd (List.hd Efficientnet.sub_modules)) in
+  let attention =
+    Lower.run
+      (Bert.attention_subgraph
+         ~cfg:{ Bert.base with Bert.layers = 1; seq = 128 }
+         ())
+  in
+  let lstm_small =
+    Lower.run (Lstm.create ~cfg:{ Lstm.steps = 10; cells = 4; hidden = 64 } ())
+  in
+  let compile p () = ignore (Souffle.compile p) in
+  let baseline s p () = ignore (Baseline.run s p) in
+  Test.make_grouped ~name:"souffle-bench"
+    [
+      Test.make ~name:"table1:attention-subgraph-souffle"
+        (Staged.stage (compile attention));
+      Test.make ~name:"table3:bert-tiny-souffle"
+        (Staged.stage (compile bert_tiny));
+      Test.make ~name:"table3:bert-tiny-tensorrt"
+        (Staged.stage (baseline Baseline.Tensorrt bert_tiny));
+      Test.make ~name:"table4:mmoe-ablation-v4" (Staged.stage (compile mmoe));
+      Test.make ~name:"table5:mmoe-xla"
+        (Staged.stage (baseline Baseline.Xla mmoe));
+      Test.make ~name:"fig6:efficientnet-submodule"
+        (Staged.stage (compile eff_sub));
+      Test.make ~name:"table6:lstm-small-souffle"
+        (Staged.stage (compile lstm_small));
+      Test.make ~name:"table6:lstm-small-rammer"
+        (Staged.stage (baseline Baseline.Rammer lstm_small));
+    ]
+
+let run_bechamel () =
+  Tables.section "Bechamel — compiler-pass micro-benchmarks (ns per run)";
+  let instances = Instance.[ monotonic_clock ] in
+  let cfg =
+    Benchmark.cfg ~limit:200 ~quota:(Time.second 0.5) ~stabilize:false ()
+  in
+  let raw = Benchmark.all cfg instances (bechamel_tests ()) in
+  let ols =
+    Analyze.ols ~bootstrap:0 ~r_square:false ~predictors:[| Measure.run |]
+  in
+  let results = Analyze.all ols Instance.monotonic_clock raw in
+  Hashtbl.iter
+    (fun name result ->
+      match Analyze.OLS.estimates result with
+      | Some [ est ] -> Fmt.pr "  %-40s %12.0f ns/run@." name est
+      | _ -> Fmt.pr "  %-40s (no estimate)@." name)
+    results
+
+let sections : (string * (unit -> unit)) list =
+  [
+    ("table1", Tables.table1);
+    ("table3", Tables.table3);
+    ("table4", Tables.table4);
+    ("table5", Tables.table5);
+    ("fig6", Tables.fig6);
+    ("table6", Tables.table6);
+    ("overhead", Tables.overhead);
+    ("ablation", Ablation.run);
+    ("bechamel", run_bechamel);
+  ]
+
+let () =
+  let args = List.tl (Array.to_list Sys.argv) in
+  let chosen = if args = [] then List.map fst sections else args in
+  Fmt.pr "Souffle reproduction benchmark harness — device: %a@." Device.pp
+    Tables.dev;
+  List.iter
+    (fun name ->
+      match List.assoc_opt name sections with
+      | Some f -> f ()
+      | None ->
+          Fmt.epr "unknown section %s (available: %s)@." name
+            (String.concat ", " (List.map fst sections)))
+    chosen

@@ -1,0 +1,1 @@
+bin/debug2.ml: Analysis Ansor Device Fmt Hashtbl Horizontal Intensity List Lower Lstm Occupancy Partition Sched Te Vertical

@@ -1,0 +1,1 @@
+bin/souffle_cli.ml: Analysis Arg Baseline Cmd Cmdliner Counters Dgraph Fmt List Lower Partition Program Result Serialize Sim Souffle String Term Zoo

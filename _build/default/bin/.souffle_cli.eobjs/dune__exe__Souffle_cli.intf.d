@@ -1,0 +1,1 @@
+bin/souffle_cli.mli:

@@ -1,0 +1,29 @@
+let () =
+  let p = Lower.run (Lstm.create ()) in
+  let p1, _ = Horizontal.apply p in
+  let p2, _ = Vertical.apply ~fold_into_reduce:true p1 in
+  let an = Analysis.run p2 in
+  let dev = Device.a100 in
+  let scheds = Ansor.schedule_program dev p2 in
+  let part = Partition.run dev an scheds in
+  List.iter
+    (fun (sp : Partition.subprogram) ->
+      Fmt.pr "sub %d coop=%b ntes=%d first=%s@." sp.Partition.id
+        sp.Partition.cooperative
+        (List.length sp.Partition.tes)
+        (List.hd (Partition.te_names sp));
+      if List.length sp.Partition.tes < 30 then
+        List.iter
+          (fun (te : Te.t) ->
+            let info = Analysis.info an te.Te.name in
+            let s = Hashtbl.find scheds te.Te.name in
+            let u = Sched.usage p2 te s in
+            Fmt.pr "   %s %-24s grid=%d smem=%d thr=%d regs=%d rsplit=%d@."
+              (match info.Analysis.kind with
+               | Intensity.Compute_intensive -> "C"
+               | _ -> "m")
+              te.Te.name (Sched.grid_blocks te s) u.Occupancy.smem_per_block
+              u.Occupancy.threads_per_block u.Occupancy.regs_per_thread
+              s.Sched.rsplit)
+          sp.Partition.tes)
+    part.Partition.subprograms

@@ -1,0 +1,202 @@
+(* souffle — command-line front-end.
+
+   Usage:
+     souffle list
+     souffle compile  --model bert [--level v4] [--tiny] [--cuda] [--verify]
+     souffle compare  --model bert [--tiny]
+     souffle analyze  --model mmoe [--tiny]
+*)
+
+open Cmdliner
+
+let lookup_model name =
+  match Zoo.find name with
+  | Some e -> Ok e
+  | None ->
+      Error
+        (Fmt.str "unknown model %S (available: %s)" name
+           (String.concat ", " (List.map String.lowercase_ascii Zoo.names)))
+
+let graph_of entry tiny = if tiny then entry.Zoo.tiny () else entry.Zoo.full ()
+
+let program_of entry tiny = Lower.run (graph_of entry tiny)
+
+(* resolve --model NAME or --file PATH into a lowered program *)
+let resolve ~model ~file ~tiny : (Program.t, string) result =
+  match (model, file) with
+  | Some m, None ->
+      Result.map (fun e -> program_of e tiny) (lookup_model m)
+  | None, Some path ->
+      Result.map Lower.run (Serialize.of_file path)
+  | _ -> Error "pass exactly one of --model or --file"
+
+let level_of_string = function
+  | "v0" -> Ok Souffle.V0
+  | "v1" -> Ok Souffle.V1
+  | "v2" -> Ok Souffle.V2
+  | "v3" -> Ok Souffle.V3
+  | "v4" -> Ok Souffle.V4
+  | s -> Error (Fmt.str "unknown level %S (v0..v4)" s)
+
+(* ---- arguments ---- *)
+
+let model_arg =
+  let doc = "Model to compile (bert, resnext, lstm, efficientnet, swintrans., mmoe)." in
+  Arg.(required & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let model_opt_arg =
+  let doc = "Built-in model name." in
+  Arg.(value & opt (some string) None & info [ "m"; "model" ] ~docv:"MODEL" ~doc)
+
+let file_arg =
+  let doc = "Graph file in the textual format (see `souffle dump`)." in
+  Arg.(value & opt (some string) None & info [ "f"; "file" ] ~docv:"FILE" ~doc)
+
+let tiny_arg =
+  let doc = "Use the scaled-down test configuration (fast, interpretable)." in
+  Arg.(value & flag & info [ "tiny" ] ~doc)
+
+let level_arg =
+  let doc = "Optimization level: v0 (Ansor baseline) to v4 (full Souffle)." in
+  Arg.(value & opt string "v4" & info [ "O"; "level" ] ~docv:"LEVEL" ~doc)
+
+let cuda_arg =
+  let doc = "Print the generated kernels as CUDA-flavoured source." in
+  Arg.(value & flag & info [ "cuda" ] ~doc)
+
+let verify_arg =
+  let doc =
+    "Check semantic preservation with the reference interpreter (slow on \
+     full-size models; use with --tiny)."
+  in
+  Arg.(value & flag & info [ "verify" ] ~doc)
+
+(* ---- commands ---- *)
+
+let list_cmd =
+  let run () =
+    Fmt.pr "models:@.";
+    List.iter
+      (fun (e : Zoo.entry) ->
+        Fmt.pr "  %-14s %s@." (String.lowercase_ascii e.Zoo.name)
+          e.Zoo.description)
+      Zoo.all;
+    Fmt.pr "@.baseline systems: %s@."
+      (String.concat ", " (List.map Baseline.name Baseline.all))
+  in
+  Cmd.v (Cmd.info "list" ~doc:"List available models and baseline systems")
+    Term.(const (fun () -> run (); 0) $ const ())
+
+let compile_run model file tiny level cuda verify =
+  match (resolve ~model ~file ~tiny, level_of_string (String.lowercase_ascii level)) with
+  | Error m, _ | _, Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Ok p, Ok level ->
+      let r = Souffle.compile ~cfg:(Souffle.config ~level ()) p in
+      Fmt.pr "%a@." Souffle.summary r;
+      (match r.Souffle.partition with
+      | Some part ->
+          Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
+      | None -> ());
+      if cuda then begin
+        Fmt.pr "@.%s@." (Souffle.cuda_source r);
+        Fmt.pr "@.// --- per-TE loop nests (first 4 TEs) ---@.%s@."
+          (Souffle.te_loop_nests r)
+      end;
+      if verify then begin
+        match Souffle.verify r with
+        | Ok () -> Fmt.pr "@.semantic check: PASS@."
+        | Error m -> Fmt.pr "@.semantic check FAILED: %s@." m
+      end;
+      0
+
+let compile_cmd =
+  Cmd.v
+    (Cmd.info "compile" ~doc:"Compile a model with Souffle and simulate it")
+    Term.(
+      const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
+      $ cuda_arg $ verify_arg)
+
+let compare_run model tiny =
+  match lookup_model model with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Ok entry ->
+      let p = program_of entry tiny in
+      Fmt.pr "%-10s %10s %10s %12s@." "system" "time(ms)" "#kernels"
+        "DRAM(MB)";
+      List.iter
+        (fun s ->
+          match Baseline.run s p with
+          | Ok r ->
+              Fmt.pr "%-10s %10.3f %10d %12.2f@." (Baseline.name s)
+                (Baseline.time_ms r) (Baseline.num_kernels r)
+                (Counters.mb
+                   (Counters.global_load_bytes r.Baseline.sim.Sim.total))
+          | Error m ->
+              Fmt.pr "%-10s %10s   (%s)@." (Baseline.name s) "Failed" m)
+        Baseline.all;
+      let r = Souffle.compile p in
+      Fmt.pr "%-10s %10.3f %10d %12.2f@." "Souffle" (Souffle.time_ms r)
+        (Souffle.num_kernels r)
+        (Counters.mb (Counters.global_load_bytes r.Souffle.sim.Sim.total));
+      0
+
+let compare_cmd =
+  Cmd.v
+    (Cmd.info "compare"
+       ~doc:"Run a model through every baseline system and Souffle")
+    Term.(const compare_run $ model_arg $ tiny_arg)
+
+let analyze_run model tiny =
+  match lookup_model model with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Ok entry ->
+      let p = program_of entry tiny in
+      let an = Analysis.run p in
+      Fmt.pr "%a@." Analysis.pp an;
+      0
+
+let analyze_cmd =
+  Cmd.v
+    (Cmd.info "analyze"
+       ~doc:"Print the Sec. 5 global analysis of a model's TE program")
+    Term.(const analyze_run $ model_arg $ tiny_arg)
+
+let dump_run model tiny output =
+  match lookup_model model with
+  | Error m ->
+      Fmt.epr "error: %s@." m;
+      1
+  | Ok entry -> (
+      let g = graph_of entry tiny in
+      match output with
+      | None ->
+          print_string (Serialize.to_string g);
+          0
+      | Some path ->
+          Serialize.to_file g path;
+          Fmt.pr "wrote %s (%d nodes)@." path (Dgraph.num_nodes g);
+          0)
+
+let dump_cmd =
+  let output_arg =
+    let doc = "Write the graph to this file instead of stdout." in
+    Arg.(value & opt (some string) None & info [ "o"; "output" ] ~docv:"FILE" ~doc)
+  in
+  Cmd.v
+    (Cmd.info "dump"
+       ~doc:"Serialize a built-in model to the textual graph format")
+    Term.(const dump_run $ model_arg $ tiny_arg $ output_arg)
+
+let main_cmd =
+  let doc = "Souffle: DNN inference optimization via global analysis and tensor expressions" in
+  Cmd.group
+    (Cmd.info "souffle" ~version:"1.0" ~doc)
+    [ list_cmd; compile_cmd; compare_cmd; analyze_cmd; dump_cmd ]
+
+let () = exit (Cmd.eval' main_cmd)

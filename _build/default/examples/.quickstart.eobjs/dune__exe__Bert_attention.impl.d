@@ -1,0 +1,1 @@
+examples/bert_attention.ml: Analysis Baseline Bert Counters Dep Dgraph Fmt Horizontal Kernel_ir List Lower Program Reuse Sim Souffle String Te Vertical

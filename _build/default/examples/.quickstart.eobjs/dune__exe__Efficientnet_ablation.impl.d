@@ -1,0 +1,1 @@
+examples/efficientnet_ablation.ml: Analysis Ansor Counters Device Efficientnet Emit Fmt Kernel_ir List Lower Program Sim Souffle Te

@@ -1,0 +1,1 @@
+examples/efficientnet_ablation.mli:

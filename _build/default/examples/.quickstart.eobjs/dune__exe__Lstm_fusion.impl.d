@@ -1,0 +1,1 @@
+examples/lstm_fusion.ml: Analysis Baseline Counters Fmt Horizontal List Lower Lstm Program Reuse Sim Souffle String

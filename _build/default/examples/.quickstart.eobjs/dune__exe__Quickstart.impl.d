@@ -1,0 +1,1 @@
+examples/quickstart.ml: Analysis B Device Dgraph Expr Fmt List Lower Op Partition Program Souffle

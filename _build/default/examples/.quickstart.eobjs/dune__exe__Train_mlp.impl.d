@@ -1,0 +1,1 @@
+examples/train_mlp.ml: Autodiff B Dgraph Expr Fmt Interp List Lower Nd Op Program Souffle String Te

@@ -1,0 +1,1 @@
+lib/affine/amap.ml: Array Fmt Index List Matrix Option Te

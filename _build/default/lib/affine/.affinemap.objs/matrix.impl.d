@@ -1,0 +1,1 @@
+lib/affine/matrix.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/analysis/analysis.ml: Dep Fmt Intensity List Program Reuse Te

@@ -1,0 +1,1 @@
+lib/analysis/dep.ml: Amap Array Fmt Index List String Te

@@ -1,0 +1,1 @@
+lib/analysis/dep.mli: Amap Te

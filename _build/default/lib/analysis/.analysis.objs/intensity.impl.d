@@ -1,0 +1,1 @@
+lib/analysis/intensity.ml: Dtype Expr List Program Shape Te

@@ -1,0 +1,1 @@
+lib/analysis/intensity.mli: Program Te

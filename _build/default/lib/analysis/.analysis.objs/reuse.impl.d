@@ -1,0 +1,1 @@
+lib/analysis/reuse.ml: Fmt List Program String Te

@@ -1,0 +1,75 @@
+(** Tensor-level data-reuse analysis (§5.1).
+
+    Walks the TE dependency graph gathering every tensor read by more than
+    one TE.  If the consumers are pairwise independent the reuse is
+    *spatial* (the horizontal transformation of §6.1 can fuse them so the
+    tensor is loaded once); if some consumers depend on each other it is
+    *temporal* (the §6.5 software cache keeps the tensor on-chip between
+    uses, like A1's output feeding both R1 and A2 in Fig. 1). *)
+
+type entry = {
+  tensor : string;
+  consumers : string list;  (** TE names reading the tensor *)
+}
+
+type t = {
+  spatial : entry list;
+  temporal : entry list;
+}
+
+let find (p : Program.t) : t =
+  let cons = Program.consumers p in
+  let shared =
+    Program.SMap.fold
+      (fun tensor tes acc ->
+        if List.length tes >= 2 then
+          (tensor, List.map (fun (te : Te.t) -> te.Te.name) tes) :: acc
+        else acc)
+      cons []
+    |> List.rev
+  in
+  (* Dependency depth of every TE (longest producer chain).  Consumers at
+     the same depth are necessarily mutually unreachable (spatial reuse);
+     consumers at different depths sit on a dependence chain in every case
+     that occurs in practice (residual adds, recurrent state), so they are
+     classified temporal without an O(V·E) reachability query per pair. *)
+  let depth =
+    List.fold_left
+      (fun acc (te : Te.t) ->
+        let d =
+          List.fold_left
+            (fun m i ->
+              match Program.SMap.find_opt i acc with
+              | Some di -> max m (di + 1)
+              | None -> m)
+            0 (Te.inputs te)
+        in
+        Program.SMap.add te.Te.name d acc)
+      Program.SMap.empty p.Program.tes
+  in
+  let pairwise_independent names =
+    match names with
+    | [] -> true
+    | first :: rest ->
+        let d0 = Program.SMap.find_opt first depth in
+        List.for_all (fun n -> Program.SMap.find_opt n depth = d0) rest
+  in
+  let spatial, temporal =
+    List.partition (fun (_, names) -> pairwise_independent names) shared
+  in
+  let mk (tensor, consumers) = { tensor; consumers } in
+  { spatial = List.map mk spatial; temporal = List.map mk temporal }
+
+let spatial_tensors t = List.map (fun e -> e.tensor) t.spatial
+let temporal_tensors t = List.map (fun e -> e.tensor) t.temporal
+
+let is_temporal t tensor = List.exists (fun e -> e.tensor = tensor) t.temporal
+let is_spatial t tensor = List.exists (fun e -> e.tensor = tensor) t.spatial
+
+let pp ppf t =
+  let pp_entry ppf e =
+    Fmt.pf ppf "%s -> {%s}" e.tensor (String.concat ", " e.consumers)
+  in
+  Fmt.pf ppf "@[<v>spatial reuse:@,%a@,temporal reuse:@,%a@]"
+    Fmt.(list ~sep:cut pp_entry) t.spatial
+    Fmt.(list ~sep:cut pp_entry) t.temporal

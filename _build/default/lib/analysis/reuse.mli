@@ -1,0 +1,25 @@
+(** Tensor-level data-reuse analysis (§5.1).
+
+    Gathers every tensor read by more than one TE.  Consumers that are
+    pairwise independent give *spatial* reuse (horizontal transformation can
+    fuse them so the tensor is loaded once); consumers on a dependence chain
+    give *temporal* reuse (the §6.5 software cache keeps the tensor on-chip
+    between uses). *)
+
+type entry = {
+  tensor : string;
+  consumers : string list;  (** TE names reading the tensor *)
+}
+
+type t = {
+  spatial : entry list;
+  temporal : entry list;
+}
+
+val find : Program.t -> t
+
+val spatial_tensors : t -> string list
+val temporal_tensors : t -> string list
+val is_temporal : t -> string -> bool
+val is_spatial : t -> string -> bool
+val pp : Format.formatter -> t -> unit

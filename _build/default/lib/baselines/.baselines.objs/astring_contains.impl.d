@@ -1,0 +1,1 @@
+lib/baselines/astring_contains.ml: String

@@ -1,0 +1,1 @@
+lib/baselines/baseline.ml: Analysis Ansor Astring_contains Device Emit Fmt Fun Hashtbl Horizontal Intensity Kernel_ir List Option Profiles Program Sim Souffle Te Unix

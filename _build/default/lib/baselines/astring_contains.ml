@@ -1,0 +1,12 @@
+(** Substring search (the stdlib has none before 4.13's unavailable
+    [String.*]; kept tiny and dependency-free). *)
+
+let contains (haystack : string) (needle : string) : bool =
+  let nh = String.length haystack and nn = String.length needle in
+  if nn = 0 then true
+  else if nn > nh then false
+  else begin
+    let rec at i j = j >= nn || (haystack.[i + j] = needle.[j] && at i (j + 1)) in
+    let rec go i = i + nn <= nh && (at i 0 || go (i + 1)) in
+    go 0
+  end

@@ -1,0 +1,80 @@
+(** Souffle: the end-to-end top-down compilation pipeline (§4, Algorithm 1).
+
+    Typical use:
+    {[
+      let report = Souffle.compile (Lower.run graph) in
+      Fmt.pr "%a@." Souffle.summary report
+    ]} *)
+
+(** Optimization levels reproducing Table 4's ablation.  Each level includes
+    the previous ones. *)
+type level =
+  | V0  (** plain TVM+Ansor codegen: epilogue fusion only *)
+  | V1  (** + horizontal TE transformation (§6.1) *)
+  | V2  (** + vertical TE transformation (§6.2) *)
+  | V3  (** + resource-aware partitioning with grid synchronization (§5.4, §6.4) *)
+  | V4  (** + subprogram-level pipelining and LRU tensor reuse (§6.5) *)
+
+val level_to_string : level -> string
+val level_rank : level -> int
+
+type config = {
+  device : Device.t;
+  level : level;
+  ansor : Ansor.config;
+}
+
+val default_config : config
+(** A100, level V4, default scheduler efficiency. *)
+
+val config :
+  ?device:Device.t -> ?level:level -> ?ansor:Ansor.config -> unit -> config
+
+(** Everything the pipeline produced, from the analyzed input program to the
+    simulated execution. *)
+type report = {
+  cfg : config;
+  original : Program.t;
+  transformed : Program.t;  (** after horizontal + vertical transformation *)
+  analysis : Analysis.t;
+  partition : Partition.t option;  (** [None] below V3 *)
+  groups : Emit.group list;        (** one group per generated kernel *)
+  prog : Kernel_ir.prog;
+  sim : Sim.result;
+  hstats : Horizontal.stats;
+  vstats : Vertical.stats;
+  compile_s : float;  (** wall-clock seconds spent in Souffle's own passes *)
+}
+
+val ansor_groups : Program.t -> Emit.group list
+(** TVM/Ansor-style kernel grouping (each reduction absorbs its
+    one-relies-on-one consumers); the V0..V2 grouping, also used by the
+    Ansor baseline. *)
+
+val compile : ?cfg:config -> Program.t -> report
+(** Run the full pipeline on a validated TE program.
+    @raise Invalid_argument if the program fails {!Program.validate}. *)
+
+val compile_graph : ?cfg:config -> Dgraph.t -> report
+(** [compile] composed with {!Lower.run}. *)
+
+val verify : ?rtol:float -> report -> (unit, string) result
+(** Check that the transformed program computes the same outputs as the
+    original, via the reference interpreter on random inputs.  Intended for
+    tests and small programs (the interpreter walks every tensor element). *)
+
+val time_ms : report -> float
+(** Simulated end-to-end latency. *)
+
+val num_kernels : report -> int
+
+val summary : Format.formatter -> report -> unit
+(** Human-readable compile summary (TE counts, kernels, traffic, time). *)
+
+val cuda_source : report -> string
+(** The generated kernels rendered as CUDA-flavoured source (Fig. 2 step 5
+    style); documentation output, the simulator runs the kernel IR. *)
+
+val te_loop_nests : ?limit:int -> report -> string
+(** Per-TE TensorIR loop nests (tile loops bound to blockIdx/threadIdx,
+    reduction splits, shared-memory staging) for the first [limit] TEs. *)

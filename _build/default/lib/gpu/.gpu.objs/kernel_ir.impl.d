@@ -1,0 +1,1 @@
+lib/gpu/kernel_ir.ml: Fmt List Occupancy

@@ -1,0 +1,1 @@
+lib/gpu/sim.ml: Counters Device Float Fmt Kernel_ir List Occupancy Stdlib String

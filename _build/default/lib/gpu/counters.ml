@@ -1,0 +1,84 @@
+(** Nsight-Compute-style performance counters collected by the simulator.
+    These back every number the benchmarks report: kernel counts, global
+    memory transfer sizes (Tables 1/5/6), and pipeline utilization
+    (Table 6's LSU/FMA rows). *)
+
+type t = {
+  mutable kernel_launches : int;
+  mutable grid_syncs : int;
+  mutable dram_read_bytes : int;
+  mutable dram_write_bytes : int;
+  mutable l2_read_bytes : int;
+  mutable smem_read_bytes : int;
+  mutable atomic_bytes : int;
+  mutable mma_flops : int;
+  mutable fma_flops : int;
+  mutable sfu_ops : int;
+  mutable time_us : float;
+  mutable lsu_busy_us : float;  (** time the load/store pipeline was busy *)
+  mutable fma_busy_us : float;  (** time the FMA pipeline was busy *)
+  mutable mma_busy_us : float;  (** time the tensor-core pipeline was busy *)
+  mutable launch_us : float;    (** time attributed to kernel launches *)
+}
+
+let create () =
+  {
+    kernel_launches = 0;
+    grid_syncs = 0;
+    dram_read_bytes = 0;
+    dram_write_bytes = 0;
+    l2_read_bytes = 0;
+    smem_read_bytes = 0;
+    atomic_bytes = 0;
+    mma_flops = 0;
+    fma_flops = 0;
+    sfu_ops = 0;
+    time_us = 0.;
+    lsu_busy_us = 0.;
+    fma_busy_us = 0.;
+    mma_busy_us = 0.;
+    launch_us = 0.;
+  }
+
+(** Bytes loaded from global memory, what Nsight reports as device memory
+    read traffic (atomic read-modify-write counts toward it). *)
+let global_load_bytes t = t.dram_read_bytes + t.atomic_bytes
+
+let global_transfer_bytes t =
+  t.dram_read_bytes + t.dram_write_bytes + t.atomic_bytes
+
+let lsu_utilization t = if t.time_us <= 0. then 0. else t.lsu_busy_us /. t.time_us
+let fma_utilization t = if t.time_us <= 0. then 0. else t.fma_busy_us /. t.time_us
+let mma_utilization t = if t.time_us <= 0. then 0. else t.mma_busy_us /. t.time_us
+
+let mb bytes = float_of_int bytes /. 1.0e6
+
+let add ~into b =
+  into.kernel_launches <- into.kernel_launches + b.kernel_launches;
+  into.grid_syncs <- into.grid_syncs + b.grid_syncs;
+  into.dram_read_bytes <- into.dram_read_bytes + b.dram_read_bytes;
+  into.dram_write_bytes <- into.dram_write_bytes + b.dram_write_bytes;
+  into.l2_read_bytes <- into.l2_read_bytes + b.l2_read_bytes;
+  into.smem_read_bytes <- into.smem_read_bytes + b.smem_read_bytes;
+  into.atomic_bytes <- into.atomic_bytes + b.atomic_bytes;
+  into.mma_flops <- into.mma_flops + b.mma_flops;
+  into.fma_flops <- into.fma_flops + b.fma_flops;
+  into.sfu_ops <- into.sfu_ops + b.sfu_ops;
+  into.time_us <- into.time_us +. b.time_us;
+  into.lsu_busy_us <- into.lsu_busy_us +. b.lsu_busy_us;
+  into.fma_busy_us <- into.fma_busy_us +. b.fma_busy_us;
+  into.mma_busy_us <- into.mma_busy_us +. b.mma_busy_us;
+  into.launch_us <- into.launch_us +. b.launch_us
+
+let pp ppf t =
+  Fmt.pf ppf
+    "@[<v>time: %.2f us (launch %.2f us)@,kernels: %d, grid syncs: %d@,\
+     DRAM read: %.2f MB, write: %.2f MB, atomics: %.2f MB, L2 re-read: %.2f MB@,\
+     flops: mma %d, fma %d, sfu %d@,\
+     util: LSU %.1f%%, FMA %.1f%%, MMA %.1f%%@]"
+    t.time_us t.launch_us t.kernel_launches t.grid_syncs
+    (mb t.dram_read_bytes) (mb t.dram_write_bytes) (mb t.atomic_bytes)
+    (mb t.l2_read_bytes) t.mma_flops t.fma_flops t.sfu_ops
+    (100. *. lsu_utilization t)
+    (100. *. fma_utilization t)
+    (100. *. mma_utilization t)

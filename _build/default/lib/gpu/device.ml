@@ -1,0 +1,66 @@
+(** GPU device model.  The constants for [a100] come from the NVIDIA A100
+    (40 GB, SXM) datasheet plus the two latency figures the paper itself
+    uses: ~2 µs per kernel launch (§8.3) and a cheap cooperative-groups
+    grid synchronization (§2.3, §8.2 "lightweight CUDA grid sync"). *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  clock_ghz : float;
+  smem_per_sm : int;          (** bytes of shared memory per SM *)
+  max_smem_per_block : int;   (** opt-in carve-out limit per block *)
+  regs_per_sm : int;          (** 32-bit registers per SM *)
+  max_regs_per_thread : int;
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  dram_bw_gbps : float;       (** global-memory bandwidth, GB/s *)
+  l2_bw_gbps : float;         (** L2 bandwidth, GB/s *)
+  l2_bytes : int;
+  fp32_tflops : float;        (** CUDA-core FMA peak *)
+  fp16_tc_tflops : float;     (** tensor-core FP16 peak *)
+  sfu_gops : float;           (** special-function-unit throughput, Gop/s *)
+  kernel_launch_us : float;
+  grid_sync_us : float;
+  atomic_bw_factor : float;   (** atomics achieve this fraction of DRAM bw *)
+  overlap_pipelined : float;  (** overlap of mem/compute with §6.5 pipelining *)
+  overlap_default : float;    (** overlap from plain warp-level parallelism *)
+  coop_capacity_frac : float;
+      (** fraction of the theoretical resident-block count a cooperative
+          (grid-synchronizing) launch can actually claim: the driver, the
+          L1 carve-out and the §6.5 reuse-cache reservation take headroom,
+          so Souffle partitions against a conservative bound (cf. the
+          "supports at most 48 blocks" budget in the paper's Fig. 2) *)
+}
+
+let a100 : t =
+  {
+    name = "NVIDIA A100-SXM4-40GB";
+    num_sms = 108;
+    clock_ghz = 1.41;
+    smem_per_sm = 164 * 1024;
+    max_smem_per_block = 163 * 1024;
+    regs_per_sm = 65536;
+    max_regs_per_thread = 255;
+    max_threads_per_sm = 2048;
+    max_threads_per_block = 1024;
+    max_blocks_per_sm = 32;
+    dram_bw_gbps = 1555.;
+    l2_bw_gbps = 4500.;
+    l2_bytes = 40 * 1024 * 1024;
+    fp32_tflops = 19.5;
+    fp16_tc_tflops = 312.;
+    sfu_gops = 4875.; (* fp32 rate / 4: SFU issues at quarter rate *)
+    kernel_launch_us = 2.0;
+    grid_sync_us = 1.0;
+    atomic_bw_factor = 0.25;
+    overlap_pipelined = 0.95;
+    overlap_default = 0.60;
+    coop_capacity_frac = 0.75;
+  }
+
+(** Total register/shared-memory capacity [C] of §5.4's partitioning
+    constraint (we use shared memory as the binding resource). *)
+let total_smem t = t.num_sms * t.smem_per_sm
+
+let pp ppf t = Fmt.pf ppf "%s (%d SMs @ %.2f GHz)" t.name t.num_sms t.clock_ghz

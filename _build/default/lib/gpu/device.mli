@@ -1,0 +1,40 @@
+(** GPU device model.  The constants for {!a100} come from the NVIDIA A100
+    (40 GB, SXM) datasheet plus the two latency figures the paper itself
+    uses: ~2 µs per kernel launch (§8.3) and a cheap cooperative-groups grid
+    synchronization (§2.3, §8.2). *)
+
+type t = {
+  name : string;
+  num_sms : int;
+  clock_ghz : float;
+  smem_per_sm : int;          (** bytes of shared memory per SM *)
+  max_smem_per_block : int;   (** opt-in carve-out limit per block *)
+  regs_per_sm : int;          (** 32-bit registers per SM *)
+  max_regs_per_thread : int;
+  max_threads_per_sm : int;
+  max_threads_per_block : int;
+  max_blocks_per_sm : int;
+  dram_bw_gbps : float;       (** global-memory bandwidth, GB/s *)
+  l2_bw_gbps : float;         (** L2 bandwidth, GB/s *)
+  l2_bytes : int;
+  fp32_tflops : float;        (** CUDA-core FMA peak *)
+  fp16_tc_tflops : float;     (** tensor-core FP16 peak *)
+  sfu_gops : float;           (** special-function-unit throughput, Gop/s *)
+  kernel_launch_us : float;
+  grid_sync_us : float;
+  atomic_bw_factor : float;   (** atomics achieve this fraction of DRAM bw *)
+  overlap_pipelined : float;  (** mem/compute overlap with §6.5 pipelining *)
+  overlap_default : float;    (** overlap from plain warp-level parallelism *)
+  coop_capacity_frac : float;
+      (** fraction of the theoretical resident-block count a cooperative
+          (grid-synchronizing) launch can claim; cf. the "at most 48 blocks"
+          budget in the paper's Fig. 2 *)
+}
+
+val a100 : t
+(** NVIDIA A100-SXM4-40GB. *)
+
+val total_smem : t -> int
+(** Aggregate shared memory: the capacity [C] of §5.4's constraint. *)
+
+val pp : Format.formatter -> t -> unit

@@ -1,0 +1,113 @@
+(** Kernel IR: the instruction-stream abstraction the simulator executes.
+
+    A compiled program is an ordered list of kernels; a kernel is an ordered
+    list of stages (one per fused TE group region, matching the
+    [Fn_TE_Subprogram] structure of Fig. 2's step 5); a stage carries the
+    aggregate instruction counts of all its thread blocks.  Byte/flop totals
+    are grid-wide, which is the right granularity for a throughput model. *)
+
+type instr =
+  | Ldg of { bytes : int }
+      (** load from DRAM (first touch of a tensor) *)
+  | Ldl2 of { bytes : int }
+      (** load of data resident in L2 (re-read of an on-device tensor) *)
+  | Lds of { bytes : int }
+      (** shared-memory load (reuse hits of the §6.5 software cache) *)
+  | Stg of { bytes : int }
+      (** store to DRAM *)
+  | Mma of { flops : int }
+      (** tensor-core half-precision multiply-accumulate (HMMA) *)
+  | Fma of { flops : int }
+      (** CUDA-core FP32 multiply-add *)
+  | Sfu of { ops : int }
+      (** transcendental ops (exp, tanh, rsqrt, ...) *)
+  | Atomic_add of { bytes : int }
+      (** global-memory atomic reduction traffic *)
+  | Grid_sync
+      (** cooperative-groups grid synchronization *)
+  | Block_sync
+      (** __syncthreads-level barrier (cheap) *)
+
+type stage = {
+  label : string;       (** which TE(s) this stage implements *)
+  pipelined : bool;     (** §6.5 instruction-level load/compute overlap *)
+  compute_eff : float;  (** achieved fraction of pipeline peak *)
+  mem_eff : float;      (** achieved fraction of DRAM bandwidth *)
+  sgrid : int;          (** thread blocks active in this stage (0: whole kernel) *)
+  instrs : instr list;
+}
+
+type kernel = {
+  kname : string;
+  grid_blocks : int;
+  threads_per_block : int;
+  smem_per_block : int;   (** bytes *)
+  regs_per_thread : int;
+  library_call : bool;    (** opaque vendor-library kernel (cuBLAS-style) *)
+  stages : stage list;
+}
+
+type prog = { pname : string; kernels : kernel list }
+
+let usage (k : kernel) : Occupancy.usage =
+  {
+    Occupancy.threads_per_block = k.threads_per_block;
+    smem_per_block = k.smem_per_block;
+    regs_per_thread = k.regs_per_thread;
+  }
+
+let stage ?(pipelined = false) ?(compute_eff = 0.7) ?(mem_eff = 0.85)
+    ?(sgrid = 0) ~label instrs =
+  { label; pipelined; compute_eff; mem_eff; sgrid; instrs }
+
+let kernel ?(threads_per_block = 256) ?(smem_per_block = 48 * 1024)
+    ?(regs_per_thread = 64) ?(library_call = false) ~name ~grid_blocks stages =
+  {
+    kname = name;
+    grid_blocks;
+    threads_per_block;
+    smem_per_block;
+    regs_per_thread;
+    library_call;
+    stages;
+  }
+
+let num_grid_syncs (k : kernel) =
+  List.fold_left
+    (fun acc s ->
+      acc
+      + List.length (List.filter (function Grid_sync -> true | _ -> false) s.instrs))
+    0 k.stages
+
+let dram_read_bytes_kernel (k : kernel) =
+  List.fold_left
+    (fun acc s ->
+      List.fold_left
+        (fun acc -> function Ldg { bytes } -> acc + bytes | _ -> acc)
+        acc s.instrs)
+    0 k.stages
+
+let pp_instr ppf = function
+  | Ldg { bytes } -> Fmt.pf ppf "ldg %dB" bytes
+  | Ldl2 { bytes } -> Fmt.pf ppf "ldl2 %dB" bytes
+  | Lds { bytes } -> Fmt.pf ppf "lds %dB" bytes
+  | Stg { bytes } -> Fmt.pf ppf "stg %dB" bytes
+  | Mma { flops } -> Fmt.pf ppf "mma %d" flops
+  | Fma { flops } -> Fmt.pf ppf "fma %d" flops
+  | Sfu { ops } -> Fmt.pf ppf "sfu %d" ops
+  | Atomic_add { bytes } -> Fmt.pf ppf "atomic %dB" bytes
+  | Grid_sync -> Fmt.string ppf "grid.sync"
+  | Block_sync -> Fmt.string ppf "block.sync"
+
+let pp_kernel ppf k =
+  Fmt.pf ppf "@[<v2>kernel %s <<<%d, %d>>> smem=%dB regs=%d%s:@,"
+    k.kname k.grid_blocks k.threads_per_block k.smem_per_block
+    k.regs_per_thread (if k.library_call then " [lib]" else "");
+  List.iter
+    (fun s ->
+      Fmt.pf ppf "stage %s%s: %a@," s.label
+        (if s.pipelined then " [pipelined]" else "")
+        Fmt.(list ~sep:(any "; ") pp_instr)
+        s.instrs)
+    k.stages;
+  Fmt.pf ppf "@]"

@@ -1,0 +1,44 @@
+(** CUDA occupancy calculator: how many blocks of a kernel fit on one SM,
+    and therefore how many can be resident in one wave — the quantity the
+    §5.4 partitioning constraint compares against a subprogram's grid. *)
+
+type usage = {
+  threads_per_block : int;
+  smem_per_block : int;   (** bytes *)
+  regs_per_thread : int;
+}
+
+let blocks_per_sm (dev : Device.t) (u : usage) : int =
+  if u.threads_per_block <= 0 then 0
+  else begin
+    let by_threads = dev.Device.max_threads_per_sm / u.threads_per_block in
+    let by_smem =
+      if u.smem_per_block = 0 then dev.Device.max_blocks_per_sm
+      else dev.Device.smem_per_sm / u.smem_per_block
+    in
+    let regs_per_block = u.regs_per_thread * u.threads_per_block in
+    let by_regs =
+      if regs_per_block = 0 then dev.Device.max_blocks_per_sm
+      else dev.Device.regs_per_sm / regs_per_block
+    in
+    let m = min (min by_threads by_smem) (min by_regs dev.Device.max_blocks_per_sm) in
+    max 0 m
+  end
+
+(** Maximum thread blocks resident on the whole device at once — the
+    "max blocks per wave" limit that a cooperative (grid-synchronizing)
+    launch must not exceed. *)
+let max_blocks_per_wave (dev : Device.t) (u : usage) : int =
+  blocks_per_sm dev u * dev.Device.num_sms
+
+(** Number of waves a grid of [grid_blocks] needs. *)
+let waves (dev : Device.t) (u : usage) ~grid_blocks : int =
+  let per_wave = max_blocks_per_wave dev u in
+  if per_wave = 0 then max_int
+  else (grid_blocks + per_wave - 1) / per_wave
+
+(** Fraction of SM thread slots occupied — the occupancy Nsight reports. *)
+let occupancy (dev : Device.t) (u : usage) : float =
+  let b = blocks_per_sm dev u in
+  float_of_int (b * u.threads_per_block)
+  /. float_of_int dev.Device.max_threads_per_sm

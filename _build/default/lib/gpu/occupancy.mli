@@ -1,0 +1,20 @@
+(** CUDA occupancy calculator: how many blocks of a kernel fit one SM, and
+    therefore how many can be resident in one wave — the quantity §5.4's
+    partitioning constraint compares against a subprogram's grid. *)
+
+type usage = {
+  threads_per_block : int;
+  smem_per_block : int;  (** bytes *)
+  regs_per_thread : int;
+}
+
+val blocks_per_sm : Device.t -> usage -> int
+
+val max_blocks_per_wave : Device.t -> usage -> int
+(** Blocks resident on the whole device at once — the cooperative-launch
+    bound. *)
+
+val waves : Device.t -> usage -> grid_blocks:int -> int
+
+val occupancy : Device.t -> usage -> float
+(** Fraction of SM thread slots occupied (what Nsight reports). *)

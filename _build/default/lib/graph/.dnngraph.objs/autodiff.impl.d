@@ -1,0 +1,1 @@
+lib/graph/autodiff.ml: Array Dgraph Expr Float Fmt Fun List Map Op Program Set Shape String Te

@@ -1,0 +1,1 @@
+lib/graph/autodiff.mli: Dgraph Map

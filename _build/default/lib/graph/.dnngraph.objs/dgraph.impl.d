@@ -1,0 +1,1 @@
+lib/graph/dgraph.ml: Dtype Fmt List Map Op Program Shape String

@@ -1,0 +1,1 @@
+lib/graph/lower.ml: Array Builder Dgraph Expr Float Fmt Index List Op Program Shape Te

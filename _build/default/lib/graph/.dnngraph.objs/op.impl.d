@@ -1,0 +1,1 @@
+lib/graph/op.ml: Array Expr Fmt List Shape Te

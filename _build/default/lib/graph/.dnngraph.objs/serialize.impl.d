@@ -1,0 +1,1 @@
+lib/graph/serialize.ml: Array Buffer Dgraph Dtype Expr Fmt List Op Program Result Shape String Te

@@ -1,0 +1,1 @@
+lib/graph/serialize.mli: Dgraph

@@ -1,0 +1,307 @@
+(** Reverse-mode automatic differentiation at the operator-graph level —
+    the §9 "Fusion in DL training" future-work item made concrete.
+
+    [backward ~loss ~wrt graph] extends a model graph with the backward pass
+    of a scalar loss: one gradient tensor per requested input.  The combined
+    forward+backward graph is an ordinary {!Dgraph.t}, so the whole Souffle
+    pipeline (analysis, transformation, partitioning, reuse) applies to
+    training steps too.
+
+    As the paper notes, training restricts fusion: every forward
+    intermediate the backward pass reads must be kept in global memory for
+    the gradient computation.  We encode that constraint by adding those
+    tensors to the graph outputs, which stops vertical transformation from
+    dissolving them and forces the emitter to materialize them.
+
+    Supported operators: matmul/matmul_nt, gemv, bias_add, scale, affine,
+    rowwise add/sub, element-wise add/sub/mul/max, unary
+    neg/exp/relu/sigmoid/tanh/sqrt/erf, reshape, transpose, concat, softmax,
+    sum-reductions and global average pooling.  Differentiating through an
+    unsupported operator raises [Invalid_argument], the same contract the
+    forward lowering has. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type t = {
+  graph : Dgraph.t;            (** forward + backward nodes *)
+  gradient_of : string SMap.t; (** differentiated tensor -> gradient name *)
+  saved : string list;         (** forward tensors the backward pass reads *)
+}
+
+let unsupported (op : Op.t) =
+  invalid_arg ("Autodiff: no gradient for operator " ^ Op.to_string op)
+
+(* A builder pre-seeded with the forward graph. *)
+let builder_of (g : Dgraph.t) : Dgraph.B.builder * Program.tensor_info SMap.t
+    =
+  let b = Dgraph.B.create () in
+  List.iter
+    (fun (name, (i : Program.tensor_info)) ->
+      ignore (Dgraph.B.input b name ~dtype:i.Program.dtype i.Program.shape))
+    g.Dgraph.inputs;
+  List.iter
+    (fun (n : Dgraph.node) ->
+      ignore (Dgraph.B.add b ~name:n.Dgraph.name n.Dgraph.op n.Dgraph.inputs))
+    g.Dgraph.nodes;
+  (b, Dgraph.infer_all g)
+
+let backward ~(loss : string) ?(wrt : string list option) (g : Dgraph.t) : t =
+  let b, infos = builder_of g in
+  let shape_of t =
+    match SMap.find_opt t infos with
+    | Some i -> i.Program.shape
+    | None -> invalid_arg ("Autodiff: unknown tensor " ^ t)
+  in
+  (match SMap.find_opt loss infos with
+  | Some i when Shape.numel i.Program.shape = 1 -> ()
+  | Some _ -> invalid_arg "Autodiff: loss must have a single element"
+  | None -> invalid_arg ("Autodiff: unknown loss tensor " ^ loss));
+  let wrt =
+    match wrt with Some l -> l | None -> List.map fst g.Dgraph.inputs
+  in
+  (* gradient accumulation map: tensor -> current gradient tensor *)
+  let grads = ref SMap.empty in
+  let counter = ref 0 in
+  let fresh prefix =
+    incr counter;
+    Fmt.str "%s~%d" prefix !counter
+  in
+  let add ?name op inputs =
+    let name = match name with Some n -> n | None -> fresh "bwd" in
+    Dgraph.B.add b ~name op inputs
+  in
+  let accumulate tensor contribution =
+    match SMap.find_opt tensor !grads with
+    | None -> grads := SMap.add tensor contribution !grads
+    | Some existing ->
+        let s =
+          add ~name:(fresh ("d_" ^ tensor))
+            (Op.Binary Expr.Add) [ existing; contribution ]
+        in
+        grads := SMap.add tensor s !grads
+  in
+  (* ones with the shape of an existing tensor, built as affine(0,1) *)
+  let ones_like tensor =
+    add ~name:(fresh ("ones_" ^ tensor))
+      (Op.Affine { scale = 0.; shift = 1. })
+      [ tensor ]
+  in
+  (* seed: d loss / d loss = 1 *)
+  grads := SMap.add loss (ones_like loss) !grads;
+  (* transposed view helper; vertical transformation folds these away *)
+  let transpose2 tensor =
+    add ~name:(fresh (tensor ^ "_T")) (Op.Transpose [| 1; 0 |]) [ tensor ]
+  in
+  let node_backward (n : Dgraph.node) (g_out : string) =
+    let x i = List.nth n.Dgraph.inputs i in
+    match n.Dgraph.op with
+    | Op.Matmul ->
+        (* C = A B: dA = dC Bt, dB = At dC *)
+        accumulate (x 0) (add Op.Matmul_nt [ g_out; x 1 ]);
+        accumulate (x 1) (add Op.Matmul [ transpose2 (x 0); g_out ])
+    | Op.Matmul_nt ->
+        (* C = A Bt: dA = dC B, dB = dCt A *)
+        accumulate (x 0) (add Op.Matmul [ g_out; x 1 ]);
+        accumulate (x 1) (add Op.Matmul [ transpose2 g_out; x 0 ])
+    | Op.Gemv ->
+        (* y = W v: dW = outer(dy, v), dv = Wt dy *)
+        let m = (shape_of (x 0)).(0) and k = (shape_of (x 0)).(1) in
+        let dy_col = add (Op.Reshape [| m; 1 |]) [ g_out ] in
+        let v_row = add (Op.Reshape [| 1; k |]) [ x 1 ] in
+        accumulate (x 0) (add Op.Matmul [ dy_col; v_row ]);
+        accumulate (x 1) (add Op.Gemv [ transpose2 (x 0); g_out ])
+    | Op.Bias_add ->
+        accumulate (x 0) g_out;
+        (* bias gradient: sum over every leading axis *)
+        let rec reduce_leading t rank =
+          if rank <= 1 then t
+          else
+            reduce_leading
+              (add (Op.Reduce { op = Te.Sum; axis = 0 }) [ t ])
+              (rank - 1)
+        in
+        accumulate (x 1)
+          (reduce_leading g_out (Array.length (shape_of (x 0))))
+    | Op.Scale c -> accumulate (x 0) (add (Op.Scale c) [ g_out ])
+    | Op.Affine { scale; _ } ->
+        accumulate (x 0) (add (Op.Scale scale) [ g_out ])
+    | Op.Unary u -> (
+        let y = n.Dgraph.name in
+        match u with
+        | Expr.Neg -> accumulate (x 0) (add (Op.Scale (-1.)) [ g_out ])
+        | Expr.Exp ->
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; y ])
+        | Expr.Relu ->
+            let mask = add (Op.Unary Expr.Step) [ x 0 ] in
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; mask ])
+        | Expr.Sigmoid ->
+            (* y (1 - y) *)
+            let one_minus =
+              add (Op.Affine { scale = -1.; shift = 1. }) [ y ]
+            in
+            let d = add (Op.Binary Expr.Mul) [ y; one_minus ] in
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; d ])
+        | Expr.Tanh ->
+            (* 1 - y^2 *)
+            let sq = add (Op.Binary Expr.Mul) [ y; y ] in
+            let d = add (Op.Affine { scale = -1.; shift = 1. }) [ sq ] in
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; d ])
+        | Expr.Sqrt ->
+            (* 1 / (2 y) *)
+            let r = add (Op.Unary Expr.Recip) [ y ] in
+            let d = add (Op.Scale 0.5) [ r ] in
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; d ])
+        | Expr.Erf ->
+            (* 2/sqrt(pi) * exp(-x^2) *)
+            let sq = add (Op.Binary Expr.Mul) [ x 0; x 0 ] in
+            let nsq = add (Op.Scale (-1.)) [ sq ] in
+            let e = add (Op.Unary Expr.Exp) [ nsq ] in
+            let d = add (Op.Scale (2. /. sqrt Float.pi)) [ e ] in
+            accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; d ])
+        | Expr.Log | Expr.Rsqrt | Expr.Abs | Expr.Recip | Expr.Step ->
+            unsupported n.Dgraph.op)
+    | Op.Binary bop -> (
+        let sa = shape_of (x 0) and sb = shape_of (x 1) in
+        if not (Shape.equal sa sb) then unsupported n.Dgraph.op
+        else
+          match bop with
+          | Expr.Add ->
+              accumulate (x 0) g_out;
+              accumulate (x 1) g_out
+          | Expr.Sub ->
+              accumulate (x 0) g_out;
+              accumulate (x 1) (add (Op.Scale (-1.)) [ g_out ])
+          | Expr.Mul ->
+              accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; x 1 ]);
+              accumulate (x 1) (add (Op.Binary Expr.Mul) [ g_out; x 0 ])
+          | Expr.Max ->
+              (* subgradient: the larger operand gets the gradient *)
+              let diff = add (Op.Binary Expr.Sub) [ x 0; x 1 ] in
+              let m0 = add (Op.Unary Expr.Step) [ diff ] in
+              let m1 = add (Op.Affine { scale = -1.; shift = 1. }) [ m0 ] in
+              accumulate (x 0)
+                (add (Op.Binary Expr.Mul) [ g_out; m0 ]);
+              accumulate (x 1)
+                (add (Op.Binary Expr.Mul) [ g_out; m1 ])
+          | Expr.Div | Expr.Min | Expr.Pow -> unsupported n.Dgraph.op)
+    | Op.Rowwise Expr.Add ->
+        accumulate (x 0) g_out;
+        accumulate (x 1) (add (Op.Reduce { op = Te.Sum; axis = Array.length (shape_of (x 0)) - 1 }) [ g_out ])
+    | Op.Rowwise Expr.Sub ->
+        accumulate (x 0) g_out;
+        let s =
+          add (Op.Reduce { op = Te.Sum; axis = Array.length (shape_of (x 0)) - 1 }) [ g_out ]
+        in
+        accumulate (x 1) (add (Op.Scale (-1.)) [ s ])
+    | Op.Reshape _ ->
+        accumulate (x 0) (add (Op.Reshape (shape_of (x 0))) [ g_out ])
+    | Op.Transpose p ->
+        let inv = Array.make (Array.length p) 0 in
+        Array.iteri (fun i d -> inv.(d) <- i) p;
+        accumulate (x 0) (add (Op.Transpose inv) [ g_out ])
+    | Op.Concat { axis } ->
+        let start = ref 0 in
+        List.iter
+          (fun inp ->
+            let s = shape_of inp in
+            let starts = Array.make (Array.length s) 0 in
+            starts.(axis) <- !start;
+            start := !start + s.(axis);
+            accumulate inp (add (Op.Slice { starts; sizes = s }) [ g_out ]))
+          n.Dgraph.inputs
+    | Op.Softmax ->
+        (* dx = y * (dy - sum(dy * y, last)) *)
+        let y = n.Dgraph.name in
+        let rank = Array.length (shape_of (x 0)) in
+        let prod = add (Op.Binary Expr.Mul) [ g_out; y ] in
+        let s = add (Op.Reduce { op = Te.Sum; axis = rank - 1 }) [ prod ] in
+        let centered = add (Op.Rowwise Expr.Sub) [ g_out; s ] in
+        accumulate (x 0) (add (Op.Binary Expr.Mul) [ y; centered ])
+    | Op.Reduce { op = Te.Sum; axis } ->
+        (* broadcast the gradient back along the reduced axis *)
+        let sx = shape_of (x 0) in
+        let rank = Array.length sx in
+        if axis <> rank - 1 then begin
+          (* move the axis last via transpose, then rowwise *)
+          let perm =
+            Array.of_list
+              (List.filter (fun d -> d <> axis) (List.init rank Fun.id)
+              @ [ axis ])
+          in
+          let ones = ones_like (x 0) in
+          let ones_t = add (Op.Transpose perm) [ ones ] in
+          let bcast = add (Op.Rowwise Expr.Mul) [ ones_t; g_out ] in
+          let inv = Array.make rank 0 in
+          Array.iteri (fun i d -> inv.(d) <- i) perm;
+          accumulate (x 0) (add (Op.Transpose inv) [ bcast ])
+        end
+        else begin
+          let ones = ones_like (x 0) in
+          accumulate (x 0) (add (Op.Rowwise Expr.Mul) [ ones; g_out ])
+        end
+    | Op.Global_avg_pool ->
+        (* spread d_out/(h*w) over the spatial dims *)
+        let sx = shape_of (x 0) in
+        let inv = 1. /. float_of_int (sx.(2) * sx.(3)) in
+        let scaled = add (Op.Scale inv) [ g_out ] in
+        let ones = ones_like (x 0) in
+        accumulate (x 0) (add Op.Scale_channels [ ones; scaled ])
+    | Op.Scale_channels ->
+        (* y = x * s[n,c]: dx = dy * s (broadcast); ds = sum_hw (dy * x) *)
+        let prod = add (Op.Binary Expr.Mul) [ g_out; x 0 ] in
+        let sx = shape_of (x 0) in
+        let hw = sx.(2) * sx.(3) in
+        let pooled = add Op.Global_avg_pool [ prod ] in
+        accumulate (x 1) (add (Op.Scale (float_of_int hw)) [ pooled ]);
+        let ones = ones_like (x 0) in
+        let s_b = add Op.Scale_channels [ ones; x 1 ] in
+        accumulate (x 0) (add (Op.Binary Expr.Mul) [ g_out; s_b ])
+    | op -> unsupported op
+  in
+  (* walk forward nodes in reverse *)
+  List.iter
+    (fun (n : Dgraph.node) ->
+      match SMap.find_opt n.Dgraph.name !grads with
+      | None -> () (* not on any path to the loss *)
+      | Some g_out -> node_backward n g_out)
+    (List.rev g.Dgraph.nodes);
+  (* final per-input gradients *)
+  let gradient_of =
+    List.fold_left
+      (fun acc input ->
+        match SMap.find_opt input !grads with
+        | Some gname -> SMap.add input gname acc
+        | None -> acc)
+      SMap.empty wrt
+  in
+  let grad_outputs = List.map snd (SMap.bindings gradient_of) in
+  (* forward tensors read by backward nodes: they must stay materialized *)
+  let forward_names =
+    SSet.of_list (List.map (fun (n : Dgraph.node) -> n.Dgraph.name) g.Dgraph.nodes)
+  in
+  let full = Dgraph.B.finish b ~outputs:(g.Dgraph.outputs @ grad_outputs) in
+  let backward_nodes =
+    List.filteri
+      (fun i _ -> i >= List.length g.Dgraph.nodes)
+      full.Dgraph.nodes
+  in
+  let saved =
+    List.fold_left
+      (fun acc (n : Dgraph.node) ->
+        List.fold_left
+          (fun acc i -> if SSet.mem i forward_names then SSet.add i acc else acc)
+          acc n.Dgraph.inputs)
+      SSet.empty backward_nodes
+    |> SSet.elements
+  in
+  (* §9: intermediates needed for gradients stay in global memory — make
+     them observable so no transformation can elide them *)
+  let outputs =
+    g.Dgraph.outputs @ grad_outputs
+    @ List.filter (fun s -> not (List.mem s g.Dgraph.outputs)) saved
+  in
+  let graph = { full with Dgraph.outputs } in
+  { graph; gradient_of; saved }
+
+let gradient t input = SMap.find_opt input t.gradient_of

@@ -1,0 +1,24 @@
+(** Reverse-mode automatic differentiation at the operator-graph level —
+    the §9 "Fusion in DL training" future-work item made concrete.
+
+    The combined forward+backward graph is an ordinary {!Dgraph.t}, so the
+    whole Souffle pipeline applies to training steps.  Per the paper's
+    observation, forward intermediates the backward pass reads are added to
+    the graph outputs, pinning them in global memory (no transformation may
+    elide them). *)
+
+module SMap : Map.S with type key = string
+
+type t = {
+  graph : Dgraph.t;            (** forward + backward nodes *)
+  gradient_of : string SMap.t; (** differentiated tensor -> gradient name *)
+  saved : string list;         (** forward tensors the backward pass reads *)
+}
+
+val backward : loss:string -> ?wrt:string list -> Dgraph.t -> t
+(** Extend the graph with gradients of the single-element [loss] tensor
+    with respect to [wrt] (default: all graph inputs).
+    @raise Invalid_argument on operators without a registered gradient. *)
+
+val gradient : t -> string -> string option
+(** Gradient tensor name for a differentiated input. *)

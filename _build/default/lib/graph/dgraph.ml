@@ -1,0 +1,111 @@
+(** Model computation graphs: named operator nodes over named tensors.
+    Each node produces exactly one tensor, named after the node.  The graph
+    is what a front-end (TensorFlow/ONNX in the paper) would hand to the
+    compiler; our models in [lib/models] construct these directly. *)
+
+type node = { name : string; op : Op.t; inputs : string list }
+
+type t = {
+  inputs : (string * Program.tensor_info) list;
+  nodes : node list;  (** topological order *)
+  outputs : string list;
+}
+
+module SMap = Map.Make (String)
+
+(** Shape and dtype of every tensor in the graph, by running shape
+    inference over the nodes.  Fails on the first ill-typed node. *)
+let infer_all (g : t) : Program.tensor_info SMap.t =
+  let init =
+    List.fold_left
+      (fun m (n, i) -> SMap.add n i m)
+      SMap.empty g.inputs
+  in
+  List.fold_left
+    (fun m node ->
+      let ins =
+        List.map
+          (fun i ->
+            match SMap.find_opt i m with
+            | Some info -> info
+            | None ->
+                invalid_arg
+                  (Fmt.str "Graph: node %s reads undefined tensor %s"
+                     node.name i))
+          node.inputs
+      in
+      let shape =
+        Op.infer_shape node.op (List.map (fun i -> i.Program.shape) ins)
+      in
+      let dtype =
+        match ins with [] -> Dtype.F32 | i :: _ -> i.Program.dtype
+      in
+      SMap.add node.name { Program.shape; dtype } m)
+    init g.nodes
+
+let tensor_info g name = SMap.find_opt name (infer_all g)
+
+let validate (g : t) =
+  match infer_all g with
+  | exception Invalid_argument m -> Error m
+  | all ->
+      let missing =
+        List.filter (fun o -> not (SMap.mem o all)) g.outputs
+      in
+      if missing = [] then Ok ()
+      else Error ("Graph: undefined outputs " ^ String.concat "," missing)
+
+let num_nodes g = List.length g.nodes
+
+let pp ppf g =
+  Fmt.pf ppf "@[<v>graph (%d nodes):@," (num_nodes g);
+  List.iter
+    (fun (n, (i : Program.tensor_info)) ->
+      Fmt.pf ppf "  input %s : %s@," n (Shape.to_string i.Program.shape))
+    g.inputs;
+  List.iter
+    (fun n ->
+      Fmt.pf ppf "  %s = %s(%s)@," n.name (Op.to_string n.op)
+        (String.concat ", " n.inputs))
+    g.nodes;
+  Fmt.pf ppf "  outputs: %s@]" (String.concat ", " g.outputs)
+
+(** Imperative builder used by the model zoo: create, declare inputs, chain
+    ops (each [add] returns the tensor name for further chaining), finish. *)
+module B = struct
+  type builder = {
+    mutable rev_inputs : (string * Program.tensor_info) list;
+    mutable rev_nodes : node list;
+    mutable counter : int;
+  }
+
+  let create () = { rev_inputs = []; rev_nodes = []; counter = 0 }
+
+  let input b name ?(dtype = Dtype.F32) shape =
+    b.rev_inputs <- (name, { Program.shape; dtype }) :: b.rev_inputs;
+    name
+
+  let fresh b prefix =
+    b.counter <- b.counter + 1;
+    let sanitized =
+      String.map
+        (fun c ->
+          match c with
+          | 'a' .. 'z' | 'A' .. 'Z' | '0' .. '9' | '_' -> c
+          | _ -> '_')
+        prefix
+    in
+    Fmt.str "%s_%d" sanitized b.counter
+
+  let add b ?name op inputs =
+    let name = match name with Some n -> n | None -> fresh b (Op.to_string op) in
+    b.rev_nodes <- { name; op; inputs } :: b.rev_nodes;
+    name
+
+  let finish b ~outputs =
+    {
+      inputs = List.rev b.rev_inputs;
+      nodes = List.rev b.rev_nodes;
+      outputs;
+    }
+end

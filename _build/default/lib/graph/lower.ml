@@ -1,0 +1,270 @@
+(** Lowering model graphs to TE programs (§4, "TE lowering").
+
+    Each operator expands to one or more TEs; composite operators (softmax,
+    layernorm, pooling) expand to several, exactly as in the paper's example
+    where softmax becomes a reduction TE plus element-wise TEs.  The final TE
+    of a node is named after the node, so downstream tensors are addressed
+    uniformly. *)
+
+open Expr
+
+let ov = Index.ov
+let rv = Index.rv
+let ic = Index.const
+
+(* Guard an access of [x] (shape [xs]) with in-bounds predicates for the
+   spatial dims, yielding [fallback] outside.  [idxs] must align with xs. *)
+let guarded_read ~xs ~fallback x idxs ~spatial =
+  let cond =
+    List.fold_left
+      (fun acc d ->
+        let i = List.nth idxs d in
+        let c =
+          And (Cmp (Ge, i, ic 0), Cmp (Lt, i, ic xs.(d)))
+        in
+        match acc with None -> Some c | Some a -> Some (And (a, c)))
+      None spatial
+  in
+  match cond with
+  | None -> Read (x, idxs)
+  | Some c -> Select (c, Read (x, idxs), fallback)
+
+let lower_node (info : string -> Program.tensor_info) (node : Dgraph.node) :
+    Te.t list =
+  let name = node.Dgraph.name in
+  let in_name i = List.nth node.Dgraph.inputs i in
+  let in_shape i = (info (in_name i)).Program.shape in
+  let out_shape = Op.infer_shape node.Dgraph.op (List.map (fun i -> (info i).Program.shape) node.Dgraph.inputs) in
+  let tag = Op.to_string node.Dgraph.op in
+  match node.Dgraph.op with
+  | Op.Matmul ->
+      let a = in_shape 0 in
+      [ Builder.matmul ~tag:"matmul" ~name ~m:a.(0) ~n:out_shape.(1) ~k:a.(1)
+          (in_name 0) (in_name 1) ]
+  | Op.Matmul_nt ->
+      let a = in_shape 0 in
+      [ Builder.matmul_nt ~tag:"matmul" ~name ~m:a.(0) ~n:out_shape.(1)
+          ~k:a.(1) (in_name 0) (in_name 1) ]
+  | Op.Batch_matmul ->
+      let a = in_shape 0 in
+      [ Builder.batch_matmul ~tag:"batch_matmul" ~name ~b:a.(0) ~m:a.(1)
+          ~n:out_shape.(2) ~k:a.(2) (in_name 0) (in_name 1) ]
+  | Op.Batch_matmul_nt ->
+      let a = in_shape 0 in
+      [ Te.reduce ~tag:"batch_matmul" ~name ~shape:out_shape ~op:Te.Sum
+          ~axes:[| a.(2) |]
+          (Binop
+             ( Mul,
+               Read (in_name 0, [ ov 0; ov 1; rv 0 ]),
+               Read (in_name 1, [ ov 0; ov 2; rv 0 ]) )) ]
+  | Op.Gemv ->
+      let w = in_shape 0 in
+      [ Builder.gemv ~tag:"gemv" ~name ~m:w.(0) ~k:w.(1) (in_name 0)
+          (in_name 1) ]
+  | Op.Conv2d { kernel; stride; padding; groups } ->
+      let xs = in_shape 0 and ws = in_shape 1 in
+      let icg = ws.(1) and ocg = ws.(0) / groups in
+      let ch_idx =
+        (* input channel = group(o) * icg + rc where group(o) = o / ocg *)
+        if groups = 1 then rv 0
+        else Index.Add (Index.Mul (Index.Div (ov 1, ocg), icg), rv 0)
+      in
+      let ih = Index.Add (Index.Add (Index.Mul (ov 2, stride), rv 1), ic (-padding)) in
+      let iw = Index.Add (Index.Add (Index.Mul (ov 3, stride), rv 2), ic (-padding)) in
+      let x_read =
+        guarded_read ~xs ~fallback:(Const 0.) (in_name 0)
+          [ ov 0; ch_idx; ih; iw ]
+          ~spatial:(if padding > 0 then [ 2; 3 ] else [])
+      in
+      [ Te.reduce ~tag:"conv2d" ~name ~shape:out_shape ~op:Te.Sum
+          ~axes:[| icg; kernel; kernel |]
+          (Binop (Mul, x_read, Read (in_name 1, [ ov 1; rv 0; rv 1; rv 2 ]))) ]
+  | Op.Depthwise_conv2d { kernel; stride; padding } ->
+      let xs = in_shape 0 in
+      let ih = Index.Add (Index.Add (Index.Mul (ov 2, stride), rv 0), ic (-padding)) in
+      let iw = Index.Add (Index.Add (Index.Mul (ov 3, stride), rv 1), ic (-padding)) in
+      let x_read =
+        guarded_read ~xs ~fallback:(Const 0.) (in_name 0)
+          [ ov 0; ov 1; ih; iw ]
+          ~spatial:(if padding > 0 then [ 2; 3 ] else [])
+      in
+      [ Te.reduce ~tag:"dwconv2d" ~name ~shape:out_shape ~op:Te.Sum
+          ~axes:[| kernel; kernel |]
+          (Binop (Mul, x_read, Read (in_name 1, [ ov 1; ic 0; rv 0; rv 1 ]))) ]
+  | Op.Pool2d { kind; kernel; stride; padding } ->
+      let xs = in_shape 0 in
+      let ih = Index.Add (Index.Add (Index.Mul (ov 2, stride), rv 0), ic (-padding)) in
+      let iw = Index.Add (Index.Add (Index.Mul (ov 3, stride), rv 1), ic (-padding)) in
+      let spatial = if padding > 0 then [ 2; 3 ] else [] in
+      (match kind with
+      | Op.Max_pool ->
+          let read =
+            guarded_read ~xs ~fallback:(Const Float.neg_infinity) (in_name 0)
+              [ ov 0; ov 1; ih; iw ] ~spatial
+          in
+          [ Te.reduce ~tag:"max_pool" ~name ~shape:out_shape ~op:Te.Max
+              ~axes:[| kernel; kernel |] read ]
+      | Op.Avg_pool ->
+          let read =
+            guarded_read ~xs ~fallback:(Const 0.) (in_name 0)
+              [ ov 0; ov 1; ih; iw ] ~spatial
+          in
+          let inv = 1. /. float_of_int (kernel * kernel) in
+          [ Te.reduce ~tag:"avg_pool" ~name ~shape:out_shape ~op:Te.Sum
+              ~axes:[| kernel; kernel |]
+              (Binop (Mul, read, Const inv)) ])
+  | Op.Global_avg_pool ->
+      let xs = in_shape 0 in
+      let inv = 1. /. float_of_int (xs.(2) * xs.(3)) in
+      [ Te.reduce ~tag:"global_avg_pool" ~name ~shape:out_shape ~op:Te.Sum
+          ~axes:[| xs.(2); xs.(3) |]
+          (Binop (Mul, Read (in_name 0, [ ov 0; ov 1; rv 0; rv 1 ]), Const inv)) ]
+  | Op.Unary u -> [ Builder.unary ~tag ~name ~shape:out_shape u (in_name 0) ]
+  | Op.Affine { scale; shift } ->
+      let rank = Array.length out_shape in
+      [ Te.compute ~tag ~name ~shape:out_shape
+          (Binop
+             ( Add,
+               Binop (Mul, Builder.at ~rank (in_name 0), Const scale),
+               Const shift )) ]
+  | Op.Rowwise bop ->
+      let rank = Array.length out_shape in
+      [ Te.compute ~tag ~name ~shape:out_shape
+          (Binop
+             ( bop,
+               Builder.at ~rank (in_name 0),
+               Read (in_name 1, List.init (rank - 1) ov) )) ]
+  | Op.Binary b ->
+      let sa = in_shape 0 and sb = in_shape 1 in
+      if Shape.equal sa sb then
+        [ Builder.binary ~tag ~name ~shape:out_shape b (in_name 0) (in_name 1) ]
+      else begin
+        (* trailing-dims broadcast of the second operand *)
+        let ra = Array.length sa and rb = Array.length sb in
+        let idx_b = List.init rb (fun d -> ov (ra - rb + d)) in
+        [ Te.compute ~tag ~name ~shape:out_shape
+            (Binop (b, Builder.at ~rank:ra (in_name 0), Read (in_name 1, idx_b))) ]
+      end
+  | Op.Bias_add ->
+      [ Builder.bias_add ~tag ~name ~shape:out_shape (in_name 0) (in_name 1) ]
+  | Op.Scale_channels ->
+      [ Te.compute ~tag ~name ~shape:out_shape
+          (Binop
+             ( Mul,
+               Builder.at ~rank:4 (in_name 0),
+               Read (in_name 1, [ ov 0; ov 1 ]) )) ]
+  | Op.Bias_channels ->
+      [ Te.compute ~tag ~name ~shape:out_shape
+          (Binop
+             (Add, Builder.at ~rank:4 (in_name 0), Read (in_name 1, [ ov 1 ]))) ]
+  | Op.Scale c -> [ Builder.scale ~tag ~name ~shape:out_shape (in_name 0) c ]
+  | Op.Softmax ->
+      let xs = in_shape 0 in
+      let rank = Array.length xs in
+      let k = xs.(rank - 1) in
+      let red_shape = Array.sub xs 0 (rank - 1) in
+      let lead = List.init (rank - 1) ov in
+      let x = in_name 0 in
+      let mx = name ^ ".max" and ex = name ^ ".exp" and sm = name ^ ".sum" in
+      [
+        Te.reduce ~tag:"softmax.max" ~name:mx ~shape:red_shape ~op:Te.Max
+          ~axes:[| k |]
+          (Read (x, lead @ [ rv 0 ]));
+        Te.compute ~tag:"softmax.exp" ~name:ex ~shape:xs
+          (Unop (Exp, Binop (Sub, Builder.at ~rank x, Read (mx, lead))));
+        Te.reduce ~tag:"softmax.sum" ~name:sm ~shape:red_shape ~op:Te.Sum
+          ~axes:[| k |]
+          (Read (ex, lead @ [ rv 0 ]));
+        Te.compute ~tag:"softmax.div" ~name ~shape:xs
+          (Binop (Div, Builder.at ~rank ex, Read (sm, lead)));
+      ]
+  | Op.Layernorm { eps } ->
+      let xs = in_shape 0 in
+      let rank = Array.length xs in
+      let k = xs.(rank - 1) in
+      let red_shape = Array.sub xs 0 (rank - 1) in
+      let lead = List.init (rank - 1) ov in
+      let x = in_name 0 and gamma = in_name 1 and beta = in_name 2 in
+      let mean = name ^ ".mean" and var = name ^ ".var" in
+      let invk = 1. /. float_of_int k in
+      let centered e =
+        Binop (Sub, e, Read (mean, lead))
+      in
+      [
+        Te.reduce ~tag:"layernorm.mean" ~name:mean ~shape:red_shape ~op:Te.Sum
+          ~axes:[| k |]
+          (Binop (Mul, Read (x, lead @ [ rv 0 ]), Const invk));
+        Te.reduce ~tag:"layernorm.var" ~name:var ~shape:red_shape ~op:Te.Sum
+          ~axes:[| k |]
+          (Binop
+             ( Mul,
+               (let d = centered (Read (x, lead @ [ rv 0 ])) in
+                Binop (Mul, d, d)),
+               Const invk ));
+        Te.compute ~tag:"layernorm.norm" ~name ~shape:xs
+          (Binop
+             ( Add,
+               Binop
+                 ( Mul,
+                   Binop
+                     ( Mul,
+                       centered (Builder.at ~rank x),
+                       Unop (Rsqrt, Binop (Add, Read (var, lead), Const eps)) ),
+                   Read (gamma, [ ov (rank - 1) ]) ),
+               Read (beta, [ ov (rank - 1) ]) ));
+      ]
+  | Op.Reduce { op; axis } ->
+      let xs = in_shape 0 in
+      let rank = Array.length xs in
+      let idxs =
+        List.init rank (fun d ->
+            if d = axis then rv 0 else if d < axis then ov d else ov (d - 1))
+      in
+      [ Te.reduce ~tag ~name ~shape:out_shape ~op ~axes:[| xs.(axis) |]
+          (Read (in_name 0, idxs)) ]
+  | Op.Reshape s ->
+      [ Builder.reshape ~tag ~name ~in_shape:(in_shape 0) ~out_shape:s
+          (in_name 0) ]
+  | Op.Transpose p ->
+      [ Builder.permute ~tag ~name ~in_shape:(in_shape 0) ~perm:p (in_name 0) ]
+  | Op.Slice { starts; sizes } ->
+      [ Builder.slice ~tag ~name ~starts ~sizes (in_name 0) ]
+  | Op.Strided_slice { axis; start; stride; size } ->
+      [ Builder.strided_slice ~tag ~name ~in_shape:(in_shape 0) ~axis ~start
+          ~stride ~size (in_name 0) ]
+  | Op.Concat { axis } ->
+      let rec go i acc_name acc_shape rest tes =
+        match rest with
+        | [] ->
+            (* rename the final TE to the node name *)
+            (match tes with
+            | [] ->
+                (* single input concat: identity copy *)
+                [ Te.compute ~tag ~name ~shape:acc_shape
+                    (Builder.at ~rank:(Array.length acc_shape) acc_name) ]
+            | last :: earlier -> List.rev ({ last with Te.name } :: earlier))
+        | next :: rest ->
+            let next_shape = (info next).Program.shape in
+            let step_name = Fmt.str "%s.cc%d" name i in
+            let te =
+              Builder.concat2 ~tag ~name:step_name ~axis ~shape_a:acc_shape
+                ~shape_b:next_shape acc_name next
+            in
+            go (i + 1) step_name
+              (Shape.concat_axis ~axis acc_shape next_shape)
+              rest (te :: tes)
+      in
+      (match node.Dgraph.inputs with
+      | [] -> invalid_arg "concat: no inputs"
+      | first :: rest -> go 0 first (info first).Program.shape rest [])
+
+(** Lower a whole graph to a TE program. *)
+let run (g : Dgraph.t) : Program.t =
+  let all = Dgraph.infer_all g in
+  let info name =
+    match Dgraph.SMap.find_opt name all with
+    | Some i -> i
+    | None -> invalid_arg ("Lower: unknown tensor " ^ name)
+  in
+  let tes = List.concat_map (lower_node info) g.Dgraph.nodes in
+  Program.make ~inputs:g.Dgraph.inputs ~tes ~outputs:g.Dgraph.outputs

@@ -1,0 +1,268 @@
+(** Textual serialization of model graphs — the stand-in for the paper's
+    TensorFlow/ONNX front-end.  A graph round-trips through a line-oriented
+    format:
+
+    {v
+    # comment
+    input x f32 1x6
+    input w1 f32 6x5
+    node h = matmul x w1
+    node a = relu h
+    node c = conv2d k3 s1 p1 g1 x w
+    output a
+    v}
+
+    Every operator of {!Op.t} has a keyword plus space-separated attributes;
+    [parse] is total over the grammar and reports the offending line on
+    error. *)
+
+let render_dtype = Dtype.to_string
+
+let parse_dtype = function
+  | "f16" -> Ok Dtype.F16
+  | "f32" -> Ok Dtype.F32
+  | "i32" -> Ok Dtype.I32
+  | "bool" -> Ok Dtype.Bool
+  | s -> Error ("unknown dtype " ^ s)
+
+let render_shape (s : Shape.t) =
+  if Array.length s = 0 then "scalar"
+  else String.concat "x" (List.map string_of_int (Array.to_list s))
+
+let parse_shape s =
+  if s = "scalar" then Ok [||]
+  else
+    try
+      Ok (Array.of_list (List.map int_of_string (String.split_on_char 'x' s)))
+    with _ -> Error ("bad shape " ^ s)
+
+let render_ints (a : int array) =
+  String.concat "," (List.map string_of_int (Array.to_list a))
+
+let parse_ints s =
+  try Ok (Array.of_list (List.map int_of_string (String.split_on_char ',' s)))
+  with _ -> Error ("bad int list " ^ s)
+
+(* operator keyword + attribute tokens (inputs are appended separately) *)
+let render_op (op : Op.t) : string =
+  match op with
+  | Op.Matmul -> "matmul"
+  | Op.Matmul_nt -> "matmul_nt"
+  | Op.Batch_matmul -> "batch_matmul"
+  | Op.Batch_matmul_nt -> "batch_matmul_nt"
+  | Op.Gemv -> "gemv"
+  | Op.Conv2d { kernel; stride; padding; groups } ->
+      Fmt.str "conv2d k%d s%d p%d g%d" kernel stride padding groups
+  | Op.Depthwise_conv2d { kernel; stride; padding } ->
+      Fmt.str "dwconv2d k%d s%d p%d" kernel stride padding
+  | Op.Pool2d { kind; kernel; stride; padding } ->
+      Fmt.str "%s k%d s%d p%d"
+        (match kind with Op.Max_pool -> "maxpool" | Op.Avg_pool -> "avgpool")
+        kernel stride padding
+  | Op.Global_avg_pool -> "global_avg_pool"
+  | Op.Unary u -> "unary " ^ Expr.unop_to_string u
+  | Op.Affine { scale; shift } -> Fmt.str "affine %h %h" scale shift
+  | Op.Binary b -> "binary " ^ Expr.binop_to_string b
+  | Op.Rowwise b -> "rowwise " ^ Expr.binop_to_string b
+  | Op.Bias_add -> "bias_add"
+  | Op.Scale c -> Fmt.str "mulconst %h" c
+  | Op.Scale_channels -> "scale_channels"
+  | Op.Bias_channels -> "bias_channels"
+  | Op.Softmax -> "softmax"
+  | Op.Layernorm { eps } -> Fmt.str "layernorm %h" eps
+  | Op.Reduce { op; axis } ->
+      Fmt.str "reduce %s %d" (Te.reduce_op_to_string op) axis
+  | Op.Reshape s -> "reshape " ^ render_shape s
+  | Op.Transpose p -> "transpose " ^ render_ints p
+  | Op.Slice { starts; sizes } ->
+      Fmt.str "slice %s %s" (render_ints starts) (render_ints sizes)
+  | Op.Strided_slice { axis; start; stride; size } ->
+      Fmt.str "strided_slice %d %d %d %d" axis start stride size
+  | Op.Concat { axis } -> Fmt.str "concat %d" axis
+
+let parse_unop = function
+  | "neg" -> Ok Expr.Neg | "exp" -> Ok Expr.Exp | "log" -> Ok Expr.Log
+  | "sqrt" -> Ok Expr.Sqrt | "rsqrt" -> Ok Expr.Rsqrt
+  | "tanh" -> Ok Expr.Tanh | "sigmoid" -> Ok Expr.Sigmoid
+  | "relu" -> Ok Expr.Relu | "erf" -> Ok Expr.Erf | "abs" -> Ok Expr.Abs
+  | "recip" -> Ok Expr.Recip | "step" -> Ok Expr.Step
+  | s -> Error ("unknown unary op " ^ s)
+
+let parse_binop = function
+  | "+" -> Ok Expr.Add | "-" -> Ok Expr.Sub | "*" -> Ok Expr.Mul
+  | "/" -> Ok Expr.Div | "max" -> Ok Expr.Max | "min" -> Ok Expr.Min
+  | "pow" -> Ok Expr.Pow
+  | s -> Error ("unknown binary op " ^ s)
+
+let parse_reduce_op = function
+  | "sum" -> Ok Te.Sum | "max" -> Ok Te.Max | "min" -> Ok Te.Min
+  | "prod" -> Ok Te.Prod
+  | s -> Error ("unknown reduce op " ^ s)
+
+let ( let* ) = Result.bind
+
+let parse_attr_int ~(prefix : char) s =
+  if String.length s >= 2 && s.[0] = prefix then
+    try Ok (int_of_string (String.sub s 1 (String.length s - 1)))
+    with _ -> Error ("bad attribute " ^ s)
+  else Error (Fmt.str "expected %c<int>, got %s" prefix s)
+
+let parse_float s =
+  try Ok (float_of_string s) with _ -> Error ("bad float " ^ s)
+
+let parse_int s =
+  try Ok (int_of_string s) with _ -> Error ("bad int " ^ s)
+
+(* parse the op keyword and its attribute tokens; returns op and how many
+   tokens were consumed *)
+let parse_op (tokens : string list) : (Op.t * string list, string) result =
+  match tokens with
+  | [] -> Error "missing operator"
+  | kw :: rest -> (
+      match (kw, rest) with
+      | "matmul", rest -> Ok (Op.Matmul, rest)
+      | "matmul_nt", rest -> Ok (Op.Matmul_nt, rest)
+      | "batch_matmul", rest -> Ok (Op.Batch_matmul, rest)
+      | "batch_matmul_nt", rest -> Ok (Op.Batch_matmul_nt, rest)
+      | "gemv", rest -> Ok (Op.Gemv, rest)
+      | "conv2d", k :: s :: p :: g :: rest ->
+          let* kernel = parse_attr_int ~prefix:'k' k in
+          let* stride = parse_attr_int ~prefix:'s' s in
+          let* padding = parse_attr_int ~prefix:'p' p in
+          let* groups = parse_attr_int ~prefix:'g' g in
+          Ok (Op.Conv2d { kernel; stride; padding; groups }, rest)
+      | "dwconv2d", k :: s :: p :: rest ->
+          let* kernel = parse_attr_int ~prefix:'k' k in
+          let* stride = parse_attr_int ~prefix:'s' s in
+          let* padding = parse_attr_int ~prefix:'p' p in
+          Ok (Op.Depthwise_conv2d { kernel; stride; padding }, rest)
+      | ("maxpool" | "avgpool"), k :: s :: p :: rest ->
+          let* kernel = parse_attr_int ~prefix:'k' k in
+          let* stride = parse_attr_int ~prefix:'s' s in
+          let* padding = parse_attr_int ~prefix:'p' p in
+          let kind = if kw = "maxpool" then Op.Max_pool else Op.Avg_pool in
+          Ok (Op.Pool2d { kind; kernel; stride; padding }, rest)
+      | "global_avg_pool", rest -> Ok (Op.Global_avg_pool, rest)
+      | "unary", u :: rest ->
+          let* u = parse_unop u in
+          Ok (Op.Unary u, rest)
+      | "affine", a :: b :: rest ->
+          let* scale = parse_float a in
+          let* shift = parse_float b in
+          Ok (Op.Affine { scale; shift }, rest)
+      | "binary", b :: rest ->
+          let* b = parse_binop b in
+          Ok (Op.Binary b, rest)
+      | "rowwise", b :: rest ->
+          let* b = parse_binop b in
+          Ok (Op.Rowwise b, rest)
+      | "bias_add", rest -> Ok (Op.Bias_add, rest)
+      | "mulconst", c :: rest ->
+          let* c = parse_float c in
+          Ok (Op.Scale c, rest)
+      | "scale_channels", rest -> Ok (Op.Scale_channels, rest)
+      | "bias_channels", rest -> Ok (Op.Bias_channels, rest)
+      | "softmax", rest -> Ok (Op.Softmax, rest)
+      | "layernorm", e :: rest ->
+          let* eps = parse_float e in
+          Ok (Op.Layernorm { eps }, rest)
+      | "reduce", op :: axis :: rest ->
+          let* op = parse_reduce_op op in
+          let* axis = parse_int axis in
+          Ok (Op.Reduce { op; axis }, rest)
+      | "reshape", s :: rest ->
+          let* s = parse_shape s in
+          Ok (Op.Reshape s, rest)
+      | "transpose", p :: rest ->
+          let* p = parse_ints p in
+          Ok (Op.Transpose p, rest)
+      | "slice", st :: sz :: rest ->
+          let* starts = parse_ints st in
+          let* sizes = parse_ints sz in
+          Ok (Op.Slice { starts; sizes }, rest)
+      | "strided_slice", a :: b :: c :: d :: rest ->
+          let* axis = parse_int a in
+          let* start = parse_int b in
+          let* stride = parse_int c in
+          let* size = parse_int d in
+          Ok (Op.Strided_slice { axis; start; stride; size }, rest)
+      | "concat", a :: rest ->
+          let* axis = parse_int a in
+          Ok (Op.Concat { axis }, rest)
+      | kw, _ -> Error ("unknown or malformed operator " ^ kw))
+
+(** Render a graph to the textual format. *)
+let to_string (g : Dgraph.t) : string =
+  let buf = Buffer.create 1024 in
+  Buffer.add_string buf "# souffle graph v1\n";
+  List.iter
+    (fun (name, (i : Program.tensor_info)) ->
+      Buffer.add_string buf
+        (Fmt.str "input %s %s %s\n" name (render_dtype i.Program.dtype)
+           (render_shape i.Program.shape)))
+    g.Dgraph.inputs;
+  List.iter
+    (fun (n : Dgraph.node) ->
+      Buffer.add_string buf
+        (Fmt.str "node %s = %s %s\n" n.Dgraph.name (render_op n.Dgraph.op)
+           (String.concat " " n.Dgraph.inputs)))
+    g.Dgraph.nodes;
+  List.iter
+    (fun o -> Buffer.add_string buf (Fmt.str "output %s\n" o))
+    g.Dgraph.outputs;
+  Buffer.contents buf
+
+(** Parse the textual format back into a graph; validates shapes. *)
+let of_string (s : string) : (Dgraph.t, string) result =
+  let lines = String.split_on_char '\n' s in
+  let inputs = ref [] and nodes = ref [] and outputs = ref [] in
+  let exception Bad of string in
+  try
+    List.iteri
+      (fun lineno line ->
+        let fail m = raise (Bad (Fmt.str "line %d: %s" (lineno + 1) m)) in
+        let line = String.trim line in
+        if line = "" || line.[0] = '#' then ()
+        else begin
+          let tokens =
+            String.split_on_char ' ' line |> List.filter (fun t -> t <> "")
+          in
+          match tokens with
+          | "input" :: name :: dt :: shape :: [] -> (
+              match (parse_dtype dt, parse_shape shape) with
+              | Ok dtype, Ok shape ->
+                  inputs := (name, { Program.shape; dtype }) :: !inputs
+              | Error m, _ | _, Error m -> fail m)
+          | "node" :: name :: "=" :: rest -> (
+              match parse_op rest with
+              | Error m -> fail m
+              | Ok (op, ins) ->
+                  if ins = [] then fail "node needs at least one input";
+                  nodes := { Dgraph.name; op; inputs = ins } :: !nodes)
+          | [ "output"; name ] -> outputs := name :: !outputs
+          | _ -> fail ("cannot parse: " ^ line)
+        end)
+      lines;
+    let g =
+      {
+        Dgraph.inputs = List.rev !inputs;
+        nodes = List.rev !nodes;
+        outputs = List.rev !outputs;
+      }
+    in
+    match Dgraph.validate g with
+    | Ok () -> Ok g
+    | Error m -> Error ("invalid graph: " ^ m)
+  with Bad m -> Error m
+
+let to_file (g : Dgraph.t) path =
+  let oc = open_out path in
+  output_string oc (to_string g);
+  close_out oc
+
+let of_file path : (Dgraph.t, string) result =
+  let ic = open_in path in
+  let n = in_channel_length ic in
+  let s = really_input_string ic n in
+  close_in ic;
+  of_string s

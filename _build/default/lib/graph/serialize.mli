@@ -1,0 +1,18 @@
+(** Textual serialization of model graphs — the stand-in for the paper's
+    TensorFlow/ONNX front-end.
+
+    {v
+    # comment
+    input x f32 1x6
+    node h = matmul x w1
+    node c = conv2d k3 s1 p1 g1 x w
+    output h
+    v} *)
+
+val to_string : Dgraph.t -> string
+
+val of_string : string -> (Dgraph.t, string) result
+(** Parses and validates; errors name the offending line. *)
+
+val to_file : Dgraph.t -> string -> unit
+val of_file : string -> (Dgraph.t, string) result

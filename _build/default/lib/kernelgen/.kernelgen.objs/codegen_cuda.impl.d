@@ -1,0 +1,1 @@
+lib/kernelgen/codegen_cuda.ml: Fmt Kernel_ir List

@@ -1,0 +1,1 @@
+lib/kernelgen/emit.ml: Analysis Device Dtype Expr Fmt Hashtbl Intensity Kernel_ir List Option Partition Program Reuse_cache Sched Shape Te

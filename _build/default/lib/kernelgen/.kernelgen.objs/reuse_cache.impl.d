@@ -1,0 +1,1 @@
+lib/kernelgen/reuse_cache.ml: List

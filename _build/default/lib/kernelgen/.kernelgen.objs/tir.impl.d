@@ -1,0 +1,1 @@
+lib/kernelgen/tir.ml: Array Buffer Dtype Expr Fmt Index List Program Sched String Te

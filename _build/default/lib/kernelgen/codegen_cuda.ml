@@ -1,0 +1,50 @@
+(** CUDA-flavoured source rendering of a compiled program, in the style of
+    Fig. 2 step 5 ([Fn_TE_Subprogram_0] with [ldg2s]/[wmma]/[sts2g] and
+    [grid.sync()]).  This is documentation output: the simulator executes
+    the kernel IR directly, but examples and the CLI print this text so a
+    reader can see what Souffle generated. *)
+
+let render_instr ppf = function
+  | Kernel_ir.Ldg { bytes } ->
+      Fmt.pf ppf "ldg2s(smem, gmem, %d);           // global -> shared" bytes
+  | Kernel_ir.Ldl2 { bytes } ->
+      Fmt.pf ppf "ldg2s(smem, gmem_l2, %d);        // L2-resident load" bytes
+  | Kernel_ir.Lds { bytes } ->
+      Fmt.pf ppf "lds(reg, smem, %d);              // shared -> register" bytes
+  | Kernel_ir.Stg { bytes } ->
+      Fmt.pf ppf "sts2g(gmem, smem, %d);           // shared -> global" bytes
+  | Kernel_ir.Mma { flops } ->
+      Fmt.pf ppf "wmma_16x16(acc, a_frag, b_frag); // %d flops (HMMA.16816.F16)" flops
+  | Kernel_ir.Fma { flops } ->
+      Fmt.pf ppf "ffma(acc, a, b);                 // %d flops (FFMA)" flops
+  | Kernel_ir.Sfu { ops } ->
+      Fmt.pf ppf "sfu(dst, src);                   // %d ops (MUFU)" ops
+  | Kernel_ir.Atomic_add { bytes } ->
+      Fmt.pf ppf "atomicAdd(partial, acc);         // %d bytes of partials" bytes
+  | Kernel_ir.Grid_sync -> Fmt.pf ppf "grid.sync();"
+  | Kernel_ir.Block_sync -> Fmt.pf ppf "__syncthreads();"
+
+let render_stage ppf (i : int) (s : Kernel_ir.stage) =
+  Fmt.pf ppf "  // stage %d: %s%s@," i s.Kernel_ir.label
+    (if s.Kernel_ir.pipelined then
+       "  (LDGSTS.E.BYPASS.128 overlapped with HMMA)"
+     else "");
+  Fmt.pf ppf "  if (blockIdx.x < launch_bound_%d) {@," i;
+  List.iter (fun ins -> Fmt.pf ppf "    %a@," render_instr ins) s.Kernel_ir.instrs;
+  Fmt.pf ppf "  }@,"
+
+let render_kernel ppf (k : Kernel_ir.kernel) =
+  Fmt.pf ppf "@[<v>__global__ void %s(...) {  // <<<%d, %d>>> smem=%dB regs=%d@,"
+    k.Kernel_ir.kname k.Kernel_ir.grid_blocks k.Kernel_ir.threads_per_block
+    k.Kernel_ir.smem_per_block k.Kernel_ir.regs_per_thread;
+  if k.Kernel_ir.library_call then
+    Fmt.pf ppf "  // opaque vendor library call (cuBLAS-style)@,";
+  List.iteri (fun i s -> render_stage ppf i s) k.Kernel_ir.stages;
+  Fmt.pf ppf "}@,@]"
+
+let render_prog ppf (p : Kernel_ir.prog) =
+  Fmt.pf ppf "@[<v>// program %s: %d kernel(s)@,@," p.Kernel_ir.pname
+    (List.length p.Kernel_ir.kernels);
+  List.iter (fun k -> Fmt.pf ppf "%a@," render_kernel k) p.Kernel_ir.kernels
+
+let to_string (p : Kernel_ir.prog) = Fmt.str "%a" render_prog p

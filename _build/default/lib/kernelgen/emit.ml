@@ -1,0 +1,387 @@
+(** Kernel emission: turn a partitioned, scheduled TE program into the
+    simulator's {!Kernel_ir.prog}.
+
+    This layer realizes §6.3–§6.5: memory-intensive TEs are attached to the
+    stages of their compute-intensive producers (schedule propagation),
+    stages of one cooperative kernel are separated by [grid.sync], fused
+    reductions produce block-local partials plus [atomicAdd], the §6.5 LRU
+    shared-memory cache decides which intermediate tensors ever touch
+    global memory, and pipelining overlaps loads with tensor-core math.
+
+    Baselines reuse this emitter with different groupings and options, so
+    every system is costed by the same model. *)
+
+module SMap = Program.SMap
+module SSet = Program.SSet
+
+type group = {
+  g_tes : string list;       (** member TE names, program order *)
+  cooperative : bool;        (** single kernel with grid.sync allowed *)
+  library_call : bool;       (** opaque vendor kernel (cuBLAS-style) *)
+  eff_override : float option;
+}
+
+let group_of_subprogram (sp : Partition.subprogram) : group =
+  {
+    g_tes = Partition.te_names sp;
+    cooperative = sp.Partition.cooperative;
+    library_call = false;
+    eff_override = None;
+  }
+
+type options = {
+  attach_epilogue : bool;   (** one-relies-on-one TEs join producer stages *)
+  attach_prologue : bool;   (** ... or the next anchor stage *)
+  reuse_cache : bool;       (** §6.5 LRU shared-memory tensor cache *)
+  pipeline : bool;          (** §6.5 cross-TE load/compute overlap *)
+  mem_eff : float;          (** achieved DRAM bandwidth fraction *)
+  movement_mem_eff : float; (** ... for strided layout stages *)
+  cache_capacity_frac : float;
+      (** fraction of aggregate shared memory usable as tensor cache *)
+  concurrent_stages : bool;
+      (** model a group of independent TEs as co-scheduled rTasks filling
+          the device together (Rammer) rather than as sequential stages *)
+}
+
+let default_options =
+  {
+    attach_epilogue = true;
+    attach_prologue = true;
+    reuse_cache = true;
+    pipeline = true;
+    mem_eff = 0.85;
+    movement_mem_eff = 0.45;
+    cache_capacity_frac = 0.5;
+    concurrent_stages = false;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+type stage_build = {
+  anchor : Te.t;
+  mutable smembers : Te.t list;  (* reverse order, includes anchor *)
+}
+
+(* Split a group's TEs into stages: every reduction anchors a stage;
+   one-relies-on-one TEs attach to their producer's stage (epilogue) or are
+   held for the next anchor (prologue). *)
+let build_stages (opts : options) (tes : Te.t list) : Te.t list list =
+  let stages : stage_build list ref = ref [] in
+  let stage_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+  let pending = ref [] in
+  let pending_names = ref SSet.empty in
+  let new_stage (anchor : Te.t) =
+    let absorbed = List.rev !pending in
+    pending := [];
+    pending_names := SSet.empty;
+    let sb = { anchor; smembers = [ anchor ] @ List.rev absorbed } in
+    stages := !stages @ [ sb ];
+    let idx = List.length !stages - 1 in
+    List.iter
+      (fun (te : Te.t) -> Hashtbl.replace stage_of te.Te.name idx)
+      (anchor :: absorbed);
+    idx
+  in
+  List.iter
+    (fun (te : Te.t) ->
+      if Te.has_reduction te then ignore (new_stage te)
+      else begin
+        let producer_stages =
+          List.filter_map
+            (fun i -> Hashtbl.find_opt stage_of i)
+            (Te.inputs te)
+        in
+        let producer_pending =
+          List.exists (fun i -> SSet.mem i !pending_names) (Te.inputs te)
+        in
+        if producer_pending then begin
+          pending := te :: !pending;
+          pending_names := SSet.add te.Te.name !pending_names
+        end
+        else if opts.attach_epilogue && producer_stages <> [] then begin
+          let idx = List.fold_left max 0 producer_stages in
+          let sb = List.nth !stages idx in
+          (* compute_at only works when the consumer's iteration space is
+             no larger than the producer's: a broadcast consumer (e.g. the
+             squeeze-excite channel scale) cannot inline *)
+          if Te.out_numel te <= Te.out_numel sb.anchor then begin
+            sb.smembers <- te :: sb.smembers;
+            Hashtbl.replace stage_of te.Te.name idx
+          end
+          else if opts.attach_prologue then begin
+            pending := te :: !pending;
+            pending_names := SSet.add te.Te.name !pending_names
+          end
+          else ignore (new_stage te)
+        end
+        else if opts.attach_prologue then begin
+          pending := te :: !pending;
+          pending_names := SSet.add te.Te.name !pending_names
+        end
+        else ignore (new_stage te)
+      end)
+    tes;
+  (* leftover prologue TEs with no anchor behind them form a final stage *)
+  (if !pending <> [] then
+     match List.rev !pending with
+     | first :: rest ->
+         pending := List.rev rest;
+         pending_names :=
+           SSet.of_list (List.map (fun (te : Te.t) -> te.Te.name) rest);
+         ignore (new_stage first)
+     | [] -> ());
+  List.map (fun sb -> List.rev sb.smembers) !stages
+
+(* ------------------------------------------------------------------ *)
+
+let tensor_bytes (p : Program.t) name =
+  let info = Program.tensor_info_exn p name in
+  Shape.numel info.Program.shape * Dtype.bytes info.Program.dtype
+
+let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
+    (scheds : (string, Sched.t) Hashtbl.t) (opts : options)
+    (groups : group list) : Kernel_ir.prog =
+  let outputs = SSet.of_list p.Program.outputs in
+  let consumers = Program.consumers p in
+  (* which kernel (group index) produces each tensor *)
+  let producer_group : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  List.iteri
+    (fun gi g -> List.iter (fun n -> Hashtbl.replace producer_group n gi) g.g_tes)
+    groups;
+  let sched name =
+    match Hashtbl.find_opt scheds name with
+    | Some s -> s
+    | None -> Sched.default_elementwise (Program.find_te_exn p name)
+  in
+  let cache =
+    Reuse_cache.create
+      ~capacity:
+        (int_of_float
+           (opts.cache_capacity_frac *. float_of_int (Device.total_smem dev)))
+  in
+  let kernels =
+    List.mapi
+      (fun gi (g : group) ->
+        let tes = List.map (Program.find_te_exn p) g.g_tes in
+        let stages_tes =
+          if opts.concurrent_stages then [ tes ] else build_stages opts tes
+        in
+        let member_set = SSet.of_list g.g_tes in
+        (* per-kernel state *)
+        Reuse_cache.clear cache;
+        let touched = ref SSet.empty in
+        let stage_of : (string, int) Hashtbl.t = Hashtbl.create 16 in
+        List.iteri
+          (fun si tl ->
+            List.iter
+              (fun (te : Te.t) -> Hashtbl.replace stage_of te.Te.name si)
+              tl)
+          stages_tes;
+        let consumed_outside (te : Te.t) =
+          SSet.mem te.Te.name outputs
+          || List.exists
+               (fun (c : Te.t) -> not (SSet.mem c.Te.name member_set))
+               (Option.value ~default:[]
+                  (SMap.find_opt te.Te.name consumers))
+        in
+        let consumed_in_later_stage (te : Te.t) si =
+          List.exists
+            (fun (c : Te.t) ->
+              match Hashtbl.find_opt stage_of c.Te.name with
+              | Some sj -> sj > si
+              | None -> false)
+            (Option.value ~default:[] (SMap.find_opt te.Te.name consumers))
+        in
+        let kstages =
+          List.mapi
+            (fun si stage_members ->
+              let anchor = List.hd stage_members in
+              let anchor =
+                (* prefer a reduction anchor if present *)
+                match List.find_opt Te.has_reduction stage_members with
+                | Some r -> r
+                | None -> anchor
+              in
+              let asched = sched anchor.Te.name in
+              let instrs = ref [] in
+              let push i = instrs := i :: !instrs in
+              (* dependent stages in a cooperative kernel synchronize *)
+              if si > 0 && g.cooperative then begin
+                let reads_earlier =
+                  List.exists
+                    (fun (te : Te.t) ->
+                      List.exists
+                        (fun i ->
+                          match Hashtbl.find_opt stage_of i with
+                          | Some sj -> sj < si
+                          | None -> false)
+                        (Te.inputs te))
+                    stage_members
+                in
+                if reads_earlier then push Kernel_ir.Grid_sync
+              end;
+              List.iter
+                (fun (te : Te.t) ->
+                  let my_stage = Hashtbl.find stage_of te.Te.name in
+                  (* ---- reads ---- *)
+                  List.iter
+                    (fun input ->
+                      let bytes = tensor_bytes p input in
+                      let same_stage =
+                        match Hashtbl.find_opt stage_of input with
+                        | Some sj -> sj = my_stage
+                        | None -> false
+                      in
+                      if same_stage then
+                        (* producer in the same fused stage: register/smem *)
+                        push (Kernel_ir.Lds { bytes })
+                      else begin
+                        let in_kernel = SSet.mem input member_set in
+                        if in_kernel then begin
+                          if
+                            opts.reuse_cache
+                            && Reuse_cache.touch cache input = Reuse_cache.Hit
+                          then push (Kernel_ir.Lds { bytes })
+                          else if bytes <= dev.Device.l2_bytes then
+                            push (Kernel_ir.Ldl2 { bytes })
+                          else push (Kernel_ir.Ldg { bytes })
+                        end
+                        else if SSet.mem input !touched then begin
+                          if bytes <= dev.Device.l2_bytes then
+                            push (Kernel_ir.Ldl2 { bytes })
+                          else push (Kernel_ir.Ldg { bytes })
+                        end
+                        else begin
+                          touched := SSet.add input !touched;
+                          push (Kernel_ir.Ldg { bytes })
+                        end
+                      end)
+                    (Te.inputs te);
+                  (* tiling re-reads of the anchor's inputs hit L2 *)
+                  if te.Te.name = anchor.Te.name && Te.has_reduction te then begin
+                    let unique =
+                      List.fold_left
+                        (fun acc i -> acc + tensor_bytes p i)
+                        0 (Te.inputs te)
+                    in
+                    let extra = Sched.tiled_load_bytes p te asched - unique in
+                    if extra > 0 then push (Kernel_ir.Ldl2 { bytes = extra })
+                  end;
+                  (* ---- compute ---- *)
+                  let evals = Te.out_numel te * max 1 (Te.reduce_domain te) in
+                  let sfu = Expr.sfu_count (Te.body_expr te) * evals in
+                  let total = Te.arith_ops te in
+                  let mainline = max 0 (total - (4 * sfu)) in
+                  if (sched te.Te.name).Sched.use_tensor_core then
+                    push (Kernel_ir.Mma { flops = mainline })
+                  else if mainline > 0 then
+                    push (Kernel_ir.Fma { flops = mainline });
+                  if sfu > 0 then push (Kernel_ir.Sfu { ops = sfu });
+                  (* fused memory-side reductions reduce across blocks with
+                     atomics (two-phase reduction, §6.3) *)
+                  let te_sched = sched te.Te.name in
+                  let is_fused_reduction =
+                    Te.has_reduction te
+                    && ((g.cooperative
+                         && (Analysis.info an te.Te.name).Analysis.kind
+                            = Intensity.Memory_intensive
+                         && List.exists
+                              (fun i -> SSet.mem i member_set)
+                              (Te.inputs te))
+                        || te_sched.Sched.rsplit > 1)
+                  in
+                  (* ---- writes ---- *)
+                  let out_bytes = Te.out_numel te * Dtype.bytes te.Te.dtype in
+                  let outside = consumed_outside te in
+                  let later = consumed_in_later_stage te my_stage in
+                  if is_fused_reduction then begin
+                    push
+                      (Kernel_ir.Atomic_add
+                         { bytes = out_bytes * max 1 te_sched.Sched.rsplit });
+                    if opts.reuse_cache && later then
+                      ignore
+                        (Reuse_cache.insert cache ~tensor:te.Te.name
+                           ~bytes:out_bytes ~dirty:false)
+                  end
+                  else if outside then begin
+                    push (Kernel_ir.Stg { bytes = out_bytes });
+                    if opts.reuse_cache && later then
+                      ignore
+                        (Reuse_cache.insert cache ~tensor:te.Te.name
+                           ~bytes:out_bytes ~dirty:false)
+                  end
+                  else if later then begin
+                    if opts.reuse_cache then begin
+                      match
+                        Reuse_cache.insert cache ~tensor:te.Te.name
+                          ~bytes:out_bytes ~dirty:true
+                      with
+                      | Reuse_cache.Inserted | Reuse_cache.Hit
+                      | Reuse_cache.Miss -> ()
+                      | Reuse_cache.Rejected ->
+                          push (Kernel_ir.Stg { bytes = out_bytes })
+                      | Reuse_cache.Spilled victims ->
+                          (* write back dirty victims, with a barrier *)
+                          List.iter
+                            (fun v ->
+                              push (Kernel_ir.Stg { bytes = tensor_bytes p v }))
+                            victims;
+                          push Kernel_ir.Block_sync
+                    end
+                    else push (Kernel_ir.Stg { bytes = out_bytes })
+                  end
+                  (* else: consumed only within this stage — never
+                     materialized at all *))
+                stage_members;
+              let is_movement =
+                (not (Te.has_reduction anchor))
+                && Expr.is_data_movement (Te.body_expr anchor)
+              in
+              let compute_eff =
+                match g.eff_override with
+                | Some e -> e
+                | None -> asched.Sched.compute_eff
+              in
+              let has_mma =
+                List.exists
+                  (function Kernel_ir.Mma _ -> true | _ -> false)
+                  !instrs
+              in
+              Kernel_ir.stage
+                ~pipelined:(opts.pipeline && has_mma)
+                ~compute_eff
+                ~mem_eff:
+                  (if is_movement then opts.movement_mem_eff else opts.mem_eff)
+                ~sgrid:
+                  (if opts.concurrent_stages then
+                     List.fold_left
+                       (fun acc (te : Te.t) ->
+                         acc + Sched.grid_blocks te (sched te.Te.name))
+                       0 stage_members
+                   else Sched.grid_blocks anchor asched)
+                ~label:anchor.Te.name (List.rev !instrs))
+            stages_tes
+        in
+        (* launch configuration: the widest stage wins *)
+        let grid, threads, smem, regs =
+          List.fold_left
+            (fun (g', t', s', r') tl ->
+              let anchor =
+                match List.find_opt Te.has_reduction tl with
+                | Some r -> r
+                | None -> List.hd tl
+              in
+              let s = sched anchor.Te.name in
+              ( max g' (Sched.grid_blocks anchor s),
+                max t' s.Sched.threads_per_block,
+                max s' (Sched.smem_bytes p anchor s),
+                max r' (Sched.regs_per_thread s) ))
+            (1, 32, 0, 16) stages_tes
+        in
+        Kernel_ir.kernel
+          ~name:(Fmt.str "k%d_%s" gi (List.hd g.g_tes))
+          ~grid_blocks:grid ~threads_per_block:threads ~smem_per_block:smem
+          ~regs_per_thread:regs ~library_call:g.library_call kstages)
+      groups
+  in
+  { Kernel_ir.pname = "prog"; kernels }

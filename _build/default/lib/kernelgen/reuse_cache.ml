@@ -1,0 +1,87 @@
+(** Software-managed shared-memory tensor cache with LRU replacement
+    (§6.5, "Tensor reuse optimization").
+
+    Souffle scans the instructions of a fused subprogram linearly, keeping
+    tensor buffers in shared memory until it is exhausted, then spills the
+    least-recently-used buffer to global memory (adding a memory barrier).
+    This module is the replacement policy; {!Emit} drives it and translates
+    hits/misses/spills into traffic. *)
+
+type entry = { tensor : string; bytes : int; mutable dirty : bool }
+
+type t = {
+  capacity : int;
+  mutable used : int;
+  mutable lru : entry list;  (** most recent first *)
+}
+
+type event =
+  | Hit                       (** resident: a shared-memory read *)
+  | Miss                      (** not resident *)
+  | Inserted
+  | Rejected                  (** larger than the whole cache *)
+  | Spilled of string list    (** these victims were written back *)
+
+let create ~capacity = { capacity; used = 0; lru = [] }
+
+let mem t tensor = List.exists (fun e -> e.tensor = tensor) t.lru
+
+let find t tensor = List.find_opt (fun e -> e.tensor = tensor) t.lru
+
+let used t = t.used
+let capacity t = t.capacity
+let resident t = List.map (fun e -> e.tensor) t.lru
+
+(* Move an entry to the front. *)
+let promote t tensor =
+  match List.partition (fun e -> e.tensor = tensor) t.lru with
+  | [ e ], rest -> t.lru <- e :: rest
+  | _ -> ()
+
+(** Record a read of [tensor]; returns whether it was resident. *)
+let touch t tensor : event =
+  if mem t tensor then begin
+    promote t tensor;
+    Hit
+  end
+  else Miss
+
+(* Evict LRU entries until [need] bytes fit; returns dirty victims. *)
+let evict_for t need : string list =
+  let rec go spilled =
+    if t.used + need <= t.capacity then List.rev spilled
+    else begin
+      match List.rev t.lru with
+      | [] -> List.rev spilled
+      | victim :: _ ->
+          t.lru <- List.filter (fun e -> e.tensor <> victim.tensor) t.lru;
+          t.used <- t.used - victim.bytes;
+          go (if victim.dirty then victim.tensor :: spilled else spilled)
+    end
+  in
+  go []
+
+(** Insert a tensor buffer just produced on-chip.  [dirty] means it holds
+    data not yet in global memory (a spill must write it back). *)
+let insert t ~tensor ~bytes ~dirty : event =
+  if bytes > t.capacity then Rejected
+  else if mem t tensor then begin
+    promote t tensor;
+    (match find t tensor with Some e -> e.dirty <- e.dirty || dirty | None -> ());
+    Hit
+  end
+  else begin
+    let victims = evict_for t bytes in
+    t.lru <- { tensor; bytes; dirty } :: t.lru;
+    t.used <- t.used + bytes;
+    if victims = [] then Inserted else Spilled victims
+  end
+
+(** Mark a tensor clean (it was just stored to global anyway). *)
+let clean t tensor =
+  match find t tensor with Some e -> e.dirty <- false | None -> ()
+
+(** Drop everything (kernel boundary: shared memory does not persist). *)
+let clear t =
+  t.lru <- [];
+  t.used <- 0

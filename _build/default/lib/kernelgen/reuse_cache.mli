@@ -1,0 +1,39 @@
+(** Software-managed shared-memory tensor cache with LRU replacement
+    (§6.5, "Tensor reuse optimization").
+
+    Souffle scans a fused subprogram's instructions linearly, keeping tensor
+    buffers in shared memory until it is exhausted, then spills the
+    least-recently-used buffer to global memory.  {!Emit} drives this module
+    and turns hits/misses/spills into memory traffic. *)
+
+type t
+
+type event =
+  | Hit                    (** resident: a shared-memory read *)
+  | Miss                   (** not resident *)
+  | Inserted
+  | Rejected               (** larger than the whole cache *)
+  | Spilled of string list (** these dirty victims were written back *)
+
+val create : capacity:int -> t
+(** [capacity] in bytes. *)
+
+val mem : t -> string -> bool
+val used : t -> int
+val capacity : t -> int
+
+val resident : t -> string list
+(** Most-recently-used first. *)
+
+val touch : t -> string -> event
+(** Record a read; [Hit] refreshes recency. *)
+
+val insert : t -> tensor:string -> bytes:int -> dirty:bool -> event
+(** Insert a buffer just produced on-chip; [dirty] means global memory does
+    not hold the data yet, so eviction must write it back. *)
+
+val clean : t -> string -> unit
+(** Mark a tensor as also stored in global memory. *)
+
+val clear : t -> unit
+(** Kernel boundary: shared memory does not persist. *)

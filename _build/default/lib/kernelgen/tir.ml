@@ -1,0 +1,266 @@
+(** TensorIR-flavoured loop nests (Fig. 2 step 5).
+
+    [of_te] applies a schedule to a tensor expression and produces the
+    explicit loop structure a GPU code generator would emit: tile loops
+    bound to [blockIdx]/[threadIdx], serial reduction loops split by the
+    schedule's [rtile], shared-memory staging ([ldg2s]) when the schedule
+    caches reads, accumulator initialization/update for reductions, and the
+    final global store.  [render_cuda] prints it as compilable-looking CUDA.
+
+    The simulator executes the coarser {!Kernel_ir}; this layer exists so
+    the generated-code story of the paper is inspectable per TE, and it is
+    what `souffle compile --cuda` appends for the curious reader. *)
+
+type loop_kind =
+  | Serial
+  | Block_x of int   (** bound to blockIdx; payload = number of blocks *)
+  | Thread_x of int  (** bound to threadIdx; payload = threads *)
+  | Unrolled
+
+type stmt =
+  | For of { var : string; extent : int; kind : loop_kind; body : stmt list }
+  | Alloc_shared of { buf : string; bytes : int }
+  | Ldg2s of { buf : string; tensor : string; elems : int }
+  | Acc_init of { acc : string; init : float }
+  | Acc_update of { acc : string; op : Te.reduce_op; rhs : string }
+  | Compute of { dst : string; rhs : string }
+  | Store_global of { tensor : string; idxs : string list; src : string }
+  | Sync_threads
+
+type fn = {
+  fname : string;
+  params : string list;  (** tensor parameters *)
+  body : stmt list;
+}
+
+(* variable name of output dim i under tiling: the reconstructed index *)
+let ov_var i = Fmt.str "i%d" i
+let rv_var i = Fmt.str "r%d" i
+
+(* Render an index expression as a C expression over the loop variables. *)
+let rec render_index (i : Index.t) : string =
+  match i with
+  | Index.Ov k -> ov_var k
+  | Index.Rv k -> rv_var k
+  | Index.Const c -> string_of_int c
+  | Index.Add (a, Index.Const c) when c < 0 ->
+      Fmt.str "(%s - %d)" (render_index a) (-c)
+  | Index.Add (a, b) -> Fmt.str "(%s + %s)" (render_index a) (render_index b)
+  | Index.Mul (a, k) -> Fmt.str "(%s * %d)" (render_index a) k
+  | Index.Div (a, k) -> Fmt.str "(%s / %d)" (render_index a) k
+  | Index.Mod (a, k) -> Fmt.str "(%s %% %d)" (render_index a) k
+
+let render_access (tensor : string) (idxs : Index.t list) : string =
+  Fmt.str "%s[%s]" tensor (String.concat ", " (List.map render_index idxs))
+
+(* Render a scalar expression as a C expression. *)
+let rec render_expr (e : Expr.t) : string =
+  match e with
+  | Expr.Const f -> Fmt.str "%.9gf" f
+  | Expr.Read (t, idxs) -> render_access t idxs
+  | Expr.IdxVal i -> Fmt.str "(float)%s" (render_index i)
+  | Expr.Unop (u, a) -> (
+      let s = render_expr a in
+      match u with
+      | Expr.Neg -> Fmt.str "(-%s)" s
+      | Expr.Exp -> Fmt.str "__expf(%s)" s
+      | Expr.Log -> Fmt.str "__logf(%s)" s
+      | Expr.Sqrt -> Fmt.str "sqrtf(%s)" s
+      | Expr.Rsqrt -> Fmt.str "rsqrtf(%s)" s
+      | Expr.Tanh -> Fmt.str "tanhf(%s)" s
+      | Expr.Sigmoid -> Fmt.str "(1.f / (1.f + __expf(-%s)))" s
+      | Expr.Relu -> Fmt.str "fmaxf(0.f, %s)" s
+      | Expr.Erf -> Fmt.str "erff(%s)" s
+      | Expr.Abs -> Fmt.str "fabsf(%s)" s
+      | Expr.Recip -> Fmt.str "(1.f / %s)" s
+      | Expr.Step -> Fmt.str "(%s > 0.f ? 1.f : 0.f)" s)
+  | Expr.Binop (b, x, y) -> (
+      let sx = render_expr x and sy = render_expr y in
+      match b with
+      | Expr.Add -> Fmt.str "(%s + %s)" sx sy
+      | Expr.Sub -> Fmt.str "(%s - %s)" sx sy
+      | Expr.Mul -> Fmt.str "(%s * %s)" sx sy
+      | Expr.Div -> Fmt.str "(%s / %s)" sx sy
+      | Expr.Max -> Fmt.str "fmaxf(%s, %s)" sx sy
+      | Expr.Min -> Fmt.str "fminf(%s, %s)" sx sy
+      | Expr.Pow -> Fmt.str "powf(%s, %s)" sx sy)
+  | Expr.Select (c, a, b) ->
+      Fmt.str "(%s ? %s : %s)" (render_cond c) (render_expr a) (render_expr b)
+
+and render_cond (c : Expr.cond) : string =
+  match c with
+  | Expr.Cmp (r, a, b) ->
+      let op =
+        match r with
+        | Expr.Lt -> "<" | Expr.Le -> "<=" | Expr.Eq -> "=="
+        | Expr.Ne -> "!=" | Expr.Ge -> ">=" | Expr.Gt -> ">"
+      in
+      Fmt.str "(%s %s %s)" (render_index a) op (render_index b)
+  | Expr.And (a, b) -> Fmt.str "(%s && %s)" (render_cond a) (render_cond b)
+  | Expr.Or (a, b) -> Fmt.str "(%s || %s)" (render_cond a) (render_cond b)
+  | Expr.Not a -> Fmt.str "(!%s)" (render_cond a)
+
+(** Apply a schedule to a TE: the loop nest of one kernel stage. *)
+let of_te (p : Program.t) (te : Te.t) (s : Sched.t) : fn =
+  let shape = te.Te.out_shape in
+  let rank = Array.length shape in
+  let acc = "acc" in
+  (* innermost computation *)
+  let out_idxs = List.init rank ov_var in
+  let core =
+    match te.Te.body with
+    | Te.Compute e ->
+        [
+          Compute { dst = "val"; rhs = render_expr e };
+          Store_global { tensor = te.Te.name; idxs = out_idxs; src = "val" };
+        ]
+    | Te.Reduce { op; axes; expr } ->
+        let raxes = axes in
+        let update =
+          [ Acc_update { acc; op; rhs = render_expr expr } ]
+        in
+        (* serial reduction loops, innermost split by rtile *)
+        let rec red_loops i body =
+          if i < 0 then body
+          else begin
+            let extent = raxes.(i) in
+            let rtile =
+              if i < Array.length s.Sched.rtile then max 1 s.Sched.rtile.(i)
+              else extent
+            in
+            let inner =
+              if rtile >= extent then
+                [ For { var = rv_var i; extent; kind = Serial; body } ]
+              else
+                [
+                  For
+                    {
+                      var = rv_var i ^ "o";
+                      extent = (extent + rtile - 1) / rtile;
+                      kind = Serial;
+                      body =
+                        [ For { var = rv_var i; extent = rtile; kind = Unrolled; body } ];
+                    };
+                ]
+            in
+            red_loops (i - 1) inner
+          end
+        in
+        [ Acc_init { acc; init = Te.reduce_identity op } ]
+        @ red_loops (Array.length raxes - 1) update
+        @ [ Store_global { tensor = te.Te.name; idxs = out_idxs; src = acc } ]
+  in
+  (* staging of cached inputs *)
+  let numel_of = Sched.numel_of_program p in
+  let staging =
+    if not s.Sched.cache_read_smem then []
+    else
+      List.concat_map
+        (fun (tensor, idxs) ->
+          let elems = Sched.input_tile_elems ?numel:(numel_of tensor) s idxs in
+          let buf = "s_" ^ tensor in
+          [
+            Alloc_shared
+              { buf; bytes = elems * Dtype.bytes te.Te.dtype };
+            Ldg2s { buf; tensor; elems };
+          ])
+        (Te.accesses te)
+      @ [ Sync_threads ]
+  in
+  (* output-space loops: per dim, a block loop over tiles and a serial/
+     thread loop within the tile *)
+  let rec out_loops i body =
+    if i < 0 then body
+    else begin
+      let extent = shape.(i) in
+      let tile = if i < Array.length s.Sched.tile then max 1 s.Sched.tile.(i) else 1 in
+      let blocks = (extent + tile - 1) / tile in
+      let inner_kind =
+        if i = rank - 1 then Thread_x (min tile s.Sched.threads_per_block)
+        else Serial
+      in
+      let nest =
+        if blocks = 1 then
+          [ For { var = ov_var i; extent; kind = inner_kind; body } ]
+        else
+          [
+            For
+              {
+                var = ov_var i ^ "o";
+                extent = blocks;
+                kind = Block_x blocks;
+                body = [ For { var = ov_var i; extent = tile; kind = inner_kind; body } ];
+              };
+          ]
+      in
+      out_loops (i - 1) nest
+    end
+  in
+  let body = staging @ out_loops (rank - 1) core in
+  {
+    fname = "te_" ^ te.Te.name;
+    params = Te.inputs te @ [ te.Te.name ];
+    body;
+  }
+
+(* ------------------------------------------------------------------ *)
+
+let rec loops (stmts : stmt list) : stmt list =
+  List.concat_map
+    (function
+      | For f as l -> l :: loops f.body
+      | _ -> [])
+    stmts
+
+(** Product of the extents of the loops covering the output space equals the
+    padded iteration-space size — used by the tests. *)
+let iteration_space (f : fn) : int =
+  List.fold_left
+    (fun acc -> function
+      | For { extent; kind = (Block_x _ | Thread_x _ | Serial); var; _ }
+        when String.length var > 0 && var.[0] = 'i' ->
+          acc * extent
+      | _ -> acc)
+    1 (loops f.body)
+
+let render_cuda (f : fn) : string =
+  let buf = Buffer.create 1024 in
+  let pr ind fmt =
+    Buffer.add_string buf (String.make (ind * 2) ' ');
+    Fmt.kstr (fun s -> Buffer.add_string buf (s ^ "\n")) fmt
+  in
+  pr 0 "__global__ void %s(%s) {" f.fname
+    (String.concat ", " (List.map (fun p -> "float* " ^ p) f.params));
+  let rec go ind = function
+    | For { var; extent; kind; body } ->
+        (match kind with
+        | Serial -> pr ind "for (int %s = 0; %s < %d; ++%s) {" var var extent var
+        | Unrolled ->
+            pr ind "#pragma unroll";
+            pr ind "for (int %s = 0; %s < %d; ++%s) {" var var extent var
+        | Block_x n ->
+            pr ind "{ int %s = blockIdx.x %% %d;  // %d blocks" var n n
+        | Thread_x n ->
+            pr ind "{ int %s = threadIdx.x %% %d;  // %d threads" var n n);
+        List.iter (go (ind + 1)) body;
+        pr ind "}"
+    | Alloc_shared { buf = b; bytes } ->
+        pr ind "__shared__ char %s[%d];" b bytes
+    | Ldg2s { buf = b; tensor; elems } ->
+        pr ind "ldg2s(%s, %s, %d);  // async copy, %d elements" b tensor elems
+          elems
+    | Acc_init { acc; init } -> pr ind "float %s = %h;" acc init
+    | Acc_update { acc; op; rhs } -> (
+        match op with
+        | Te.Sum -> pr ind "%s += %s;" acc rhs
+        | Te.Max -> pr ind "%s = fmaxf(%s, %s);" acc acc rhs
+        | Te.Min -> pr ind "%s = fminf(%s, %s);" acc acc rhs
+        | Te.Prod -> pr ind "%s *= %s;" acc rhs)
+    | Compute { dst; rhs } -> pr ind "float %s = %s;" dst rhs
+    | Store_global { tensor; idxs; src } ->
+        pr ind "%s[%s] = %s;" tensor (String.concat ", " idxs) src
+    | Sync_threads -> pr ind "__syncthreads();"
+  in
+  List.iter (go 1) f.body;
+  pr 0 "}";
+  Buffer.contents buf

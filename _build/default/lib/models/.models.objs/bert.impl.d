@@ -1,0 +1,1 @@
+lib/models/bert.ml: B Dgraph Dtype Expr Fmt Mcommon Op

@@ -1,0 +1,1 @@
+lib/models/efficientnet.ml: B Dgraph Expr Fmt List Op

@@ -1,0 +1,1 @@
+lib/models/lstm.ml: Array B Dgraph Expr Fmt Op

@@ -1,0 +1,1 @@
+lib/models/mcommon.ml: Array B Dgraph Expr Op

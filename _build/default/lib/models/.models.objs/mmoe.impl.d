@@ -1,0 +1,1 @@
+lib/models/mmoe.ml: B Dgraph Expr Fmt List Op

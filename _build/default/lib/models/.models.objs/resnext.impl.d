@@ -1,0 +1,1 @@
+lib/models/resnext.ml: B Dgraph Expr Fmt List Op

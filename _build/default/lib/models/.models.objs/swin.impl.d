@@ -1,0 +1,1 @@
+lib/models/swin.ml: B Dgraph Expr Fmt List Mcommon Op Te

@@ -1,0 +1,1 @@
+lib/models/zoo.ml: Bert Dgraph Efficientnet List Lstm Mmoe Resnext String Swin

@@ -1,0 +1,90 @@
+(** BERT (Devlin et al.) — base version with 12 layers, as served from
+    TensorRT's demo configuration (Table 2), SQuAD-style sequence length,
+    batch 1, FP16 end to end (§2.1 "using FP16 for inference").
+
+    The graph starts from the embedded token sequence: embedding lookup is
+    not a linear-algebra operator and stays outside the TE program, exactly
+    as Souffle treats TE-unsupported operators (§9). *)
+
+open Dgraph
+
+type config = {
+  layers : int;
+  seq : int;
+  hidden : int;
+  heads : int;
+  ffn : int;
+  dtype : Dtype.t;
+}
+
+let base = { layers = 12; seq = 384; hidden = 768; heads = 12; ffn = 3072; dtype = Dtype.F16 }
+
+(** Scaled-down configuration for interpreter-based tests. *)
+let tiny = { layers = 2; seq = 8; hidden = 8; heads = 2; ffn = 16; dtype = Dtype.F32 }
+
+let layer (b : B.builder) (cfg : config) ~(prefix : string) (x : string) :
+    string =
+  let h = cfg.hidden and s = cfg.seq in
+  let hd = cfg.heads in
+  let dh = h / hd in
+  let w name shape = B.input b (prefix ^ "." ^ name) ~dtype:cfg.dtype shape in
+  let wq = w "wq" [| h; h |] and wk = w "wk" [| h; h |] and wv = w "wv" [| h; h |] in
+  let bq = w "bq" [| h |] and bk = w "bk" [| h |] and bv = w "bv" [| h |] in
+  let proj = fun name op inputs -> B.add b ~name:(prefix ^ "." ^ name) op inputs in
+  (* QKV projections: the three independent GEMMs Souffle merges
+     horizontally (spatial reuse of x, §5.1) *)
+  let q = proj "q" Op.Matmul [ x; wq ] in
+  let k = proj "k" Op.Matmul [ x; wk ] in
+  let v = proj "v" Op.Matmul [ x; wv ] in
+  let qb = proj "qb" Op.Bias_add [ q; bq ] in
+  let kb = proj "kb" Op.Bias_add [ k; bk ] in
+  let vb = proj "vb" Op.Bias_add [ v; bv ] in
+  (* split heads: (s, h) -> (s, hd, dh) -> (hd, s, dh) — the element-wise
+     memory operators of Fig. 1 that Souffle folds away *)
+  let split name t =
+    let r = proj (name ^ "_r") (Op.Reshape [| s; hd; dh |]) [ t ] in
+    proj (name ^ "_t") (Op.Transpose [| 1; 0; 2 |]) [ r ]
+  in
+  let qh = split "qh" qb and kh = split "kh" kb and vh = split "vh" vb in
+  (* attention scores with 1/sqrt(dh) scaling *)
+  let scores = proj "scores" Op.Batch_matmul_nt [ qh; kh ] in
+  let scaled = proj "scaled" (Op.Scale (1. /. sqrt (float_of_int dh))) [ scores ] in
+  let probs = proj "probs" Op.Softmax [ scaled ] in
+  let ctx = proj "ctx" Op.Batch_matmul [ probs; vh ] in
+  (* merge heads back: (hd, s, dh) -> (s, hd, dh) -> (s, h) *)
+  let ctx_t = proj "ctx_t" (Op.Transpose [| 1; 0; 2 |]) [ ctx ] in
+  let ctx_m = proj "ctx_m" (Op.Reshape [| s; h |]) [ ctx_t ] in
+  let wo = w "wo" [| h; h |] and bo = w "bo" [| h |] in
+  let att_out = proj "att_out" Op.Matmul [ ctx_m; wo ] in
+  let att_b = proj "att_b" Op.Bias_add [ att_out; bo ] in
+  let res1 = proj "res1" (Op.Binary Expr.Add) [ att_b; x ] in
+  let g1 = w "ln1_g" [| h |] and beta1 = w "ln1_b" [| h |] in
+  let ln1 = proj "ln1" (Op.Layernorm { eps = 1e-5 }) [ res1; g1; beta1 ] in
+  (* feed-forward network *)
+  let w1 = w "w1" [| h; cfg.ffn |] and b1 = w "b1" [| cfg.ffn |] in
+  let w2 = w "w2" [| cfg.ffn; h |] and b2 = w "b2" [| h |] in
+  let f1 = proj "ffn1" Op.Matmul [ ln1; w1 ] in
+  let f1b = proj "ffn1_b" Op.Bias_add [ f1; b1 ] in
+  let gelu = Mcommon.gelu b ~prefix f1b in
+  let f2 = proj "ffn2" Op.Matmul [ gelu; w2 ] in
+  let f2b = proj "ffn2_b" Op.Bias_add [ f2; b2 ] in
+  let res2 = proj "res2" (Op.Binary Expr.Add) [ f2b; ln1 ] in
+  let g2 = w "ln2_g" [| h |] and beta2 = w "ln2_b" [| h |] in
+  proj "out" (Op.Layernorm { eps = 1e-5 }) [ res2; g2; beta2 ]
+
+let create ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let x = B.input b "embeddings" ~dtype:cfg.dtype [| cfg.seq; cfg.hidden |] in
+  let out = ref x in
+  for l = 0 to cfg.layers - 1 do
+    out := layer b cfg ~prefix:(Fmt.str "l%d" l) !out
+  done;
+  B.finish b ~outputs:[ !out ]
+
+(** The motivating subgraph of Fig. 1 / Table 1: one attention block
+    (QKV GEMMs, head split, scores, softmax, context, merge, projection). *)
+let attention_subgraph ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let x = B.input b "x" ~dtype:cfg.dtype [| cfg.seq; cfg.hidden |] in
+  let out = layer b cfg ~prefix:"att" x in
+  B.finish b ~outputs:[ out ]

@@ -1,0 +1,175 @@
+(** EfficientNet-b0 (Tan & Le) — the configuration of the source publication
+    (Table 2): MBConv inverted-bottleneck blocks with depthwise convolutions,
+    squeeze-and-excitation and swish activations, batch 1, FP32, ImageNet
+    input.
+
+    [sub_module] builds the inverted-bottleneck micro-benchmark of
+    Fig. 5/Fig. 6 (M0..M9): the block pattern "existing DNN frameworks fail
+    to optimize optimally". *)
+
+open Dgraph
+
+type block_cfg = {
+  cin : int;
+  cout : int;
+  expand : int;     (** expansion ratio; 1 = no expand conv *)
+  kernel : int;
+  stride : int;
+  repeat : int;
+}
+
+type config = {
+  image : int;
+  stem : int;
+  blocks : block_cfg list;
+  head : int;
+  num_classes : int;
+}
+
+(* the published b0 layout *)
+let b0 =
+  {
+    image = 224;
+    stem = 32;
+    blocks =
+      [
+        { cin = 32; cout = 16; expand = 1; kernel = 3; stride = 1; repeat = 1 };
+        { cin = 16; cout = 24; expand = 6; kernel = 3; stride = 2; repeat = 2 };
+        { cin = 24; cout = 40; expand = 6; kernel = 5; stride = 2; repeat = 2 };
+        { cin = 40; cout = 80; expand = 6; kernel = 3; stride = 2; repeat = 3 };
+        { cin = 80; cout = 112; expand = 6; kernel = 5; stride = 1; repeat = 3 };
+        { cin = 112; cout = 192; expand = 6; kernel = 5; stride = 2; repeat = 4 };
+        { cin = 192; cout = 320; expand = 6; kernel = 3; stride = 1; repeat = 1 };
+      ];
+    head = 1280;
+    num_classes = 1000;
+  }
+
+let tiny =
+  {
+    image = 16;
+    stem = 4;
+    blocks =
+      [
+        { cin = 4; cout = 4; expand = 1; kernel = 3; stride = 1; repeat = 1 };
+        { cin = 4; cout = 8; expand = 2; kernel = 3; stride = 2; repeat = 1 };
+      ];
+    head = 16;
+    num_classes = 8;
+  }
+
+let conv_bn (b : B.builder) ~prefix ~cin ~cout ~kernel ~stride ~padding x =
+  let w = B.input b (prefix ^ "_w") [| cout; cin; kernel; kernel |] in
+  let bias = B.input b (prefix ^ "_bnb") [| cout |] in
+  let c =
+    B.add b ~name:(prefix ^ "_conv")
+      (Op.Conv2d { kernel; stride; padding; groups = 1 })
+      [ x; w ]
+  in
+  B.add b ~name:(prefix ^ "_bn") Op.Bias_channels [ c; bias ]
+
+let swish (b : B.builder) ~prefix x =
+  let s = B.add b ~name:(prefix ^ "_sig") (Op.Unary Expr.Sigmoid) [ x ] in
+  B.add b ~name:(prefix ^ "_swish") (Op.Binary Expr.Mul) [ x; s ]
+
+(* One MBConv block: expand 1x1 + swish, depthwise + swish, SE, project. *)
+let mbconv (b : B.builder) ~prefix ~cin ~cout ~expand ~kernel ~stride x :
+    string =
+  let mid = cin * expand in
+  let expanded =
+    if expand = 1 then x
+    else
+      swish b ~prefix:(prefix ^ "_exp")
+        (conv_bn b ~prefix:(prefix ^ "_exp") ~cin ~cout:mid ~kernel:1
+           ~stride:1 ~padding:0 x)
+  in
+  let dw_w = B.input b (prefix ^ "_dw_w") [| mid; 1; kernel; kernel |] in
+  let dw_bn = B.input b (prefix ^ "_dw_bnb") [| mid |] in
+  let dw =
+    B.add b ~name:(prefix ^ "_dwconv")
+      (Op.Depthwise_conv2d { kernel; stride; padding = kernel / 2 })
+      [ expanded; dw_w ]
+  in
+  let dw = B.add b ~name:(prefix ^ "_dw_bn") Op.Bias_channels [ dw; dw_bn ] in
+  let dw = swish b ~prefix:(prefix ^ "_dw") dw in
+  (* squeeze and excitation: pool -> fc -> swish -> fc -> sigmoid -> scale *)
+  let se_dim = max 1 (cin / 4) in
+  let pooled = B.add b ~name:(prefix ^ "_se_pool") Op.Global_avg_pool [ dw ] in
+  let w1 = B.input b (prefix ^ "_se_w1") [| mid; se_dim |] in
+  let b1 = B.input b (prefix ^ "_se_b1") [| se_dim |] in
+  let r = B.add b ~name:(prefix ^ "_se_fc1") Op.Matmul [ pooled; w1 ] in
+  let r = B.add b ~name:(prefix ^ "_se_fc1b") Op.Bias_add [ r; b1 ] in
+  let r = swish b ~prefix:(prefix ^ "_se") r in
+  let w2 = B.input b (prefix ^ "_se_w2") [| se_dim; mid |] in
+  let b2 = B.input b (prefix ^ "_se_b2") [| mid |] in
+  let s = B.add b ~name:(prefix ^ "_se_fc2") Op.Matmul [ r; w2 ] in
+  let s = B.add b ~name:(prefix ^ "_se_fc2b") Op.Bias_add [ s; b2 ] in
+  let s = B.add b ~name:(prefix ^ "_se_gate") (Op.Unary Expr.Sigmoid) [ s ] in
+  let scaled = B.add b ~name:(prefix ^ "_se_scale") Op.Scale_channels [ dw; s ] in
+  (* projection back down, linear (no activation) *)
+  let proj =
+    conv_bn b ~prefix:(prefix ^ "_proj") ~cin:mid ~cout ~kernel:1 ~stride:1
+      ~padding:0 scaled
+  in
+  if stride = 1 && cin = cout then
+    B.add b ~name:(prefix ^ "_res") (Op.Binary Expr.Add) [ proj; x ]
+  else proj
+
+let create ?(cfg = b0) () : Dgraph.t =
+  let b = B.create () in
+  let x = B.input b "image" [| 1; 3; cfg.image; cfg.image |] in
+  let stem =
+    swish b ~prefix:"stem"
+      (conv_bn b ~prefix:"stem" ~cin:3 ~cout:cfg.stem ~kernel:3 ~stride:2
+         ~padding:1 x)
+  in
+  let out = ref stem in
+  List.iteri
+    (fun bi (bc : block_cfg) ->
+      for r = 0 to bc.repeat - 1 do
+        let cin = if r = 0 then bc.cin else bc.cout in
+        let stride = if r = 0 then bc.stride else 1 in
+        out :=
+          mbconv b
+            ~prefix:(Fmt.str "b%d_%d" bi r)
+            ~cin ~cout:bc.cout ~expand:bc.expand ~kernel:bc.kernel ~stride
+            !out
+      done)
+    cfg.blocks;
+  let last_c = (List.nth cfg.blocks (List.length cfg.blocks - 1)).cout in
+  let head =
+    swish b ~prefix:"head"
+      (conv_bn b ~prefix:"head" ~cin:last_c ~cout:cfg.head ~kernel:1
+         ~stride:1 ~padding:0 !out)
+  in
+  let gap = B.add b ~name:"gap" Op.Global_avg_pool [ head ] in
+  let wfc = B.input b "fc_w" [| cfg.head; cfg.num_classes |] in
+  let logits = B.add b ~name:"logits" Op.Matmul [ gap; wfc ] in
+  B.finish b ~outputs:[ logits ]
+
+(** The Fig. 5/6 micro-benchmark: one MBConv sub-module.  M0..M9 are the
+    distinct (channels, resolution) configurations the block repeats at
+    through the network. *)
+let sub_module ~cin ~cout ~expand ~kernel ~stride ~hw : Dgraph.t =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; cin; hw; hw |] in
+  let out = mbconv b ~prefix:"m" ~cin ~cout ~expand ~kernel ~stride x in
+  B.finish b ~outputs:[ out ]
+
+(** The ten sub-module instances (M0..M9) used in Fig. 6. *)
+let sub_modules : (string * Dgraph.t) list =
+  List.mapi
+    (fun i (cin, cout, expand, kernel, stride, hw) ->
+      (Fmt.str "M%d" i, sub_module ~cin ~cout ~expand ~kernel ~stride ~hw))
+    [
+      (32, 16, 1, 3, 1, 112);
+      (16, 24, 6, 3, 2, 112);
+      (24, 24, 6, 3, 1, 56);
+      (24, 40, 6, 5, 2, 56);
+      (40, 80, 6, 3, 2, 28);
+      (80, 80, 6, 3, 1, 14);
+      (80, 112, 6, 5, 1, 14);
+      (112, 192, 6, 5, 2, 14);
+      (192, 192, 6, 5, 1, 7);
+      (192, 320, 6, 3, 1, 7);
+    ]

@@ -1,0 +1,77 @@
+(** Stacked LSTM (Hochreiter & Schmidhuber) — Table 2's configuration:
+    input length 100 time steps, hidden size 256, 10 stacked cells,
+    batch 1, FP32.  The time-step loop is fully unrolled (Fig. 7), so the
+    TE graph exposes the wavefront parallelism along the anti-diagonals and
+    the temporal reuse of each cell's weight matrices across all steps. *)
+
+open Dgraph
+
+type config = { steps : int; cells : int; hidden : int }
+
+let base = { steps = 100; cells = 10; hidden = 256 }
+let tiny = { steps = 3; cells = 2; hidden = 4 }
+
+(* One LSTM cell update at (cell n, step t): the four gates are computed by
+   two GEMVs against the concatenated gate weights (1024 x 256), split,
+   activated, and combined into the new cell state and hidden state. *)
+let cell (b : B.builder) (cfg : config) ~w ~u ~bias ~(x : string)
+    ~(h_prev : string) ~(c_prev : string) ~(prefix : string) : string * string
+    =
+  let hd = cfg.hidden in
+  let n name op inputs = B.add b ~name:(prefix ^ "." ^ name) op inputs in
+  let gx = n "gx" Op.Gemv [ w; x ] in
+  let gh = n "gh" Op.Gemv [ u; h_prev ] in
+  let gsum = n "gsum" (Op.Binary Expr.Add) [ gx; gh ] in
+  let gates = n "gates" (Op.Binary Expr.Add) [ gsum; bias ] in
+  let gate name idx act =
+    let s =
+      n (name ^ "_slice")
+        (Op.Slice { starts = [| idx * hd |]; sizes = [| hd |] })
+        [ gates ]
+    in
+    n name (Op.Unary act) [ s ]
+  in
+  let i = gate "i" 0 Expr.Sigmoid in
+  let f = gate "f" 1 Expr.Sigmoid in
+  let g = gate "g" 2 Expr.Tanh in
+  let o = gate "o" 3 Expr.Sigmoid in
+  let fc = n "fc" (Op.Binary Expr.Mul) [ f; c_prev ] in
+  let ig = n "ig" (Op.Binary Expr.Mul) [ i; g ] in
+  let c = n "c" (Op.Binary Expr.Add) [ fc; ig ] in
+  let ct = n "ct" (Op.Unary Expr.Tanh) [ c ] in
+  let h = n "h" (Op.Binary Expr.Mul) [ o; ct ] in
+  (h, c)
+
+let create ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let hd = cfg.hidden in
+  (* per-cell weights, shared across every time step (temporal reuse) *)
+  let weights =
+    Array.init cfg.cells (fun n ->
+        ( B.input b (Fmt.str "w%d" n) [| 4 * hd; hd |],
+          B.input b (Fmt.str "u%d" n) [| 4 * hd; hd |],
+          B.input b (Fmt.str "b%d" n) [| 4 * hd |] ))
+  in
+  let xs =
+    Array.init cfg.steps (fun t -> B.input b (Fmt.str "x%d" t) [| hd |])
+  in
+  let h = Array.make cfg.cells "" and c = Array.make cfg.cells "" in
+  for n = 0 to cfg.cells - 1 do
+    h.(n) <- B.input b (Fmt.str "h0_%d" n) [| hd |];
+    c.(n) <- B.input b (Fmt.str "c0_%d" n) [| hd |]
+  done;
+  let outputs = ref [] in
+  for t = 0 to cfg.steps - 1 do
+    for n = 0 to cfg.cells - 1 do
+      let w, u, bias = weights.(n) in
+      let x = if n = 0 then xs.(t) else h.(n - 1) in
+      let h', c' =
+        cell b cfg ~w ~u ~bias ~x ~h_prev:h.(n) ~c_prev:c.(n)
+          ~prefix:(Fmt.str "t%d_n%d" t n)
+      in
+      h.(n) <- h';
+      c.(n) <- c'
+    done;
+    if t = cfg.steps - 1 then outputs := [ h.(cfg.cells - 1) ]
+  done;
+  B.finish b ~outputs:!outputs

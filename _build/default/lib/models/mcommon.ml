@@ -1,0 +1,52 @@
+(** Helpers shared by the model definitions. *)
+
+open Dgraph
+
+(** gelu(x) = 0.5 x (1 + erf(x/sqrt 2)) as primitive ops. *)
+let gelu (b : B.builder) ~prefix x =
+  let n name op inputs = B.add b ~name:(prefix ^ "_" ^ name) op inputs in
+  let e = n "gelu_s" (Op.Scale (1. /. sqrt 2.)) [ x ] in
+  let e = n "gelu_e" (Op.Unary Expr.Erf) [ e ] in
+  let e = n "gelu_1" (Op.Scale 0.5) [ e ] in
+  let half = n "gelu_h" (Op.Scale 0.5) [ x ] in
+  let lhs = n "gelu_m" (Op.Binary Expr.Mul) [ x; e ] in
+  n "gelu" (Op.Binary Expr.Add) [ lhs; half ]
+
+(** Cyclic roll of a tensor along [axis] by [shift] (>0), as
+    slice+slice+concat — the shifted-window operator of Swin. *)
+let roll (b : B.builder) ~prefix ~shape ~axis ~shift x =
+  let d = shape.(axis) in
+  let shift = ((shift mod d) + d) mod d in
+  if shift = 0 then x
+  else begin
+    let rank = Array.length shape in
+    let starts0 = Array.make rank 0 and sizes0 = Array.copy shape in
+    starts0.(axis) <- shift;
+    sizes0.(axis) <- d - shift;
+    let hi =
+      B.add b ~name:(prefix ^ "_roll_hi")
+        (Op.Slice { starts = starts0; sizes = sizes0 })
+        [ x ]
+    in
+    let starts1 = Array.make rank 0 and sizes1 = Array.copy shape in
+    sizes1.(axis) <- shift;
+    let lo =
+      B.add b ~name:(prefix ^ "_roll_lo")
+        (Op.Slice { starts = starts1; sizes = sizes1 })
+        [ x ]
+    in
+    B.add b ~name:(prefix ^ "_roll") (Op.Concat { axis }) [ hi; lo ]
+  end
+
+(** Layernorm with fresh gamma/beta weight inputs. *)
+let layernorm (b : B.builder) ~prefix ~dim x =
+  let g = B.input b (prefix ^ "_g") [| dim |] in
+  let beta = B.input b (prefix ^ "_b") [| dim |] in
+  B.add b ~name:(prefix ^ "_ln") (Op.Layernorm { eps = 1e-5 }) [ x; g; beta ]
+
+(** Dense layer with bias. *)
+let linear (b : B.builder) ~prefix ~din ~dout x =
+  let w = B.input b (prefix ^ "_w") [| din; dout |] in
+  let bias = B.input b (prefix ^ "_b") [| dout |] in
+  let m = B.add b ~name:(prefix ^ "_mm") Op.Matmul [ x; w ] in
+  B.add b ~name:(prefix ^ "_bias") Op.Bias_add [ m; bias ]

@@ -1,0 +1,68 @@
+(** MMoE — Multi-gate Mixture-of-Experts (Ma et al., KDD'18), the base
+    model of Table 2 on a synthetic census-style input.  Eight one-hidden-
+    layer expert networks share the input; two task gates softmax over the
+    experts and mix their outputs; two small towers produce the task
+    predictions.  Batch 1, FP32.
+
+    TE names are prefixed [moe_gate] on the gating path: the Rammer
+    baseline declines to compile mixture-of-experts graphs (Table 3
+    "Failed"), and keys off this marker. *)
+
+open Dgraph
+
+type config = {
+  input_dim : int;
+  num_experts : int;
+  expert_hidden : int;
+  tower_hidden : int;
+  num_tasks : int;
+}
+
+let base =
+  { input_dim = 100; num_experts = 8; expert_hidden = 16; tower_hidden = 8;
+    num_tasks = 2 }
+
+let tiny =
+  { input_dim = 6; num_experts = 3; expert_hidden = 4; tower_hidden = 3;
+    num_tasks = 2 }
+
+let create ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let d = cfg.input_dim and e = cfg.num_experts and eh = cfg.expert_hidden in
+  let x = B.input b "features" [| 1; d |] in
+  (* experts: independent same-shaped GEMMs — horizontal-transform fodder *)
+  let experts =
+    List.init e (fun i ->
+        let w = B.input b (Fmt.str "expert%d_w" i) [| d; eh |] in
+        let bias = B.input b (Fmt.str "expert%d_b" i) [| eh |] in
+        let m = B.add b ~name:(Fmt.str "expert%d_mm" i) Op.Matmul [ x; w ] in
+        let m = B.add b ~name:(Fmt.str "expert%d_bias" i) Op.Bias_add [ m; bias ] in
+        B.add b ~name:(Fmt.str "expert%d_out" i) (Op.Unary Expr.Relu) [ m ])
+  in
+  (* stack expert outputs into (e, eh) *)
+  let stacked =
+    B.add b ~name:"experts_stacked" (Op.Concat { axis = 0 }) experts
+  in
+  let outputs =
+    List.init cfg.num_tasks (fun t ->
+        let wg = B.input b (Fmt.str "gate%d_w" t) [| d; e |] in
+        let logits =
+          B.add b ~name:(Fmt.str "moe_gate%d_logits" t) Op.Matmul [ x; wg ]
+        in
+        let probs =
+          B.add b ~name:(Fmt.str "moe_gate%d_probs" t) Op.Softmax [ logits ]
+        in
+        (* mixture: (1, e) x (e, eh) -> (1, eh) *)
+        let mixed =
+          B.add b ~name:(Fmt.str "task%d_mix" t) Op.Matmul [ probs; stacked ]
+        in
+        let wt = B.input b (Fmt.str "tower%d_w" t) [| eh; cfg.tower_hidden |] in
+        let bt = B.input b (Fmt.str "tower%d_b" t) [| cfg.tower_hidden |] in
+        let h = B.add b ~name:(Fmt.str "tower%d_mm" t) Op.Matmul [ mixed; wt ] in
+        let h = B.add b ~name:(Fmt.str "tower%d_bias" t) Op.Bias_add [ h; bt ] in
+        let h = B.add b ~name:(Fmt.str "tower%d_relu" t) (Op.Unary Expr.Relu) [ h ] in
+        let wo = B.input b (Fmt.str "head%d_w" t) [| cfg.tower_hidden; 1 |] in
+        let logit = B.add b ~name:(Fmt.str "head%d_mm" t) Op.Matmul [ h; wo ] in
+        B.add b ~name:(Fmt.str "task%d_pred" t) (Op.Unary Expr.Sigmoid) [ logit ])
+  in
+  B.finish b ~outputs

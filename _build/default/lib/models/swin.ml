@@ -1,0 +1,159 @@
+(** Swin Transformer (Liu et al., ICCV'21) — base version, patch size 4,
+    window size 7 (Table 2), batch 1, ImageNet input.
+
+    Hierarchical stages of windowed multi-head self-attention: tokens are
+    partitioned into 7x7 windows (long reshape/transpose chains — exactly
+    the element-wise memory operators Souffle's vertical transformation
+    eliminates), alternating blocks shift the windows with cyclic rolls,
+    and patch-merging layers downsample between stages. *)
+
+open Dgraph
+
+type config = {
+  image : int;
+  patch : int;
+  window : int;
+  embed : int;
+  depths : int list;
+  heads : int list;
+  mlp_ratio : int;
+}
+
+let base =
+  { image = 224; patch = 4; window = 7; embed = 128;
+    depths = [ 2; 2; 18; 2 ]; heads = [ 4; 8; 16; 32 ]; mlp_ratio = 4 }
+
+let tiny =
+  { image = 8; patch = 2; window = 2; embed = 8; depths = [ 2 ];
+    heads = [ 2 ]; mlp_ratio = 2 }
+
+(* Window attention over tokens (r*r, c) with nw = (r/w)^2 windows. *)
+let window_attention (b : B.builder) ~prefix ~r ~w ~c ~heads ~shifted x =
+  let n name op inputs = B.add b ~name:(prefix ^ "_" ^ name) op inputs in
+  let dh = c / heads in
+  let nw = r / w * (r / w) in
+  let tokens_per_window = w * w in
+  (* tokens -> spatial grid *)
+  let grid = n "to_grid" (Op.Reshape [| r; r; c |]) [ x ] in
+  let grid =
+    if shifted then begin
+      let g = Mcommon.roll b ~prefix:(prefix ^ "_sh0") ~shape:[| r; r; c |] ~axis:0 ~shift:(w / 2) grid in
+      Mcommon.roll b ~prefix:(prefix ^ "_sh1") ~shape:[| r; r; c |] ~axis:1 ~shift:(w / 2) g
+    end
+    else grid
+  in
+  (* window partition: (r,r,c) -> (r/w, w, r/w, w, c) -> (r/w, r/w, w, w, c)
+     -> (nw*w*w, c) *)
+  let p = n "wp_r1" (Op.Reshape [| r / w; w; r / w; w; c |]) [ grid ] in
+  let p = n "wp_t" (Op.Transpose [| 0; 2; 1; 3; 4 |]) [ p ] in
+  let p = n "wp_r2" (Op.Reshape [| nw * tokens_per_window; c |]) [ p ] in
+  (* qkv projections (independent: horizontal-transform targets) *)
+  let head_split name t =
+    let t = n (name ^ "_hr") (Op.Reshape [| nw; tokens_per_window; heads; dh |]) [ t ] in
+    let t = n (name ^ "_ht") (Op.Transpose [| 0; 2; 1; 3 |]) [ t ] in
+    n (name ^ "_hb") (Op.Reshape [| nw * heads; tokens_per_window; dh |]) [ t ]
+  in
+  let q = head_split "q" (Mcommon.linear b ~prefix:(prefix ^ "_q") ~din:c ~dout:c p) in
+  let k = head_split "k" (Mcommon.linear b ~prefix:(prefix ^ "_k") ~din:c ~dout:c p) in
+  let v = head_split "v" (Mcommon.linear b ~prefix:(prefix ^ "_v") ~din:c ~dout:c p) in
+  let scores = n "scores" Op.Batch_matmul_nt [ q; k ] in
+  let scaled = n "scaled" (Op.Scale (1. /. sqrt (float_of_int dh))) [ scores ] in
+  (* learned relative-position bias, shared across windows *)
+  let bias =
+    B.input b (prefix ^ "_relbias") [| tokens_per_window; tokens_per_window |]
+  in
+  let biased = n "biased" (Op.Binary Expr.Add) [ scaled; bias ] in
+  let probs = n "probs" Op.Softmax [ biased ] in
+  let ctx = n "ctx" Op.Batch_matmul [ probs; v ] in
+  (* merge heads and reverse the window partition *)
+  let m = n "mh_r1" (Op.Reshape [| nw; heads; tokens_per_window; dh |]) [ ctx ] in
+  let m = n "mh_t" (Op.Transpose [| 0; 2; 1; 3 |]) [ m ] in
+  let m = n "mh_r2" (Op.Reshape [| nw * tokens_per_window; c |]) [ m ] in
+  let proj = Mcommon.linear b ~prefix:(prefix ^ "_proj") ~din:c ~dout:c m in
+  (* reverse partition: (nw*w*w, c) -> grid -> (unshift) -> tokens *)
+  let g = n "wr_r1" (Op.Reshape [| r / w; r / w; w; w; c |]) [ proj ] in
+  let g = n "wr_t" (Op.Transpose [| 0; 2; 1; 3; 4 |]) [ g ] in
+  let g = n "wr_r2" (Op.Reshape [| r; r; c |]) [ g ] in
+  let g =
+    if shifted then begin
+      let u = Mcommon.roll b ~prefix:(prefix ^ "_un0") ~shape:[| r; r; c |] ~axis:0 ~shift:(r - (w / 2)) g in
+      Mcommon.roll b ~prefix:(prefix ^ "_un1") ~shape:[| r; r; c |] ~axis:1 ~shift:(r - (w / 2)) u
+    end
+    else g
+  in
+  n "wr_out" (Op.Reshape [| r * r; c |]) [ g ]
+
+let swin_block (b : B.builder) ~prefix ~r ~w ~c ~heads ~mlp_ratio ~shifted x =
+  let n name op inputs = B.add b ~name:(prefix ^ "_" ^ name) op inputs in
+  let ln1 = Mcommon.layernorm b ~prefix:(prefix ^ "_ln1") ~dim:c x in
+  let att = window_attention b ~prefix ~r ~w ~c ~heads ~shifted ln1 in
+  let res1 = n "res1" (Op.Binary Expr.Add) [ att; x ] in
+  let ln2 = Mcommon.layernorm b ~prefix:(prefix ^ "_ln2") ~dim:c res1 in
+  let up = Mcommon.linear b ~prefix:(prefix ^ "_mlp1") ~din:c ~dout:(mlp_ratio * c) ln2 in
+  let act = Mcommon.gelu b ~prefix:(prefix ^ "_mlp") up in
+  let down = Mcommon.linear b ~prefix:(prefix ^ "_mlp2") ~din:(mlp_ratio * c) ~dout:c act in
+  n "res2" (Op.Binary Expr.Add) [ down; res1 ]
+
+(* Patch merging: (r*r, c) -> (r/2 * r/2, 2c) *)
+let patch_merge (b : B.builder) ~prefix ~r ~c x =
+  let n name op inputs = B.add b ~name:(prefix ^ "_" ^ name) op inputs in
+  let grid = n "pm_grid" (Op.Reshape [| r; r; c |]) [ x ] in
+  let quarter di dj =
+    let s1 =
+      n (Fmt.str "pm_s%d%d_r" di dj)
+        (Op.Strided_slice { axis = 0; start = di; stride = 2; size = r / 2 })
+        [ grid ]
+    in
+    n (Fmt.str "pm_s%d%d" di dj)
+      (Op.Strided_slice { axis = 1; start = dj; stride = 2; size = r / 2 })
+      [ s1 ]
+  in
+  let qs = [ quarter 0 0; quarter 1 0; quarter 0 1; quarter 1 1 ] in
+  let cat = n "pm_cat" (Op.Concat { axis = 2 }) qs in
+  let flat = n "pm_flat" (Op.Reshape [| r / 2 * (r / 2); 4 * c |]) [ cat ] in
+  let ln = Mcommon.layernorm b ~prefix:(prefix ^ "_pm_ln") ~dim:(4 * c) flat in
+  let w = B.input b (prefix ^ "_pm_w") [| 4 * c; 2 * c |] in
+  n "pm_reduce" Op.Matmul [ ln; w ]
+
+let create ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let img = cfg.image and p = cfg.patch in
+  let x = B.input b "image" [| 1; 3; img; img |] in
+  (* patch embedding: conv p x p stride p, then tokens *)
+  let we = B.input b "patch_w" [| cfg.embed; 3; p; p |] in
+  let emb =
+    B.add b ~name:"patch_conv"
+      (Op.Conv2d { kernel = p; stride = p; padding = 0; groups = 1 })
+      [ x; we ]
+  in
+  let r0 = img / p in
+  (* (1, e, r, r) -> (e, r*r) -> (r*r, e) *)
+  let t = B.add b ~name:"patch_flat" (Op.Reshape [| cfg.embed; r0 * r0 |]) [ emb ] in
+  let tokens = B.add b ~name:"patch_tokens" (Op.Transpose [| 1; 0 |]) [ t ] in
+  let out = ref tokens and r = ref r0 and c = ref cfg.embed in
+  List.iteri
+    (fun si depth ->
+      let heads = List.nth cfg.heads si in
+      for blk = 0 to depth - 1 do
+        out :=
+          swin_block b
+            ~prefix:(Fmt.str "s%d_b%d" si blk)
+            ~r:!r ~w:cfg.window ~c:!c ~heads ~mlp_ratio:cfg.mlp_ratio
+            ~shifted:(blk mod 2 = 1) !out
+      done;
+      if si < List.length cfg.depths - 1 then begin
+        out := patch_merge b ~prefix:(Fmt.str "s%d" si) ~r:!r ~c:!c !out;
+        r := !r / 2;
+        c := !c * 2
+      end)
+    cfg.depths;
+  let ln = Mcommon.layernorm b ~prefix:"final" ~dim:!c !out in
+  (* mean pool over tokens, classify *)
+  let pooled = B.add b ~name:"pool_sum" (Op.Reduce { op = Te.Sum; axis = 0 }) [ ln ] in
+  let pooled =
+    B.add b ~name:"pool_mean" (Op.Scale (1. /. float_of_int (!r * !r))) [ pooled ]
+  in
+  let pooled2 = B.add b ~name:"pool_2d" (Op.Reshape [| 1; !c |]) [ pooled ] in
+  let wfc = B.input b "fc_w" [| !c; 1000 |] in
+  let logits = B.add b ~name:"logits" Op.Matmul [ pooled2; wfc ] in
+  B.finish b ~outputs:[ logits ]

@@ -1,0 +1,56 @@
+(** The model zoo of Table 2, by name, at full evaluation size and at
+    interpreter-friendly tiny size. *)
+
+type entry = {
+  name : string;
+  full : unit -> Dgraph.t;
+  tiny : unit -> Dgraph.t;
+  description : string;
+}
+
+let all : entry list =
+  [
+    {
+      name = "BERT";
+      full = (fun () -> Bert.create ());
+      tiny = (fun () -> Bert.create ~cfg:Bert.tiny ());
+      description = "BERT-base, 12 layers, SQuAD seq 384, FP16";
+    };
+    {
+      name = "ResNeXt";
+      full = (fun () -> Resnext.create ());
+      tiny = (fun () -> Resnext.create ~cfg:Resnext.tiny ());
+      description = "ResNeXt-101 32x4d, explicit branches, ImageNet";
+    };
+    {
+      name = "LSTM";
+      full = (fun () -> Lstm.create ());
+      tiny = (fun () -> Lstm.create ~cfg:Lstm.tiny ());
+      description = "10-cell stacked LSTM, 100 steps, hidden 256";
+    };
+    {
+      name = "EfficientNet";
+      full = (fun () -> Efficientnet.create ());
+      tiny = (fun () -> Efficientnet.create ~cfg:Efficientnet.tiny ());
+      description = "EfficientNet-b0, MBConv + SE, ImageNet";
+    };
+    {
+      name = "SwinTrans.";
+      full = (fun () -> Swin.create ());
+      tiny = (fun () -> Swin.create ~cfg:Swin.tiny ());
+      description = "Swin-B, patch 4, window 7, ImageNet";
+    };
+    {
+      name = "MMoE";
+      full = (fun () -> Mmoe.create ());
+      tiny = (fun () -> Mmoe.create ~cfg:Mmoe.tiny ());
+      description = "Multi-gate mixture-of-experts, 8 experts, 2 tasks";
+    };
+  ]
+
+let find name =
+  List.find_opt
+    (fun e -> String.lowercase_ascii e.name = String.lowercase_ascii name)
+    all
+
+let names = List.map (fun e -> e.name) all

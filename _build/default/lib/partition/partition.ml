@@ -1,0 +1,148 @@
+(** Resource-aware TE program partitioning (§5.4).
+
+    Souffle wants one big kernel per subprogram, synchronized with
+    grid-level barriers.  A cooperative launch requires every thread block
+    to be resident simultaneously, so the subprogram's largest launch grid
+    times its largest per-block occupancy cost must fit the device
+    ([max_grid * max_occ < C]).  A greedy BFS walk over the TE graph grows
+    the current subprogram until the constraint breaks, then starts a new
+    one.  A compute-intensive TE whose own grid exceeds one wave forms a
+    non-cooperative subprogram: it runs as a classic kernel and may only
+    absorb the one-relies-on-one TEs that follow it (inlined epilogues —
+    no synchronization available). *)
+
+type subprogram = {
+  id : int;
+  tes : Te.t list;          (** program order *)
+  cooperative : bool;       (** may use grid.sync internally *)
+}
+
+type t = {
+  subprograms : subprogram list;
+  scheds : (string, Sched.t) Hashtbl.t;
+}
+
+let te_names sp = List.map (fun (te : Te.t) -> te.Te.name) sp.tes
+
+(* Resource accumulator for the §5.4 constraint. *)
+type acc = {
+  max_grid : int;
+  max_smem : int;   (* bytes per block *)
+  max_regs_per_block : int;
+  max_threads : int;
+}
+
+let empty_acc = { max_grid = 0; max_smem = 0; max_regs_per_block = 0; max_threads = 0 }
+
+let add_usage acc ~grid ~(u : Occupancy.usage) =
+  {
+    max_grid = max acc.max_grid grid;
+    max_smem = max acc.max_smem u.Occupancy.smem_per_block;
+    max_regs_per_block =
+      max acc.max_regs_per_block
+        (u.Occupancy.regs_per_thread * u.Occupancy.threads_per_block);
+    max_threads = max acc.max_threads u.Occupancy.threads_per_block;
+  }
+
+(* Can every block of the worst grid be resident in one wave under the
+   worst per-block footprint?  This is the cooperative-launch feasibility
+   check (and subsumes the paper's max_grid * max_occ < C formulation). *)
+let feasible (dev : Device.t) acc =
+  if acc.max_grid = 0 then true
+  else begin
+    let u =
+      {
+        Occupancy.threads_per_block = max 1 acc.max_threads;
+        smem_per_block = acc.max_smem;
+        regs_per_thread =
+          (acc.max_regs_per_block + max 1 acc.max_threads - 1)
+          / max 1 acc.max_threads;
+      }
+    in
+    let cap =
+      int_of_float
+        (dev.Device.coop_capacity_frac
+        *. float_of_int (Occupancy.max_blocks_per_wave dev u))
+    in
+    acc.max_grid <= cap
+  end
+
+let run (dev : Device.t) (an : Analysis.t) (scheds : (string, Sched.t) Hashtbl.t)
+    : t =
+  let p = an.Analysis.program in
+  let sched name =
+    match Hashtbl.find_opt scheds name with
+    | Some s -> s
+    | None -> invalid_arg ("Partition.run: no schedule for " ^ name)
+  in
+  let next_id = ref 0 in
+  let fresh_id () =
+    let i = !next_id in
+    incr next_id;
+    i
+  in
+  let close subs cur ~cooperative =
+    match cur with
+    | [] -> subs
+    | tes -> { id = fresh_id (); tes = List.rev tes; cooperative } :: subs
+  in
+  (* state machine over the topologically ordered TE list *)
+  let rec go subs cur acc mode tes =
+    match tes with
+    | [] -> (
+        match mode with
+        | `Coop -> close subs cur ~cooperative:true
+        | `Noncoop -> close subs cur ~cooperative:false)
+    | (te : Te.t) :: rest -> (
+        let name = te.Te.name in
+        let info = Analysis.info an name in
+        let is_compute = info.Analysis.kind = Intensity.Compute_intensive in
+        match mode with
+        | `Noncoop ->
+            (* only absorb one-relies-on-one epilogues *)
+            if (not is_compute) && not (Te.has_reduction te) then
+              go subs (te :: cur) acc `Noncoop rest
+            else begin
+              let subs = close subs cur ~cooperative:false in
+              go subs [] empty_acc `Coop (te :: rest)
+            end
+        | `Coop ->
+            if not is_compute then go subs (te :: cur) acc `Coop rest
+            else begin
+              let s = sched name in
+              let grid = Sched.grid_blocks te s in
+              let u = Sched.usage p te s in
+              let acc' = add_usage acc ~grid ~u in
+              if feasible dev acc' then go subs (te :: cur) acc' `Coop rest
+              else begin
+                (* close the current subprogram and retry this TE *)
+                let subs = close subs cur ~cooperative:true in
+                let acc0 = add_usage empty_acc ~grid ~u in
+                if feasible dev acc0 then go subs [ te ] acc0 `Coop rest
+                else
+                  (* this TE alone cannot grid-sync: non-cooperative *)
+                  go subs [ te ] empty_acc `Noncoop rest
+              end
+            end)
+  in
+  let subs = List.rev (go [] [] empty_acc `Coop p.Program.tes) in
+  { subprograms = subs; scheds }
+
+(** Every TE appears in exactly one subprogram, in program order. *)
+let validate (t : t) (p : Program.t) : (unit, string) result =
+  let flat = List.concat_map (fun sp -> te_names sp) t.subprograms in
+  let expected = List.map (fun (te : Te.t) -> te.Te.name) p.Program.tes in
+  if flat = expected then Ok ()
+  else Error "Partition: subprograms do not cover the program in order"
+
+let num_subprograms t = List.length t.subprograms
+
+let pp ppf (t : t) =
+  Fmt.pf ppf "@[<v>";
+  List.iter
+    (fun sp ->
+      Fmt.pf ppf "subprogram %d%s: {%s}@," sp.id
+        (if sp.cooperative then "" else " [non-coop]")
+        (String.concat ", " (te_names sp)))
+    t.subprograms;
+  Fmt.pf ppf "@]"

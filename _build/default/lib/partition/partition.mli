@@ -1,0 +1,35 @@
+(** Resource-aware TE program partitioning (§5.4).
+
+    Souffle wants one big kernel per subprogram, synchronized with grid-level
+    barriers.  A cooperative launch requires every thread block resident
+    simultaneously, so the subprogram's largest launch grid times its largest
+    per-block occupancy cost must fit the device ([max_grid * max_occ < C]).
+    A greedy BFS walk grows the current subprogram until the constraint
+    breaks, then starts a new one. *)
+
+type subprogram = {
+  id : int;
+  tes : Te.t list;     (** program order *)
+  cooperative : bool;  (** may use grid.sync internally; [false] for a TE
+                           whose own grid exceeds one wave — it runs as a
+                           classic kernel absorbing only one-relies-on-one
+                           epilogues *)
+}
+
+type t = {
+  subprograms : subprogram list;
+  scheds : (string, Sched.t) Hashtbl.t;
+}
+
+val te_names : subprogram -> string list
+
+val run :
+  Device.t -> Analysis.t -> (string, Sched.t) Hashtbl.t -> t
+(** Partition the analyzed program given per-TE schedules ("get required
+    resource", §5.4). *)
+
+val validate : t -> Program.t -> (unit, string) result
+(** Every TE appears exactly once, in program order. *)
+
+val num_subprograms : t -> int
+val pp : Format.formatter -> t -> unit

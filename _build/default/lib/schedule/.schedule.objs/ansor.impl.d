@@ -1,0 +1,1 @@
+lib/schedule/ansor.ml: Array Device Dtype Float Hashtbl List Occupancy Program Sched Shape Te

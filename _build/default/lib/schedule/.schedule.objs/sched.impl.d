@@ -1,0 +1,1 @@
+lib/schedule/sched.ml: Array Dtype Expr Fmt Index List Occupancy Option Program Set Shape Te

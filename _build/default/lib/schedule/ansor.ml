@@ -1,0 +1,212 @@
+(** Template-based auto-scheduler standing in for Ansor (§6.3).
+
+    For each compute-intensive TE it enumerates tile/thread configurations,
+    scores them with an analytical latency model (DRAM for unique bytes, L2
+    for tile re-reads, the appropriate arithmetic pipeline for the flops)
+    and returns the best schedule plus its resource usage — exactly the
+    artifacts Souffle needs from its schedule optimizer ("get required
+    resource", §5.4). *)
+
+type config = { eff_cap : float }
+(** [eff_cap] is the fraction of pipeline peak the code generator's inner
+    loop achieves on large tiles; baseline profiles vary it. *)
+
+let default_config = { eff_cap = 0.60 }
+
+(* Achieved efficiency: large tiles amortize prologue/epilogue and fill the
+   pipelines; small tiles do not. *)
+let efficiency cfg ~tensor_core (s : Sched.t) =
+  let elems = Sched.tile_elems s in
+  let full = if tensor_core then 128 * 128 else 4096 in
+  let fill = Float.min 1. (float_of_int elems /. float_of_int full) in
+  cfg.eff_cap *. Float.pow fill 0.25
+
+(** Analytical latency (µs) of running [te] alone under schedule [s]. *)
+let estimate_us (dev : Device.t) (p : Program.t) (te : Te.t) (s : Sched.t) :
+    float =
+  let elem_bytes name =
+    let info = Program.tensor_info_exn p name in
+    Dtype.bytes info.Program.dtype
+  in
+  let unique_in_bytes =
+    List.fold_left
+      (fun acc name ->
+        acc
+        + Shape.numel (Program.tensor_info_exn p name).Program.shape
+          * elem_bytes name)
+      0 (Te.inputs te)
+  in
+  let out_bytes = Te.out_numel te * Dtype.bytes te.Te.dtype in
+  let grid = Sched.grid_blocks te s in
+  let total_loaded = Sched.tiled_load_bytes p te s in
+  let l2_extra = max 0 (total_loaded - unique_in_bytes) in
+  let atomic_bytes = out_bytes * (max 1 s.Sched.rsplit - 1) in
+  let dram_us =
+    float_of_int (unique_in_bytes + out_bytes) /. (dev.Device.dram_bw_gbps *. 0.85 *. 1e3)
+    +. (float_of_int atomic_bytes
+        /. (dev.Device.dram_bw_gbps *. dev.Device.atomic_bw_factor *. 1e3))
+  in
+  let l2_us = float_of_int l2_extra /. (dev.Device.l2_bw_gbps *. 1e3) in
+  let flops = Te.arith_ops te in
+  let peak =
+    if s.Sched.use_tensor_core then dev.Device.fp16_tc_tflops
+    else dev.Device.fp32_tflops
+  in
+  (* under-occupancy: small grids leave SMs idle (mirrors the simulator) *)
+  let sms = float_of_int dev.Device.num_sms in
+  let util_c = Float.min 1. (float_of_int (max 1 grid) /. sms) in
+  let util_m = Float.min 1. (4. *. float_of_int (max 1 grid) /. sms) in
+  let comp_us =
+    float_of_int flops /. (peak *. s.Sched.compute_eff *. util_c *. 1e6)
+  in
+  let mem_us = (dram_us +. l2_us) /. util_m in
+  let overlap = dev.Device.overlap_default in
+  let body =
+    Float.max mem_us comp_us +. ((1. -. overlap) *. Float.min mem_us comp_us)
+  in
+  let waves = Occupancy.waves dev (Sched.usage p te s) ~grid_blocks:grid in
+  body +. (0.3 *. float_of_int (max 1 waves))
+
+(* Candidate tile factors for one dimension. *)
+let tile_candidates d =
+  List.filter (fun t -> t <= d || t / 2 < d) [ 16; 32; 64; 128 ]
+  |> List.map (fun t -> min t d)
+  |> List.sort_uniq compare
+
+let rtile_candidates d =
+  List.map (fun t -> min t d) [ 16; 32; 64 ] |> List.sort_uniq compare
+
+(** Enumerate schedules for a reduction TE: tile the two innermost output
+    dims (plus channels for rank >= 3), tile the first reduction axis. *)
+let candidates (te : Te.t) : Sched.t list =
+  let shape = te.Te.out_shape in
+  let rank = Array.length shape in
+  let raxes = Te.reduce_axes te in
+  let tc = Sched.tensor_core_eligible te in
+  if rank = 0 then [ Sched.default_elementwise te ]
+  else begin
+    let last = rank - 1 in
+    let snd_last = max 0 (rank - 2) in
+    let base = Array.make rank 1 in
+    let opts_last = tile_candidates shape.(last) in
+    let opts_snd =
+      if rank >= 2 then tile_candidates shape.(snd_last) else [ 1 ]
+    in
+    (* third dimension (batch/channels) keeps one block per index: the
+       grid already scales with it, and reduction splits (rsplit) cover the
+       small-output cases *)
+    let opts_chan = [ 1 ] in
+    let opts_r =
+      if Array.length raxes = 0 then [ [||] ]
+      else
+        List.map
+          (fun t ->
+            let r = Array.map (fun d -> min d 8) raxes in
+            r.(0) <- min raxes.(0) t;
+            r)
+          (rtile_candidates raxes.(0))
+    in
+    (* two-phase reduction splits for reductions with few output points *)
+    let opts_rsplit =
+      if Array.length raxes = 0 || Shape.numel shape >= 16384 then [ 1 ]
+      else
+        List.filter
+          (fun sfac -> sfac = 1 || sfac <= Array.fold_left ( * ) 1 raxes)
+          [ 1; 4; 16; 64 ]
+    in
+    List.concat_map
+      (fun tl ->
+        List.concat_map
+          (fun ts ->
+            List.concat_map
+              (fun tch ->
+                List.concat_map
+                  (fun rt ->
+                    List.concat_map
+                      (fun rsplit ->
+                        List.map
+                          (fun threads ->
+                            let tile = Array.copy base in
+                            tile.(last) <- tl;
+                            if rank >= 2 then tile.(snd_last) <- ts;
+                            if rank >= 3 then tile.(rank - 3) <- tch;
+                            {
+                              Sched.te_name = te.Te.name;
+                              tile;
+                              rtile = rt;
+                              rsplit;
+                              threads_per_block = threads;
+                              use_tensor_core = tc;
+                              cache_read_smem = true;
+                              compute_eff = 0.; (* filled below *)
+                            })
+                          [ 128; 256 ])
+                      opts_rsplit)
+                  opts_r)
+              opts_chan)
+          opts_snd)
+      opts_last
+  end
+
+(** Feasibility: the block must fit an SM. *)
+let feasible (dev : Device.t) (p : Program.t) (te : Te.t) (s : Sched.t) =
+  let u = Sched.usage p te s in
+  u.Occupancy.smem_per_block <= dev.Device.max_smem_per_block
+  && u.Occupancy.threads_per_block <= dev.Device.max_threads_per_block
+  && Occupancy.blocks_per_sm dev u >= 1
+
+(** Search the candidate space for the lowest-latency feasible schedule. *)
+let schedule_te ?(config = default_config) (dev : Device.t) (p : Program.t)
+    (te : Te.t) : Sched.t =
+  if not (Te.has_reduction te) then
+    { (Sched.default_elementwise te) with compute_eff = config.eff_cap }
+  else begin
+    let cands =
+      candidates te
+      |> List.map (fun s ->
+             { s with
+               Sched.compute_eff =
+                 efficiency config ~tensor_core:s.Sched.use_tensor_core s;
+             })
+      |> List.filter (feasible dev p te)
+    in
+    match cands with
+    | [] -> { (Sched.default_elementwise te) with compute_eff = config.eff_cap }
+    | first :: _ ->
+        let best, _ =
+          List.fold_left
+            (fun (bs, bc) s ->
+              let c = estimate_us dev p te s in
+              if c < bc then (s, c) else (bs, bc))
+            (first, estimate_us dev p te first)
+            cands
+        in
+        best
+  end
+
+(** Schedule every TE of a program (memoized on structural shape, since
+    models repeat identical layers many times). *)
+let schedule_program ?(config = default_config) (dev : Device.t)
+    (p : Program.t) : (string, Sched.t) Hashtbl.t =
+  let table = Hashtbl.create 64 in
+  let cache = Hashtbl.create 64 in
+  List.iter
+    (fun (te : Te.t) ->
+      let key =
+        ( te.Te.out_shape,
+          Te.reduce_axes te,
+          te.Te.tag,
+          Te.arith_ops te,
+          List.length (Te.accesses te) )
+      in
+      let sched =
+        match Hashtbl.find_opt cache key with
+        | Some s -> { s with Sched.te_name = te.Te.name }
+        | None ->
+            let s = schedule_te ~config dev p te in
+            Hashtbl.replace cache key s;
+            s
+      in
+      Hashtbl.replace table te.Te.name sched)
+    p.Program.tes;
+  table

@@ -1,0 +1,170 @@
+(** TE schedules: the tiling/binding decisions an auto-scheduler (Ansor in
+    the paper) makes for one TE, together with the derived resource usage
+    the §5.4 partitioner needs (launch dimension, shared memory, registers).
+
+    The schedule language mirrors the TVM primitives used in Fig. 2:
+    [split] (the [tile]/[rtile] factors), [bind] (block/thread binding is
+    implied by the tile structure), [cache_read] ([cache_read_smem]) and
+    tensorization ([use_tensor_core]). *)
+
+type t = {
+  te_name : string;
+  tile : int array;          (** output-space tile, one factor per dim *)
+  rtile : int array;         (** reduction-space tile *)
+  rsplit : int;              (** cross-block reduction split: the two-phase
+                                 block-local + atomicAdd scheme of §6.3;
+                                 1 = single-phase *)
+  threads_per_block : int;
+  use_tensor_core : bool;
+  cache_read_smem : bool;    (** stage input tiles through shared memory *)
+  compute_eff : float;       (** achieved fraction of pipeline peak *)
+}
+
+(** Blocks in the launch grid: one block per output tile, times the
+    reduction split. *)
+let grid_blocks (te : Te.t) (s : t) : int =
+  let g = ref (max 1 s.rsplit) in
+  Array.iteri
+    (fun i d -> g := !g * ((d + s.tile.(i) - 1) / s.tile.(i)))
+    te.Te.out_shape;
+  !g
+
+let tile_elems s = Array.fold_left ( * ) 1 s.tile
+
+(* Elements of one input tile: the product of the tile factors of the
+   distinct iteration/reduction variables the access uses, capped at the
+   tensor's total size.  Var-set accounting (rather than per-dimension
+   products) stays correct for composite div/mod indices where the same
+   variable appears in several dimensions (reshape/transpose folds). *)
+let input_tile_elems ?numel (s : t) (idxs : Index.t list) : int =
+  let module IS = Set.Make (struct
+    type t = [ `Out of int | `Red of int ]
+
+    let compare = compare
+  end) in
+  let vars =
+    List.fold_left
+      (fun acc idx -> Index.fold_vars (fun a v -> IS.add v a) acc idx)
+      IS.empty idxs
+  in
+  let prod =
+    IS.fold
+      (fun v acc ->
+        match v with
+        | `Out k ->
+            acc * (if k < Array.length s.tile then max 1 s.tile.(k) else 1)
+        | `Red k ->
+            acc * (if k < Array.length s.rtile then max 1 s.rtile.(k) else 1))
+      vars 1
+  in
+  match numel with Some n -> min prod (max 1 n) | None -> prod
+
+(* Input-tile elements of a whole body.  Select branches with disjoint
+   predicates (horizontal merges, padding guards) contribute the *largest*
+   branch, not the sum: one block only ever walks one branch.
+   [numel_of] caps each access by its tensor's size when known. *)
+let rec body_tile_elems ~numel_of (s : t) (e : Expr.t) : int =
+  match e with
+  | Expr.Read (name, idxs) -> input_tile_elems ?numel:(numel_of name) s idxs
+  | Expr.Const _ | Expr.IdxVal _ -> 0
+  | Expr.Unop (_, a) -> body_tile_elems ~numel_of s a
+  | Expr.Binop (_, a, b) ->
+      body_tile_elems ~numel_of s a + body_tile_elems ~numel_of s b
+  | Expr.Select (_, a, b) ->
+      max (body_tile_elems ~numel_of s a) (body_tile_elems ~numel_of s b)
+
+let numel_of_program (p : Program.t) : string -> int option =
+ fun name ->
+  Option.map
+    (fun (i : Program.tensor_info) -> Shape.numel i.Program.shape)
+    (Program.tensor_info p name)
+
+(** Shared memory one block needs: the output tile plus (when staging reads)
+    the input tiles of one branch of the body, double-buffered. *)
+let smem_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+  let elem_bytes = Dtype.bytes te.Te.dtype in
+  let out = tile_elems s * elem_bytes in
+  let ins =
+    if not s.cache_read_smem then 0
+    else
+      body_tile_elems ~numel_of:(numel_of_program p) s (Te.body_expr te)
+      * elem_bytes
+  in
+  (* double buffering of staged inputs for the async-copy pipeline *)
+  out + (2 * ins)
+
+(** Bytes one full pass of a reduction TE loads through its tiles (the
+    block-by-block traffic; anything beyond the unique footprint hits L2). *)
+let tiled_load_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+  let grid = grid_blocks te s in
+  body_tile_elems ~numel_of:(numel_of_program p) s (Te.body_expr te)
+  * Dtype.bytes te.Te.dtype * grid
+
+(** Registers per thread: accumulator fragment plus addressing/loop
+    overhead. *)
+let regs_per_thread (s : t) : int =
+  let acc_per_thread = tile_elems s / max 1 s.threads_per_block in
+  min 255 (16 + (2 * max 1 acc_per_thread))
+
+let usage (p : Program.t) (te : Te.t) (s : t) : Occupancy.usage =
+  {
+    Occupancy.threads_per_block = s.threads_per_block;
+    smem_per_block = smem_bytes p te s;
+    regs_per_thread = regs_per_thread s;
+  }
+
+(** Structural tensor-core eligibility: a sum-reduction whose body is a
+    product of two reads (GEMM-shaped).  The paper runs GEMMs in FP16 on
+    tensor cores and everything else in FP32 (§7.1); batch-1 GEMV has too
+    little parallelism per fragment row, so it stays on CUDA cores. *)
+let tensor_core_eligible (te : Te.t) : bool =
+  match te.Te.body with
+  | Te.Reduce { op = Te.Sum; expr; _ } -> (
+      let rec is_mul_of_reads = function
+        | Expr.Binop (Expr.Mul, a, b) -> is_read_like a && is_read_like b
+        | Expr.Select (_, a, b) -> is_mul_of_reads a && is_mul_of_reads b
+        | _ -> false
+      and is_read_like = function
+        | Expr.Read _ -> true
+        | Expr.Select (_, a, b) -> is_read_like a && is_read_like b
+        | Expr.Const _ -> true
+        | _ -> false
+      in
+      (* the wmma fragment tiles the two innermost output dims; batch
+         dims may be small, GEMV-like outputs (a dim < 16) may not *)
+      let r = Te.rank te in
+      r >= 2
+      && te.Te.out_shape.(r - 1) >= 16
+      && te.Te.out_shape.(r - 2) >= 16
+      && is_mul_of_reads expr)
+  | _ -> false
+
+(** Trivial schedule for memory-intensive TEs that stay un-fused: one
+    256-thread block per 4096-element slab, no staging. *)
+let default_elementwise (te : Te.t) : t =
+  let shape = te.Te.out_shape in
+  let rank = Array.length shape in
+  let tile =
+    Array.mapi
+      (fun i d -> if i = rank - 1 then min d 4096 else 1)
+      shape
+  in
+  {
+    te_name = te.Te.name;
+    tile = (if rank = 0 then [||] else tile);
+    rtile = Array.map (fun d -> min d 64) (Te.reduce_axes te);
+    rsplit = 1;
+    threads_per_block = 256;
+    use_tensor_core = false;
+    cache_read_smem = false;
+    compute_eff = 0.7;
+  }
+
+let pp ppf s =
+  Fmt.pf ppf "sched(%s) tile=%a rtile=%a threads=%d%s%s eff=%.2f" s.te_name
+    Fmt.(array ~sep:(any "x") int) s.tile
+    Fmt.(array ~sep:(any "x") int) s.rtile
+    s.threads_per_block
+    (if s.use_tensor_core then " wmma" else "")
+    (if s.cache_read_smem then " cache_read" else "")
+    s.compute_eff

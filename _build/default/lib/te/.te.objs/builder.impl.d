@@ -1,0 +1,1 @@
+lib/te/builder.ml: Array Dtype Expr Index List Shape Te

@@ -1,0 +1,1 @@
+lib/te/expr.ml: Float Fmt Index List String

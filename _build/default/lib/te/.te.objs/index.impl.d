@@ -1,0 +1,1 @@
+lib/te/index.ml: Array Fmt List

@@ -1,0 +1,1 @@
+lib/te/interp.ml: Array Dtype Expr Fmt List Nd Program Rng Shape Te

@@ -1,0 +1,1 @@
+lib/te/program.ml: Dtype Fmt List Map Option Set Shape String Te

@@ -1,0 +1,1 @@
+lib/te/te.ml: Array Dtype Expr Float Fmt Index List Shape

@@ -1,0 +1,82 @@
+(** Reference interpreter: evaluates a TE program on concrete ndarrays.
+
+    This is deliberately naive (it materializes every intermediate tensor and
+    walks iteration spaces point by point): it is the semantic oracle that
+    every transformation in the compiler is verified against, so it must be
+    obviously correct rather than fast. *)
+
+module SMap = Program.SMap
+
+type env = Nd.t SMap.t
+
+let env_of_list l : env =
+  List.fold_left (fun m (k, v) -> SMap.add k v m) SMap.empty l
+
+let lookup env name =
+  match SMap.find_opt name env with
+  | Some v -> v
+  | None -> invalid_arg ("Interp: unbound tensor " ^ name)
+
+(** Evaluate one TE given bindings for everything it reads. *)
+let eval_te (env : env) (te : Te.t) : Nd.t =
+  let read name (idx : int list) =
+    let nd = lookup env name in
+    Nd.get nd (Array.of_list idx)
+  in
+  let out = Nd.zeros ~dtype:te.Te.dtype te.Te.out_shape in
+  (match te.Te.body with
+  | Te.Compute e ->
+      Shape.iter te.Te.out_shape (fun ov ->
+          let v = Expr.eval ~read ~ov ~rv:[||] e in
+          Nd.set out ov (Dtype.round_value te.Te.dtype v))
+  | Te.Reduce { op; axes; expr } ->
+      let rdom = axes in
+      Shape.iter te.Te.out_shape (fun ov ->
+          let ov = Array.copy ov in
+          let acc = ref (Te.reduce_identity op) in
+          Shape.iter rdom (fun rv ->
+              acc := Te.reduce_apply op !acc (Expr.eval ~read ~ov ~rv expr));
+          Nd.set out ov (Dtype.round_value te.Te.dtype !acc)));
+  out
+
+(** Run the whole program; returns the full environment (inputs plus every
+    intermediate), which the tests use to compare arbitrary tensors. *)
+let run_env (p : Program.t) (inputs : env) : env =
+  List.fold_left
+    (fun env te -> SMap.add te.Te.name (eval_te env te) env)
+    inputs p.Program.tes
+
+(** Run and project onto the program outputs. *)
+let run (p : Program.t) (inputs : env) : (string * Nd.t) list =
+  let env = run_env p inputs in
+  List.map (fun o -> (o, lookup env o)) p.Program.outputs
+
+(** Deterministic random inputs for a program (weights and activations). *)
+let random_inputs ?(seed = 42) (p : Program.t) : env =
+  let rng = Rng.create seed in
+  env_of_list
+    (List.map
+       (fun (name, (info : Program.tensor_info)) ->
+         (name, Nd.random ~dtype:info.Program.dtype rng info.Program.shape))
+       p.Program.inputs)
+
+(** Do two programs agree on [outputs] for the same inputs?  Used as the
+    semantic-preservation check (§6's "semantic preserving" made
+    executable). *)
+let equivalent ?(rtol = 1e-4) ?(atol = 1e-5) ?seed (a : Program.t)
+    (b : Program.t) : (unit, string) result =
+  let inputs = random_inputs ?seed a in
+  let ra = run a inputs and rb = run b inputs in
+  let rec cmp = function
+    | [] -> Ok ()
+    | (name, va) :: rest -> (
+        match List.assoc_opt name rb with
+        | None -> Error ("missing output " ^ name)
+        | Some vb ->
+            if Nd.allclose ~rtol ~atol va vb then cmp rest
+            else
+              Error
+                (Fmt.str "output %s differs (max abs diff %g)" name
+                   (Nd.max_abs_diff va vb)))
+  in
+  cmp ra

@@ -1,0 +1,176 @@
+(** A TE program: model inputs (including weights), a topologically ordered
+    list of TEs, and the names of the tensors a user observes.  This is the
+    unit the global analysis of §5 operates on. *)
+
+module SMap = Map.Make (String)
+module SSet = Set.Make (String)
+
+type tensor_info = { shape : Shape.t; dtype : Dtype.t }
+
+type t = {
+  inputs : (string * tensor_info) list;  (** externally supplied tensors *)
+  tes : Te.t list;                       (** in topological order *)
+  outputs : string list;                 (** observable results *)
+}
+
+let make ~inputs ~tes ~outputs = { inputs; tes; outputs }
+
+let input_names p = List.map fst p.inputs
+
+let te_names p = List.map (fun (te : Te.t) -> te.Te.name) p.tes
+
+let find_te p name =
+  List.find_opt (fun (te : Te.t) -> te.Te.name = name) p.tes
+
+let find_te_exn p name =
+  match find_te p name with
+  | Some te -> te
+  | None -> invalid_arg ("Program.find_te_exn: no TE " ^ name)
+
+(** Shape and dtype of any tensor in the program (input or TE output). *)
+let tensor_info p name : tensor_info option =
+  match List.assoc_opt name p.inputs with
+  | Some i -> Some i
+  | None ->
+      Option.map
+        (fun (te : Te.t) -> { shape = te.Te.out_shape; dtype = te.Te.dtype })
+        (find_te p name)
+
+let tensor_info_exn p name =
+  match tensor_info p name with
+  | Some i -> i
+  | None -> invalid_arg ("Program.tensor_info_exn: unknown tensor " ^ name)
+
+(** [producer p name] is the TE defining [name], or [None] for inputs. *)
+let producer = find_te
+
+(** Map tensor name -> TEs that read it. *)
+let consumers p : Te.t list SMap.t =
+  List.fold_left
+    (fun acc (te : Te.t) ->
+      List.fold_left
+        (fun acc input ->
+          let cur = Option.value ~default:[] (SMap.find_opt input acc) in
+          SMap.add input (cur @ [ te ]) acc)
+        acc (Te.inputs te))
+    SMap.empty p.tes
+
+(** Direct dependency edges as (producer_te_name, consumer_te_name). *)
+let edges p : (string * string) list =
+  let defined = SSet.of_list (te_names p) in
+  List.concat_map
+    (fun (te : Te.t) ->
+      List.filter_map
+        (fun input ->
+          if SSet.mem input defined then Some (input, te.Te.name) else None)
+        (Te.inputs te))
+    p.tes
+
+(** TEs reachable from [te] downstream (its transitive consumers). *)
+let descendants p name =
+  let cons = consumers p in
+  let rec go visited frontier =
+    match frontier with
+    | [] -> visited
+    | n :: rest ->
+        let next =
+          match SMap.find_opt n cons with
+          | None -> []
+          | Some tes ->
+              List.filter_map
+                (fun (te : Te.t) ->
+                  if SSet.mem te.Te.name visited then None else Some te.Te.name)
+                tes
+        in
+        go (List.fold_left (fun v x -> SSet.add x v) visited next) (rest @ next)
+  in
+  go SSet.empty [ name ]
+
+(** Does [a] (transitively) feed [b]? *)
+let depends ~on:a p b = SSet.mem b (descendants p a)
+
+(** Check that every read is either an input or an earlier TE, and every
+    output exists — i.e. the list really is in topological order. *)
+let validate p =
+  let rec go seen = function
+    | [] ->
+        let missing =
+          List.filter (fun o -> not (SSet.mem o seen)) p.outputs
+        in
+        if missing = [] then Ok ()
+        else Error ("Program: undefined outputs: " ^ String.concat "," missing)
+    | (te : Te.t) :: rest -> (
+        match Te.validate te with
+        | Error m -> Error m
+        | Ok () ->
+            let unknown =
+              List.filter (fun i -> not (SSet.mem i seen)) (Te.inputs te)
+            in
+            if unknown <> [] then
+              Error
+                (Fmt.str "Program: TE %s reads undefined tensors: %s" te.Te.name
+                   (String.concat "," unknown))
+            else if SSet.mem te.Te.name seen then
+              Error ("Program: duplicate tensor " ^ te.Te.name)
+            else go (SSet.add te.Te.name seen) rest)
+  in
+  go (SSet.of_list (input_names p)) p.tes
+
+(** Tensors read by TEs appearing after the given position, plus program
+    outputs — the live set used for buffer-reuse decisions. *)
+let live_after p pos =
+  let rec drop i = function
+    | [] -> []
+    | _ :: rest when i > 0 -> drop (i - 1) rest
+    | l -> l
+  in
+  let later = drop (pos + 1) p.tes in
+  let read_later =
+    List.fold_left
+      (fun acc te -> SSet.union acc (SSet.of_list (Te.inputs te)))
+      SSet.empty later
+  in
+  SSet.union read_later (SSet.of_list p.outputs)
+
+(** Stable topological re-sort: keeps the original relative order wherever
+    dependencies allow.  Used after transformations that insert or merge TEs
+    out of place. *)
+let toposort (p : t) : t =
+  let defined = SSet.of_list (input_names p) in
+  let rec pick placed ready rest =
+    match
+      List.partition
+        (fun (te : Te.t) ->
+          List.for_all (fun i -> SSet.mem i ready) (Te.inputs te))
+        rest
+    with
+    | [], [] -> List.rev placed
+    | [], stuck ->
+        invalid_arg
+          ("Program.toposort: cycle or undefined input involving "
+          ^ String.concat ","
+              (List.map (fun (te : Te.t) -> te.Te.name) stuck))
+    | now, later ->
+        let ready' =
+          List.fold_left
+            (fun s (te : Te.t) -> SSet.add te.Te.name s)
+            ready now
+        in
+        pick (List.rev_append now placed) ready' later
+  in
+  { p with tes = pick [] defined p.tes }
+
+let total_arith_ops p =
+  List.fold_left (fun acc te -> acc + Te.arith_ops te) 0 p.tes
+
+let pp ppf p =
+  Fmt.pf ppf "@[<v>inputs:@,";
+  List.iter
+    (fun (n, i) ->
+      Fmt.pf ppf "  %s : %a %s@," n Dtype.pp i.dtype (Shape.to_string i.shape))
+    p.inputs;
+  Fmt.pf ppf "tes:@,";
+  List.iter (fun te -> Fmt.pf ppf "  %a@," Te.pp te) p.tes;
+  Fmt.pf ppf "outputs: %s@]" (String.concat ", " p.outputs)
+
+let to_string p = Fmt.str "%a" pp p

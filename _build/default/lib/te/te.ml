@@ -1,0 +1,120 @@
+(** Tensor expressions (TEs) — the IR everything in this library analyzes,
+    transforms and lowers (§3 of the paper).
+
+    A TE names one output tensor and describes, as a pure function, how each
+    of its elements is computed from input tensors: either an element-wise
+    [Compute] or a [Reduce] over declared reduction axes. *)
+
+type reduce_op = Sum | Max | Min | Prod
+
+let reduce_identity = function
+  | Sum -> 0.
+  | Max -> Float.neg_infinity
+  | Min -> Float.infinity
+  | Prod -> 1.
+
+let reduce_apply op a b =
+  match op with
+  | Sum -> a +. b
+  | Max -> Float.max a b
+  | Min -> Float.min a b
+  | Prod -> a *. b
+
+let reduce_op_to_string = function
+  | Sum -> "sum" | Max -> "max" | Min -> "min" | Prod -> "prod"
+
+type body =
+  | Compute of Expr.t
+      (** one output element depends on a fixed set of input elements *)
+  | Reduce of { op : reduce_op; axes : int array; expr : Expr.t }
+      (** [axes] are the extents of the reduction variables [Rv 0..];
+          one output element folds [expr] over the whole reduction domain *)
+
+type t = {
+  name : string;            (** the output tensor this TE defines *)
+  out_shape : Shape.t;
+  dtype : Dtype.t;
+  body : body;
+  tag : string;             (** provenance: the graph operator it came from *)
+}
+
+let compute ?(tag = "") ~name ~shape ?(dtype = Dtype.F32) expr =
+  { name; out_shape = shape; dtype; body = Compute expr; tag }
+
+let reduce ?(tag = "") ~name ~shape ?(dtype = Dtype.F32) ~op ~axes expr =
+  { name; out_shape = shape; dtype; body = Reduce { op; axes; expr }; tag }
+
+let body_expr t = match t.body with Compute e -> e | Reduce r -> r.expr
+
+let reduce_axes t = match t.body with Compute _ -> [||] | Reduce r -> r.axes
+
+let has_reduction t = match t.body with Compute _ -> false | Reduce _ -> true
+
+let map_body f t =
+  match t.body with
+  | Compute e -> { t with body = Compute (f e) }
+  | Reduce r -> { t with body = Reduce { r with expr = f r.expr } }
+
+(** Tensor names this TE reads. *)
+let inputs t = Expr.read_names (body_expr t)
+
+(** All reads with their index expressions. *)
+let accesses t = Expr.reads (body_expr t)
+
+let rank t = Shape.rank t.out_shape
+
+let out_numel t = Shape.numel t.out_shape
+
+let reduce_domain t = Array.fold_left ( * ) 1 (reduce_axes t)
+
+(** Total arithmetic operations to materialize the output tensor. *)
+let arith_ops t =
+  let per_point = Expr.flops (body_expr t) in
+  match t.body with
+  | Compute _ -> per_point * out_numel t
+  | Reduce _ ->
+      (* one combine per reduction point, plus the body itself *)
+      (per_point + 1) * out_numel t * reduce_domain t
+
+(** Well-formedness: every variable referenced in the body is within the
+    output rank / declared reduction axes. *)
+let validate t =
+  let n_out = rank t and n_red = Array.length (reduce_axes t) in
+  let check_idx i =
+    if Index.max_out_var i >= n_out then
+      Error (Fmt.str "TE %s: index %a references out var >= rank %d"
+               t.name Index.pp i n_out)
+    else if Index.max_red_var i >= n_red then
+      Error (Fmt.str "TE %s: index %a references reduce var >= %d"
+               t.name Index.pp i n_red)
+    else Ok ()
+  in
+  let exception Bad of string in
+  try
+    ignore
+      (Expr.map_index
+         (fun i ->
+           (match check_idx i with Ok () -> () | Error m -> raise (Bad m));
+           i)
+         (body_expr t));
+    (match t.body with
+    | Compute e | Reduce { expr = e; _ } ->
+        if (not (has_reduction t))
+           && List.exists
+                (fun (_, idxs) -> List.exists Index.uses_reduction idxs)
+                (Expr.reads e)
+        then raise (Bad (t.name ^ ": Compute body uses reduction variable")));
+    Ok ()
+  with Bad m -> Error m
+
+let pp ppf t =
+  match t.body with
+  | Compute e ->
+      Fmt.pf ppf "%s%s : %a = %a" t.name (Shape.to_string t.out_shape)
+        Dtype.pp t.dtype Expr.pp e
+  | Reduce { op; axes; expr } ->
+      Fmt.pf ppf "%s%s : %a = %s(%a) %a" t.name (Shape.to_string t.out_shape)
+        Dtype.pp t.dtype (reduce_op_to_string op)
+        Fmt.(array ~sep:(any ", ") int) axes Expr.pp expr
+
+let to_string t = Fmt.str "%a" pp t

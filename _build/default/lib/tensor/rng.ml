@@ -1,0 +1,36 @@
+(** Deterministic splitmix64 generator used to synthesize model weights and
+    test inputs.  Keeping our own generator (rather than [Random]) makes every
+    experiment bit-reproducible across OCaml versions. *)
+
+type t = { mutable state : int64 }
+
+let create seed = { state = Int64.of_int seed }
+
+let next_int64 t =
+  let open Int64 in
+  t.state <- add t.state 0x9E3779B97F4A7C15L;
+  let z = t.state in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+(** Uniform in [0, 1). *)
+let float t =
+  let bits = Int64.shift_right_logical (next_int64 t) 11 in
+  Int64.to_float bits /. 9007199254740992.0
+
+(** Uniform in [lo, hi). *)
+let uniform t ~lo ~hi = lo +. ((hi -. lo) *. float t)
+
+(** Approximately standard normal (sum of uniforms, CLT). *)
+let normal t =
+  let acc = ref 0. in
+  for _ = 1 to 12 do
+    acc := !acc +. float t
+  done;
+  !acc -. 6.
+
+let int t ~bound =
+  if bound <= 0 then invalid_arg "Rng.int";
+  Int64.to_int (Int64.rem (Int64.shift_right_logical (next_int64 t) 1)
+                  (Int64.of_int bound))

@@ -1,0 +1,1 @@
+lib/transform/horizontal.ml: Array Expr Fmt Hashtbl Index List Program Te

@@ -1,0 +1,1 @@
+lib/transform/horizontal.mli: Expr Program Te

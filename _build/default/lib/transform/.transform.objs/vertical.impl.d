@@ -1,0 +1,1 @@
+lib/transform/vertical.ml: Array Expr Hashtbl Index List Program Te

@@ -1,0 +1,1 @@
+lib/transform/vertical.mli: Expr Program Te

@@ -1,0 +1,236 @@
+(** Horizontal TE transformation (§6.1, Fig. 3).
+
+    Independent TEs with identical body structure (same computation, same
+    reduction space, same output shape except the leading axis) are merged
+    into a single TE whose output concatenates theirs along axis 0, with
+    [if_then_else] predicates selecting the per-branch inputs.  Consumers
+    are rewritten to read through the concatenated tensor.
+
+    Grouping is restricted to TEs at the same dependency depth — the
+    wavefront structure the paper exploits for LSTM (Fig. 7) and sibling
+    branches (QKV projections, mixture-of-expert branches, grouped
+    convolution branches). *)
+
+module SMap = Program.SMap
+module SSet = Program.SSet
+
+(* Structural template of a body with tensor names abstracted to hole ids
+   (first-occurrence numbering), so that e.g. the three QKV GEMMs compare
+   equal. *)
+let template (e : Expr.t) : Expr.t * string list =
+  let names = ref [] in
+  let hole name =
+    let rec idx i = function
+      | [] ->
+          names := !names @ [ name ];
+          i
+      | n :: _ when n = name -> i
+      | _ :: rest -> idx (i + 1) rest
+    in
+    Fmt.str "$%d" (idx 0 !names)
+  in
+  let t = Expr.map_reads (fun name idxs -> Expr.Read (hole name, idxs)) e in
+  (t, !names)
+
+(* Dependency depth of every TE: longest producer chain from the inputs. *)
+let depths (p : Program.t) : int SMap.t =
+  List.fold_left
+    (fun acc (te : Te.t) ->
+      let d =
+        List.fold_left
+          (fun m i ->
+            match SMap.find_opt i acc with
+            | Some di -> max m (di + 1)
+            | None -> m (* program input: depth contribution 0 *))
+          0 (Te.inputs te)
+      in
+      SMap.add te.Te.name d acc)
+    SMap.empty p.Program.tes
+
+type group = { members : Te.t list (* >= 2, program order *) }
+
+(* Key under which TEs may merge. *)
+let group_key (depth : int SMap.t) (te : Te.t) =
+  let tmpl, _ = template (Te.body_expr te) in
+  let tail = Array.to_list (Array.sub te.Te.out_shape 1 (Te.rank te - 1)) in
+  let rop =
+    match te.Te.body with
+    | Te.Compute _ -> None
+    | Te.Reduce { op; axes; _ } -> Some (op, Array.to_list axes)
+  in
+  ( Expr.to_string tmpl,
+    tail,
+    rop,
+    te.Te.dtype,
+    SMap.find te.Te.name depth )
+
+(* Merging arbitrarily many independent TEs would out-grow the cooperative
+   launch budget the partitioner works under (the paper merges within a
+   subprogram, which bounds group size the same way). *)
+let max_group_members = 32
+
+let find_groups (p : Program.t) : group list =
+  let depth = depths p in
+  let outputs = SSet.of_list p.Program.outputs in
+  let tbl = Hashtbl.create 32 in
+  let order = ref [] in
+  List.iter
+    (fun (te : Te.t) ->
+      if
+        Te.has_reduction te
+        && Te.rank te >= 1
+        && not (SSet.mem te.Te.name outputs)
+      then begin
+        let key = group_key depth te in
+        (match Hashtbl.find_opt tbl key with
+        | None ->
+            Hashtbl.add tbl key [ te ];
+            order := key :: !order
+        | Some l -> Hashtbl.replace tbl key (te :: l))
+      end)
+    p.Program.tes;
+  let rec chunk = function
+    | [] -> []
+    | l ->
+        let rec take n acc = function
+          | rest when n = 0 -> (List.rev acc, rest)
+          | [] -> (List.rev acc, [])
+          | x :: rest -> take (n - 1) (x :: acc) rest
+        in
+        let first, rest = take max_group_members [] l in
+        first :: chunk rest
+  in
+  List.rev !order
+  |> List.concat_map (fun key ->
+         match Hashtbl.find_opt tbl key with
+         | Some members when List.length members >= 2 ->
+             chunk (List.rev members)
+             |> List.filter_map (fun ms ->
+                    if List.length ms >= 2 then Some { members = ms } else None)
+         | _ -> [])
+
+(* Merge the members of a group into one TE named after the first member
+   with suffix "_hz"; returns (merged TE, per-member offsets). *)
+let merge_group (g : group) : Te.t * (string * int) list =
+  let members = g.members in
+  let first = List.hd members in
+  let offsets =
+    let acc = ref 0 in
+    List.map
+      (fun (te : Te.t) ->
+        let o = !acc in
+        acc := !acc + te.Te.out_shape.(0);
+        (te.Te.name, o))
+      members
+  in
+  let total = List.fold_left (fun a (te : Te.t) -> a + te.Te.out_shape.(0)) 0 members in
+  let out_shape = Array.copy first.Te.out_shape in
+  out_shape.(0) <- total;
+  let shifted_body (te : Te.t) offset =
+    let body = Te.body_expr te in
+    if offset = 0 then body
+    else
+      Expr.map_index
+        (Index.subst_out (fun k ->
+             if k = 0 then Index.Add (Index.Ov 0, Index.Const (-offset))
+             else Index.Ov k))
+        body
+  in
+  let rec build = function
+    | [] -> assert false
+    | [ (te, offset) ] -> shifted_body te offset
+    | (te, offset) :: rest ->
+        let bound = offset + te.Te.out_shape.(0) in
+        Expr.Select
+          ( Expr.Cmp (Expr.Lt, Index.Ov 0, Index.Const bound),
+            shifted_body te offset,
+            build rest )
+  in
+  let pairs = List.map2 (fun te (_, o) -> (te, o)) members offsets in
+  let body = build pairs in
+  let merged =
+    match first.Te.body with
+    | Te.Compute _ ->
+        Te.compute ~tag:(first.Te.tag ^ "_hz") ~name:(first.Te.name ^ "_hz")
+          ~shape:out_shape ~dtype:first.Te.dtype body
+    | Te.Reduce { op; axes; _ } ->
+        Te.reduce ~tag:(first.Te.tag ^ "_hz") ~name:(first.Te.name ^ "_hz")
+          ~shape:out_shape ~dtype:first.Te.dtype ~op ~axes body
+  in
+  (merged, offsets)
+
+type stats = { groups_merged : int; tes_eliminated : int }
+
+(** Apply horizontal merging across the program (largest groups first is
+    irrelevant: groups are disjoint by construction).  Consumers of the
+    members are redirected into slices of the merged tensor; the program is
+    re-toposorted at the end. *)
+let apply (p : Program.t) : Program.t * stats =
+  let groups = find_groups p in
+  if groups = [] then (p, { groups_merged = 0; tes_eliminated = 0 })
+  else begin
+    (* name -> (merged name, offset) *)
+    let redirect = Hashtbl.create 32 in
+    let merged_tes =
+      List.map
+        (fun g ->
+          let merged, offsets = merge_group g in
+          List.iter
+            (fun (name, off) ->
+              Hashtbl.replace redirect name (merged.Te.name, off))
+            offsets;
+          (g, merged))
+        groups
+    in
+    let member_names =
+      List.concat_map
+        (fun (g, _) -> List.map (fun (te : Te.t) -> te.Te.name) g.members)
+        merged_tes
+      |> SSet.of_list
+    in
+    let rewrite_reads (te : Te.t) =
+      Te.map_body
+        (Expr.map_reads (fun name idxs ->
+             match Hashtbl.find_opt redirect name with
+             | None -> Expr.Read (name, idxs)
+             | Some (merged_name, off) ->
+                 let idxs' =
+                   match idxs with
+                   | [] -> []
+                   | i0 :: rest ->
+                       (if off = 0 then i0
+                        else Index.Add (i0, Index.Const off))
+                       :: rest
+                 in
+                 Expr.Read (merged_name, idxs')))
+        te
+    in
+    let tes =
+      List.concat_map
+        (fun (te : Te.t) ->
+          if SSet.mem te.Te.name member_names then begin
+            (* replace the first member of each group by its merged TE *)
+            match
+              List.find_opt
+                (fun (g, _) ->
+                  (List.hd g.members).Te.name = te.Te.name)
+                merged_tes
+            with
+            | Some (_, merged) ->
+                (* a merged TE may itself read members of other groups *)
+                [ rewrite_reads merged ]
+            | None -> []
+          end
+          else [ rewrite_reads te ])
+        p.Program.tes
+    in
+    let p' = Program.toposort { p with Program.tes } in
+    ( p',
+      {
+        groups_merged = List.length groups;
+        tes_eliminated =
+          List.fold_left
+            (fun a (g, _) -> a + List.length g.members - 1)
+            0 merged_tes;
+      } )
+  end

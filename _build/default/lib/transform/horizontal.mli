@@ -1,0 +1,29 @@
+(** Horizontal TE transformation (§6.1, Fig. 3).
+
+    Independent TEs with identical body structure merge into a single TE
+    whose output concatenates theirs along axis 0, with [if_then_else]
+    predicates selecting per-branch inputs; consumers are rewritten to read
+    through the concatenated tensor.  Grouping is restricted to TEs at the
+    same dependency depth (the wavefront structure of Fig. 7: QKV
+    projections, LSTM diagonals, MoE experts, grouped-conv branches). *)
+
+val template : Expr.t -> Expr.t * string list
+(** Structural body template with tensor names abstracted to ordered holes;
+    two TEs may merge when their templates are equal. *)
+
+val depths : Program.t -> int Program.SMap.t
+(** Longest producer chain from the inputs, per TE.  Equal depth implies
+    mutual unreachability. *)
+
+val max_group_members : int
+(** Cap on merged-group size, bounding the fused kernel's grid the same way
+    the paper's per-subprogram scope does. *)
+
+type group = { members : Te.t list (** >= 2, program order *) }
+
+val find_groups : Program.t -> group list
+
+type stats = { groups_merged : int; tes_eliminated : int }
+
+val apply : Program.t -> Program.t * stats
+(** Merge every group, rewrite consumers, and re-toposort. *)

@@ -1,0 +1,136 @@
+(** Vertical TE transformation (§6.2, Fig. 4).
+
+    Chains of one-relies-on-one TEs are collapsed into a single semantically
+    equivalent TE by composing their index mapping functions — Eq. 2's
+    [f_{i+1,i}(v) = M_{i+1}(M_i v + c_i) + c_{i+1}] realized as substitution
+    of the producer's body into the consumer, followed by quasi-affine
+    simplification.  Data-movement TEs (reshape, transpose, slice, ...) are
+    additionally folded into reduction consumers, which is how Souffle
+    "eventually eliminates all element-wise memory operators" (§2.3). *)
+
+(** Substitute every read of [producer]'s output inside [expr] by the
+    producer's body with its output variables replaced by the access
+    indices.  [producer] must be a [Compute] TE. *)
+let inline_read (producer : Te.t) (expr : Expr.t) : Expr.t =
+  let body = Te.body_expr producer in
+  Expr.map_reads
+    (fun name idxs ->
+      if name = producer.Te.name then begin
+        let arr = Array.of_list idxs in
+        Expr.subst_out
+          (fun k ->
+            if k < Array.length arr then arr.(k)
+            else invalid_arg "Vertical.inline_read: rank mismatch")
+          body
+      end
+      else Expr.Read (name, idxs))
+    expr
+
+(** Inline [producer] into [consumer], simplifying the composed index
+    expressions against the consumer's iteration space. *)
+let fuse ~(producer : Te.t) ~(consumer : Te.t) : Te.t =
+  assert (not (Te.has_reduction producer));
+  let fused = Te.map_body (inline_read producer) consumer in
+  let ov_ext = consumer.Te.out_shape and rv_ext = Te.reduce_axes consumer in
+  Te.map_body (Expr.map_index (Index.simplify ~ov_ext ~rv_ext)) fused
+
+type stats = { chains_fused : int; movement_folded : int }
+
+(* One inlining round; returns the new program and how many rewrites
+   happened. *)
+let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
+  let cons = Program.consumers p in
+  let outputs = Program.SSet.of_list p.Program.outputs in
+  let chains = ref 0 and moved = ref 0 in
+  (* Decide for each one-relies-on-one TE whether to inline it into all of
+     its consumers. *)
+  let should_inline (te : Te.t) =
+    if Te.has_reduction te then false
+    else if Program.SSet.mem te.Te.name outputs then false
+    else begin
+      match Program.SMap.find_opt te.Te.name cons with
+      | None | Some [] -> false
+      | Some consumers ->
+          let movement = Expr.is_data_movement (Te.body_expr te) in
+          let all_compute_consumers =
+            List.for_all (fun (c : Te.t) -> not (Te.has_reduction c)) consumers
+          in
+          if movement then begin
+            (* folding pure data movement anywhere is free; into reductions
+               it needs the flag (Souffle: yes; restricted baselines: no) *)
+            if all_compute_consumers then true else fold_into_reduce
+          end
+          else
+            (* arithmetic bodies: only into one-relies-on-one consumers, and
+               only when not shared (sharing is served by the §6.5 cache;
+               inlining would recompute) *)
+            all_compute_consumers && List.length consumers = 1
+    end
+  in
+  let selected =
+    List.filter should_inline p.Program.tes
+    |> List.map (fun (te : Te.t) -> te.Te.name)
+    |> Program.SSet.of_list
+  in
+  (* Only inline TEs whose own producers are not being inlined this round:
+     chains resolve bottom-up over successive rounds, so each rewrite stays
+     a single substitution step. *)
+  let to_inline =
+    List.filter
+      (fun (te : Te.t) ->
+        Program.SSet.mem te.Te.name selected
+        && not
+             (List.exists
+                (fun i -> Program.SSet.mem i selected)
+                (Te.inputs te)))
+      p.Program.tes
+    |> List.map (fun (te : Te.t) -> (te.Te.name, te))
+  in
+  if to_inline = [] then (p, { chains_fused = 0; movement_folded = 0 })
+  else begin
+    let inline_map = List.to_seq to_inline |> Hashtbl.of_seq in
+    (* Don't inline a TE into another TE that is itself being inlined this
+       round *and* forms a chain — handle chains over multiple rounds to
+       keep each rewrite simple. *)
+    let new_tes =
+      List.filter_map
+        (fun (te : Te.t) ->
+          if Hashtbl.mem inline_map te.Te.name then None
+          else begin
+            let te' =
+              List.fold_left
+                (fun acc input ->
+                  match Hashtbl.find_opt inline_map input with
+                  | Some producer ->
+                      if Expr.is_data_movement (Te.body_expr producer) then
+                        incr moved
+                      else incr chains;
+                      fuse ~producer ~consumer:acc
+                  | None -> acc)
+                te (Te.inputs te)
+            in
+            Some te'
+          end)
+        p.Program.tes
+    in
+    ( { p with Program.tes = new_tes },
+      { chains_fused = !chains; movement_folded = !moved } )
+  end
+
+(** Iterate inlining to a fixpoint. *)
+let apply ?(fold_into_reduce = true) (p : Program.t) : Program.t * stats =
+  let rec go p acc rounds =
+    if rounds > 64 then (p, acc)
+    else begin
+      let p', s = round ~fold_into_reduce p in
+      if s.chains_fused = 0 && s.movement_folded = 0 then (p, acc)
+      else
+        go p'
+          {
+            chains_fused = acc.chains_fused + s.chains_fused;
+            movement_folded = acc.movement_folded + s.movement_folded;
+          }
+          (rounds + 1)
+    end
+  in
+  go p { chains_fused = 0; movement_folded = 0 } 0

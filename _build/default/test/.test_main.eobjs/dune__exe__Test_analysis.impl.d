@@ -1,0 +1,1 @@
+test/test_analysis.ml: Alcotest Amap Analysis Array Astring_contains Builder Dep Dtype Expr Fun Index Intensity List Matrix Program QCheck QCheck_alcotest Reuse Te

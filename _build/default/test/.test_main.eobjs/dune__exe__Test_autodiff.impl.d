@@ -1,0 +1,1 @@
+test/test_autodiff.ml: Alcotest Autodiff B Dgraph Expr Float Interp List Lower Mmoe Nd Op Option Program Souffle Te

@@ -1,0 +1,1 @@
+test/test_baselines.ml: Alcotest Baseline Bert Counters Emit Fmt Kernel_ir List Lower Lstm Option Program Result Sim Souffle Te Zoo

@@ -1,0 +1,1 @@
+test/test_extensions.ml: Alcotest Analysis Ansor Bert Builder Counters Device Dtype Emit Expr Fmt Fun Horizontal Index Interp List Lower Lstm Program Sched Sim Souffle Te

@@ -1,0 +1,1 @@
+test/test_gpu.ml: Alcotest Counters Device Float Fmt Kernel_ir List Occupancy QCheck QCheck_alcotest Result Sim

@@ -1,0 +1,1 @@
+test/test_graph.ml: Alcotest Array B Dgraph Dtype Expr Interp List Lower Nd Op Program Result Rng Te

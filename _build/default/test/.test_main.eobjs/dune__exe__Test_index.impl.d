@@ -1,0 +1,1 @@
+test/test_index.ml: Alcotest Array Fmt Index List QCheck QCheck_alcotest Shape Stdlib

@@ -1,0 +1,1 @@
+test/test_kernelgen.ml: Alcotest Analysis Ansor Astring_contains Builder Codegen_cuda Counters Device Dtype Emit Expr Kernel_ir List Program QCheck QCheck_alcotest Reuse_cache Sim String Te

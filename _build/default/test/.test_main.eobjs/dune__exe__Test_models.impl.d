@@ -1,0 +1,1 @@
+test/test_models.ml: Alcotest Astring_contains Bert Dgraph Efficientnet Float Fmt Interp List Lower Lstm Mmoe Nd Option Program Result Shape String Swin Te Zoo

@@ -1,0 +1,1 @@
+test/test_pipeline.ml: Alcotest Astring_contains Bert Counters Device Expr Fmt Horizontal List Lower Lstm Mmoe Program QCheck QCheck_alcotest Sim Souffle Te Test_transform Zoo

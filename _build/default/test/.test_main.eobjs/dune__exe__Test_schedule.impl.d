@@ -1,0 +1,1 @@
+test/test_schedule.ml: Alcotest Analysis Ansor Bert Builder Device Dtype Emit Expr Hashtbl Horizontal List Lower Occupancy Partition Program Result Sched Sim Te

@@ -1,0 +1,1 @@
+test/test_serialize.ml: Alcotest Array Astring_contains B Bert Dgraph Expr Fmt Interp List Lower Mmoe Op Program QCheck QCheck_alcotest Result Rng Serialize Zoo

@@ -1,0 +1,1 @@
+test/test_te.ml: Alcotest Array Builder Dtype Expr Fmt Index Interp List Nd Program Result Rng Shape Te

@@ -1,0 +1,1 @@
+test/test_tensor.ml: Alcotest Array Dtype Float List Nd QCheck QCheck_alcotest Rng Shape

@@ -1,0 +1,1 @@
+test/test_tir.ml: Alcotest Ansor Astring_contains B Builder Device Dgraph Dtype Expr Fmt Hashtbl Index List Lower Op Program Sched String Te Tir Zoo

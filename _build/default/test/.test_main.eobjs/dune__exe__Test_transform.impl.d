@@ -1,0 +1,1 @@
+test/test_transform.ml: Alcotest Builder Dtype Expr Fmt Horizontal Index Interp List Option Program QCheck QCheck_alcotest Result Rng Te Vertical

@@ -1,0 +1,234 @@
+(* Tests for the §9 training extension: reverse-mode autodiff at graph
+   level, checked against central finite differences on the reference
+   interpreter, plus the "keep backward-needed intermediates in global
+   memory" fusion restriction. *)
+
+open Dgraph
+
+(* scalar loss value of a graph on an environment *)
+let loss_value (p : Program.t) env ~loss =
+  let out = Interp.run_env p env in
+  Nd.get_flat (Interp.lookup out loss) 0
+
+(* central finite difference of d loss / d input[j] *)
+let fd_gradient (p : Program.t) env ~loss ~input j =
+  let eps = 1e-4 in
+  let perturb delta =
+    let env' =
+      Program.SMap.mapi
+        (fun name nd ->
+          if name = input then begin
+            let c = Nd.copy nd in
+            Nd.set_flat c j (Nd.get_flat c j +. delta);
+            c
+          end
+          else nd)
+        env
+    in
+    loss_value p env' ~loss
+  in
+  (perturb eps -. perturb (-.eps)) /. (2. *. eps)
+
+(* compare the autodiff gradients of [graph] w.r.t. [wrt] against finite
+   differences, on every element of each gradient *)
+let check_gradients ?(tol = 2e-3) (graph : Dgraph.t) ~loss ~wrt =
+  let ad = Autodiff.backward ~loss ~wrt graph in
+  (match Dgraph.validate ad.Autodiff.graph with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "backward graph invalid: %s" m);
+  let p_full = Lower.run ad.Autodiff.graph in
+  let p_fwd = Lower.run graph in
+  let env = Interp.random_inputs ~seed:7 p_fwd in
+  let results = Interp.run_env p_full env in
+  List.iter
+    (fun input ->
+      match Autodiff.gradient ad input with
+      | None -> Alcotest.failf "no gradient for %s" input
+      | Some gname ->
+          let g = Interp.lookup results gname in
+          for j = 0 to min 11 (Nd.numel g - 1) do
+            let expected = fd_gradient p_fwd env ~loss ~input j in
+            let got = Nd.get_flat g j in
+            if
+              Float.abs (got -. expected)
+              > tol +. (1e-2 *. Float.abs expected)
+            then
+              Alcotest.failf "d%s/d%s[%d]: autodiff %.6f vs fd %.6f" loss
+                input j got expected
+          done)
+    wrt
+
+(* reduce a tensor of any rank to a single-element loss of shape (1) *)
+let scalarize b ~rank t =
+  let cur = ref t in
+  for r = rank downto 2 do
+    cur :=
+      B.add b ~name:(B.fresh b "lred")
+        (Op.Reduce { op = Te.Sum; axis = r - 1 })
+        [ !cur ]
+  done;
+  let s = B.add b ~name:(B.fresh b "lred0") (Op.Reduce { op = Te.Sum; axis = 0 }) [ !cur ] in
+  B.add b ~name:(B.fresh b "loss") (Op.Reshape [| 1 |]) [ s ]
+
+let mlp_graph () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 6 |] in
+  let w1 = B.input b "w1" [| 6; 5 |] in
+  let b1 = B.input b "b1" [| 5 |] in
+  let w2 = B.input b "w2" [| 5; 3 |] in
+  let h = B.add b ~name:"h" Op.Matmul [ x; w1 ] in
+  let h = B.add b ~name:"hb" Op.Bias_add [ h; b1 ] in
+  let h = B.add b ~name:"ha" (Op.Unary Expr.Tanh) [ h ] in
+  let y = B.add b ~name:"y" Op.Matmul [ h; w2 ] in
+  let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ y; y ] in
+  let l = scalarize b ~rank:2 sq in
+  (B.finish b ~outputs:[ l ], l)
+
+let test_mlp_gradients () =
+  let g, loss = mlp_graph () in
+  check_gradients g ~loss ~wrt:[ "w1"; "b1"; "w2"; "x" ]
+
+let test_unary_gradients () =
+  List.iter
+    (fun (name, u) ->
+      let b = B.create () in
+      let x = B.input b "x" [| 1; 4 |] in
+      let y = B.add b ~name:"y" (Op.Unary u) [ x ] in
+      let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ y; y ] in
+      let l = scalarize b ~rank:2 sq in
+      ignore name;
+      check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "x" ])
+    [ ("sigmoid", Expr.Sigmoid); ("tanh", Expr.Tanh); ("exp", Expr.Exp);
+      ("neg", Expr.Neg); ("erf", Expr.Erf) ]
+
+let test_relu_gradient_off_kink () =
+  (* relu is non-smooth at 0; shift inputs away from it *)
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 4 |] in
+  let shifted = B.add b ~name:"s" (Op.Affine { scale = 1.0; shift = 2.0 }) [ x ] in
+  let y = B.add b ~name:"y" (Op.Unary Expr.Relu) [ shifted ] in
+  let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ y; y ] in
+  let l = scalarize b ~rank:2 sq in
+  check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "x" ]
+
+let test_softmax_gradient () =
+  (* loss = sum(t * softmax(x)) exposes the full softmax jacobian *)
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 5 |] in
+  let t = B.input b "t" [| 2; 5 |] in
+  let y = B.add b ~name:"y" Op.Softmax [ x ] in
+  let w = B.add b ~name:"w" (Op.Binary Expr.Mul) [ t; y ] in
+  let l = scalarize b ~rank:2 w in
+  check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "x" ]
+
+let test_gemv_gradient () =
+  let b = B.create () in
+  let w = B.input b "w" [| 4; 3 |] in
+  let v = B.input b "v" [| 3 |] in
+  let y = B.add b ~name:"y" Op.Gemv [ w; v ] in
+  let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ y; y ] in
+  let l = scalarize b ~rank:1 sq in
+  check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "w"; "v" ]
+
+let test_layout_op_gradients () =
+  (* transpose and reshape are linear: gradients flow through exactly *)
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 6 |] in
+  let t = B.add b ~name:"t" (Op.Transpose [| 1; 0 |]) [ x ] in
+  let r = B.add b ~name:"r" (Op.Reshape [| 3; 4 |]) [ t ] in
+  let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ r; r ] in
+  let l = scalarize b ~rank:2 sq in
+  check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "x" ]
+
+let test_concat_gradient () =
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 3 |] in
+  let y = B.input b "y" [| 1; 3 |] in
+  let c = B.add b ~name:"c" (Op.Concat { axis = 0 }) [ x; y ] in
+  let sq = B.add b ~name:"sq" (Op.Binary Expr.Mul) [ c; c ] in
+  let l = scalarize b ~rank:2 sq in
+  check_gradients (B.finish b ~outputs:[ l ]) ~loss:l ~wrt:[ "x"; "y" ]
+
+let test_mmoe_trains () =
+  (* end to end: gradients of a real model's weights *)
+  let g = Mmoe.create ~cfg:Mmoe.tiny () in
+  (* scalar loss: sum of the two task heads *)
+  let b = B.create () in
+  List.iter
+    (fun (n, (i : Program.tensor_info)) ->
+      ignore (B.input b n ~dtype:i.Program.dtype i.Program.shape))
+    g.Dgraph.inputs;
+  List.iter
+    (fun (n : Dgraph.node) ->
+      ignore (B.add b ~name:n.Dgraph.name n.Dgraph.op n.Dgraph.inputs))
+    g.Dgraph.nodes;
+  let s =
+    B.add b ~name:"both" (Op.Binary Expr.Add)
+      [ List.nth g.Dgraph.outputs 0; List.nth g.Dgraph.outputs 1 ]
+  in
+  let l = scalarize b ~rank:2 s in
+  let g = B.finish b ~outputs:[ l ] in
+  check_gradients ~tol:5e-3 g ~loss:l ~wrt:[ "expert0_w"; "gate0_w"; "tower0_w" ]
+
+let test_saved_tensors_materialized () =
+  (* the §9 restriction: forward intermediates the backward pass reads are
+     graph outputs, so Souffle cannot elide them and they end up in DRAM *)
+  let g, loss = mlp_graph () in
+  let ad = Autodiff.backward ~loss g in
+  Alcotest.(check bool) "some tensors saved" true
+    (List.length ad.Autodiff.saved > 0);
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " is an output") true
+        (List.mem s ad.Autodiff.graph.Dgraph.outputs))
+    ad.Autodiff.saved;
+  let r = Souffle.compile (Lower.run ad.Autodiff.graph) in
+  (match Souffle.verify ~rtol:1e-3 r with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "training graph not preserved: %s" m);
+  (* every saved tensor survives the transformations *)
+  List.iter
+    (fun s ->
+      Alcotest.(check bool) (s ^ " survives") true
+        (Option.is_some (Program.find_te r.Souffle.transformed s)))
+    ad.Autodiff.saved
+
+let test_training_graph_compiles_faster_fused () =
+  (* Souffle still helps training steps, just less than inference *)
+  let g, loss = mlp_graph () in
+  let ad = Autodiff.backward ~loss g in
+  let p = Lower.run ad.Autodiff.graph in
+  let v0 = Souffle.compile ~cfg:(Souffle.config ~level:Souffle.V0 ()) p in
+  let v4 = Souffle.compile p in
+  Alcotest.(check bool) "V4 no slower than V0" true
+    (Souffle.time_ms v4 <= Souffle.time_ms v0 *. 1.01)
+
+let test_unsupported_raises () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 4 |] in
+  let y = B.add b ~name:"y" (Op.Unary Expr.Log) [ x ] in
+  let l = B.add b ~name:"l" (Op.Reduce { op = Te.Sum; axis = 1 }) [ y ] in
+  let g = B.finish b ~outputs:[ l ] in
+  Alcotest.(check bool) "raises" true
+    (try
+       ignore (Autodiff.backward ~loss:l g);
+       false
+     with Invalid_argument _ -> true)
+
+let suite =
+  [
+    Alcotest.test_case "mlp gradients vs finite differences" `Quick
+      test_mlp_gradients;
+    Alcotest.test_case "unary gradients" `Quick test_unary_gradients;
+    Alcotest.test_case "relu gradient" `Quick test_relu_gradient_off_kink;
+    Alcotest.test_case "softmax gradient" `Quick test_softmax_gradient;
+    Alcotest.test_case "gemv gradient" `Quick test_gemv_gradient;
+    Alcotest.test_case "layout op gradients" `Quick test_layout_op_gradients;
+    Alcotest.test_case "concat gradient" `Quick test_concat_gradient;
+    Alcotest.test_case "mmoe end-to-end gradients" `Slow test_mmoe_trains;
+    Alcotest.test_case "saved tensors materialized" `Quick
+      test_saved_tensors_materialized;
+    Alcotest.test_case "training graph compiles" `Quick
+      test_training_graph_compiles_faster_fused;
+    Alcotest.test_case "unsupported op raises" `Quick test_unsupported_raises;
+  ]

@@ -1,0 +1,221 @@
+(* Tests for the baseline systems: plan validity (every TE covered, in
+   order), the failure modes of Table 3, and the structural orderings the
+   paper reports (kernel counts, memory traffic, Souffle speedups). *)
+
+(* every TE exactly once; Rammer reorders across wavefronts, so compare as
+   multisets rather than sequences *)
+let groups_cover_program (groups : Emit.group list) (p : Program.t) =
+  let flat = List.concat_map (fun g -> g.Emit.g_tes) groups in
+  List.sort compare flat
+  = List.sort compare (List.map (fun (te : Te.t) -> te.Te.name) p.Program.tes)
+
+let tiny name =
+  let e = Option.get (Zoo.find name) in
+  Lower.run (e.Zoo.tiny ())
+
+let test_all_baselines_cover_tiny_models () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      List.iter
+        (fun s ->
+          match Baseline.run s p with
+          | Ok r ->
+              Alcotest.(check bool)
+                (Fmt.str "%s covers %s" (Baseline.name s) e.Zoo.name)
+                true
+                (groups_cover_program r.Baseline.groups p)
+          | Error _ -> ())
+        Baseline.all)
+    Zoo.all
+
+let test_rammer_fails_on_unsupported () =
+  List.iter
+    (fun model ->
+      let p = Lower.run ((Option.get (Zoo.find model)).Zoo.full ()) in
+      Alcotest.(check bool) ("Rammer fails on " ^ model) true
+        (Result.is_error (Baseline.run Baseline.Rammer p)))
+    [ "EfficientNet"; "SwinTrans."; "MMoE" ];
+  Alcotest.(check bool) "Rammer compiles BERT" true
+    (Result.is_ok (Baseline.run Baseline.Rammer (tiny "BERT")))
+
+let test_apollo_fails_on_lstm () =
+  let p = Lower.run (Lstm.create ()) in
+  Alcotest.(check bool) "Apollo fails on full LSTM" true
+    (Result.is_error (Baseline.run Baseline.Apollo p));
+  Alcotest.(check bool) "Apollo compiles tiny LSTM" true
+    (Result.is_ok (Baseline.run Baseline.Apollo (tiny "LSTM")))
+
+let test_xla_library_calls () =
+  let p = tiny "BERT" in
+  match Baseline.run Baseline.Xla p with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      let libs =
+        List.filter (fun g -> g.Emit.library_call) r.Baseline.groups
+      in
+      Alcotest.(check bool) "XLA emits library calls" true
+        (List.length libs > 0);
+      List.iter
+        (fun (g : Emit.group) ->
+          Alcotest.(check int) "library groups are single ops" 1
+            (List.length g.Emit.g_tes))
+        libs
+
+let test_xla_never_fuses_two_reductions () =
+  let p = tiny "BERT" in
+  match Baseline.run Baseline.Xla p with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      List.iter
+        (fun (g : Emit.group) ->
+          if not g.Emit.library_call then begin
+            let reductions =
+              List.filter
+                (fun n -> Te.has_reduction (Program.find_te_exn p n))
+                g.Emit.g_tes
+            in
+            Alcotest.(check bool) "at most one reduction per cluster" true
+              (List.length reductions <= 1)
+          end)
+        r.Baseline.groups
+
+let test_apollo_reductions_alone () =
+  let p = tiny "BERT" in
+  match Baseline.run Baseline.Apollo p with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      List.iter
+        (fun (g : Emit.group) ->
+          let has_reduction =
+            List.exists
+              (fun n -> Te.has_reduction (Program.find_te_exn p n))
+              g.Emit.g_tes
+          in
+          if has_reduction then
+            Alcotest.(check int) "reduction kernels are singletons" 1
+              (List.length g.Emit.g_tes))
+        r.Baseline.groups
+
+let test_rammer_wavefronts_are_independent () =
+  let p = tiny "LSTM" in
+  match Baseline.run Baseline.Rammer p with
+  | Error m -> Alcotest.fail m
+  | Ok r ->
+      (* within a wavefront group no TE reads another member's output *)
+      List.iter
+        (fun (g : Emit.group) ->
+          let members = Program.SSet.of_list g.Emit.g_tes in
+          List.iter
+            (fun n ->
+              let te = Program.find_te_exn p n in
+              List.iter
+                (fun i ->
+                  Alcotest.(check bool) "independent" false
+                    (Program.SSet.mem i members))
+                (Te.inputs te))
+            g.Emit.g_tes)
+        r.Baseline.groups
+
+let test_no_baseline_uses_grid_sync () =
+  let p = tiny "BERT" in
+  List.iter
+    (fun s ->
+      match Baseline.run s p with
+      | Error _ -> ()
+      | Ok r ->
+          List.iter
+            (fun k ->
+              Alcotest.(check int)
+                (Baseline.name s ^ " has no grid sync") 0
+                (Kernel_ir.num_grid_syncs k))
+            r.Baseline.prog.Kernel_ir.kernels)
+    Baseline.all
+
+let test_souffle_fewer_kernels_than_all_baselines () =
+  (* Table 5's headline structural result, on the full BERT *)
+  let p = Lower.run (Bert.create ()) in
+  let ours = Souffle.num_kernels (Souffle.compile p) in
+  List.iter
+    (fun s ->
+      match Baseline.run s p with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.(check bool)
+            (Fmt.str "fewer kernels than %s (%d vs %d)" (Baseline.name s)
+               ours (Baseline.num_kernels r))
+            true
+            (ours < Baseline.num_kernels r))
+    Baseline.all
+
+let test_souffle_beats_baselines_on_bert () =
+  (* Table 3's headline: Souffle is fastest on every model; checked here
+     on full BERT (the bench covers the rest) *)
+  let p = Lower.run (Bert.create ()) in
+  let ours = Souffle.time_ms (Souffle.compile p) in
+  List.iter
+    (fun s ->
+      match Baseline.run s p with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.(check bool)
+            (Fmt.str "faster than %s (%.3f vs %.3f)" (Baseline.name s) ours
+               (Baseline.time_ms r))
+            true
+            (ours < Baseline.time_ms r))
+    Baseline.all
+
+let test_souffle_less_traffic_than_trt_apollo () =
+  (* Table 5: Souffle moves the least memory on BERT *)
+  let p = Lower.run (Bert.create ()) in
+  let ours =
+    Counters.global_load_bytes (Souffle.compile p).Souffle.sim.Sim.total
+  in
+  List.iter
+    (fun s ->
+      match Baseline.run s p with
+      | Error _ -> ()
+      | Ok r ->
+          Alcotest.(check bool)
+            ("less traffic than " ^ Baseline.name s)
+            true
+            (ours < Counters.global_load_bytes r.Baseline.sim.Sim.total))
+    [ Baseline.Tensorrt; Baseline.Apollo ]
+
+let test_lstm_rammer_vs_souffle_traffic () =
+  (* Table 6: orders of magnitude less DRAM traffic for Souffle *)
+  let p = Lower.run (Lstm.create ()) in
+  match Baseline.run Baseline.Rammer p with
+  | Error m -> Alcotest.fail m
+  | Ok rammer ->
+      let ours =
+        Counters.global_load_bytes (Souffle.compile p).Souffle.sim.Sim.total
+      in
+      let theirs = Counters.global_load_bytes rammer.Baseline.sim.Sim.total in
+      Alcotest.(check bool)
+        (Fmt.str "10x+ traffic gap (%d vs %d)" theirs ours)
+        true
+        (theirs > ours * 10)
+
+let suite =
+  [
+    Alcotest.test_case "plans cover programs" `Quick
+      test_all_baselines_cover_tiny_models;
+    Alcotest.test_case "rammer failure modes" `Quick test_rammer_fails_on_unsupported;
+    Alcotest.test_case "apollo fails on lstm" `Slow test_apollo_fails_on_lstm;
+    Alcotest.test_case "xla library calls" `Quick test_xla_library_calls;
+    Alcotest.test_case "xla single reduction per cluster" `Quick
+      test_xla_never_fuses_two_reductions;
+    Alcotest.test_case "apollo reductions alone" `Quick test_apollo_reductions_alone;
+    Alcotest.test_case "rammer wavefront independence" `Quick
+      test_rammer_wavefronts_are_independent;
+    Alcotest.test_case "baselines never grid-sync" `Quick
+      test_no_baseline_uses_grid_sync;
+    Alcotest.test_case "souffle fewest kernels (bert)" `Slow
+      test_souffle_fewer_kernels_than_all_baselines;
+    Alcotest.test_case "souffle fastest (bert)" `Slow
+      test_souffle_beats_baselines_on_bert;
+    Alcotest.test_case "souffle least traffic (bert)" `Slow
+      test_souffle_less_traffic_than_trt_apollo;
+    Alcotest.test_case "lstm traffic gap" `Slow test_lstm_rammer_vs_souffle_traffic;
+  ]

@@ -1,0 +1,162 @@
+(* Tests for the mechanisms added beyond the first working pipeline:
+   horizontal group chunking, two-phase reduction splits (rsplit), the
+   device-configuration surface, and the Sec. 9 "slowdown" behaviors. *)
+
+let f32 = Dtype.F32
+let dev = Device.a100
+let input name shape = (name, { Program.shape; dtype = f32 })
+
+let test_horizontal_chunking () =
+  (* 100 identical independent GEMVs merge into ceil(100/32) = 4 groups *)
+  let n = 100 in
+  let inputs =
+    List.concat_map
+      (fun i -> [ input (Fmt.str "w%d" i) [| 16; 8 |]; input (Fmt.str "x%d" i) [| 8 |] ])
+      (List.init n Fun.id)
+  in
+  let tes =
+    List.init n (fun i ->
+        Builder.gemv ~name:(Fmt.str "y%d" i) ~m:16 ~k:8 (Fmt.str "w%d" i)
+          (Fmt.str "x%d" i))
+  in
+  let consumers =
+    List.init n (fun i ->
+        Builder.unary ~name:(Fmt.str "z%d" i) ~shape:[| 16 |] Expr.Relu
+          (Fmt.str "y%d" i))
+  in
+  let p =
+    Program.make ~inputs ~tes:(tes @ consumers)
+      ~outputs:(List.init n (fun i -> Fmt.str "z%d" i))
+  in
+  let p', stats = Horizontal.apply p in
+  Alcotest.(check int) "4 chunked groups" 4 stats.Horizontal.groups_merged;
+  Alcotest.(check int) "96 TEs eliminated" 96 stats.Horizontal.tes_eliminated;
+  (match Interp.equivalent ~rtol:1e-4 p p' with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m)
+
+let test_chunking_respects_cap () =
+  (* no merged group exceeds the cap *)
+  Alcotest.(check bool) "cap is reasonable" true
+    (Horizontal.max_group_members >= 2 && Horizontal.max_group_members <= 64)
+
+let test_rsplit_increases_grid () =
+  (* a reduction with a tiny output space picks a cross-block split *)
+  let x = input "x" [| 64; 65536 |] in
+  let te = Builder.reduce_last ~name:"s" ~m:64 ~k:65536 Te.Sum "x" in
+  let p = Program.make ~inputs:[ x ] ~tes:[ te ] ~outputs:[ "s" ] in
+  let s = Ansor.schedule_te dev p te in
+  Alcotest.(check bool)
+    (Fmt.str "rsplit chosen (got %d, grid %d)" s.Sched.rsplit
+       (Sched.grid_blocks te s))
+    true
+    (s.Sched.rsplit > 1 && Sched.grid_blocks te s >= 16)
+
+let test_rsplit_emits_atomics () =
+  let x = input "x" [| 64; 65536 |] in
+  let te = Builder.reduce_last ~name:"s" ~m:64 ~k:65536 Te.Sum "x" in
+  let p = Program.make ~inputs:[ x ] ~tes:[ te ] ~outputs:[ "s" ] in
+  let an = Analysis.run p in
+  let scheds = Ansor.schedule_program dev p in
+  let groups =
+    [ { Emit.g_tes = [ "s" ]; cooperative = false; library_call = false;
+        eff_override = None } ]
+  in
+  let prog = Emit.emit dev p an scheds Emit.default_options groups in
+  let sim = Sim.run dev prog in
+  Alcotest.(check bool) "atomic partials recorded" true
+    (sim.Sim.total.Counters.atomic_bytes > 0)
+
+let test_rsplit_not_chosen_for_large_outputs () =
+  let x = input "x" [| 512; 512 |] and w = input "w" [| 512; 512 |] in
+  let te = Builder.matmul ~tag:"matmul" ~name:"g" ~m:512 ~n:512 ~k:512 "x" "w" in
+  let p = Program.make ~inputs:[ x; w ] ~tes:[ te ] ~outputs:[ "g" ] in
+  let s = Ansor.schedule_te dev p te in
+  Alcotest.(check int) "no split for big GEMM" 1 s.Sched.rsplit
+
+let test_coop_capacity_monotone_kernels () =
+  (* a smaller cooperative budget can only produce more (or equal) kernels *)
+  let p = Lower.run (Bert.create ~cfg:{ Bert.tiny with Bert.layers = 4 } ()) in
+  let kernels frac =
+    let device = { dev with Device.coop_capacity_frac = frac } in
+    Souffle.num_kernels (Souffle.compile ~cfg:(Souffle.config ~device ()) p)
+  in
+  Alcotest.(check bool) "monotone" true (kernels 0.25 >= kernels 1.0)
+
+let test_lstm_single_kernel_full () =
+  (* Table 5's headline LSTM result at full size: exactly one kernel *)
+  let p = Lower.run (Lstm.create ()) in
+  let r = Souffle.compile p in
+  Alcotest.(check int) "one kernel" 1 (Souffle.num_kernels r)
+
+let test_epilogue_broadcast_not_attached () =
+  (* a channel-broadcast consumer (larger iteration space) stays out of its
+     producer's stage *)
+  let pool =
+    Te.reduce ~tag:"global_avg_pool" ~name:"pool" ~shape:[| 1; 8 |] ~op:Te.Sum
+      ~axes:[| 16; 16 |]
+      (Expr.Binop
+         ( Expr.Mul,
+           Expr.Read ("x", Index.[ ov 0; ov 1; rv 0; rv 1 ]),
+           Expr.Const (1. /. 256.) ))
+  in
+  let fc =
+    Te.reduce ~tag:"matmul" ~name:"fc" ~shape:[| 1; 4 |] ~op:Te.Sum
+      ~axes:[| 8 |]
+      (Expr.Binop
+         ( Expr.Mul,
+           Expr.Read ("pool", Index.[ ov 0; rv 0 ]),
+           Expr.Read ("w", Index.[ rv 0; ov 1 ]) ))
+  in
+  (* broadcast consumer: scale x by fc-derived gate *)
+  let scale =
+    Te.compute ~tag:"scale_channels" ~name:"scale" ~shape:[| 1; 8; 16; 16 |]
+      (Expr.Binop
+         ( Expr.Mul,
+           Expr.Read ("x", Index.[ ov 0; ov 1; ov 2; ov 3 ]),
+           Expr.Read ("fc", Index.[ ov 0; Index.Mod (Index.ov 1, 4) ]) ))
+  in
+  let tes = [ pool; fc; scale ] in
+  let stages = Emit.build_stages Emit.default_options tes in
+  (* scale must not share fc's stage *)
+  let fc_stage =
+    List.find
+      (fun tl -> List.exists (fun (te : Te.t) -> te.Te.name = "fc") tl)
+      stages
+  in
+  Alcotest.(check bool) "broadcast consumer detached" false
+    (List.exists (fun (te : Te.t) -> te.Te.name = "scale") fc_stage)
+
+let test_tiny_device () =
+  (* the pipeline works on a hypothetical smaller GPU: more kernels *)
+  let small =
+    { dev with
+      Device.num_sms = 16;
+      smem_per_sm = 64 * 1024;
+      max_smem_per_block = 48 * 1024;
+    }
+  in
+  let p = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
+  let r_small = Souffle.compile ~cfg:(Souffle.config ~device:small ()) p in
+  let r_big = Souffle.compile p in
+  Alcotest.(check bool) "compiles on small device" true
+    (Souffle.time_ms r_small > 0.);
+  Alcotest.(check bool) "small device no faster" true
+    (Souffle.time_ms r_small >= Souffle.time_ms r_big)
+
+let suite =
+  [
+    Alcotest.test_case "horizontal chunking" `Quick test_horizontal_chunking;
+    Alcotest.test_case "chunking cap" `Quick test_chunking_respects_cap;
+    Alcotest.test_case "rsplit increases grid" `Quick test_rsplit_increases_grid;
+    Alcotest.test_case "rsplit emits atomics" `Quick test_rsplit_emits_atomics;
+    Alcotest.test_case "rsplit skipped for big outputs" `Quick
+      test_rsplit_not_chosen_for_large_outputs;
+    Alcotest.test_case "coop capacity monotone" `Quick
+      test_coop_capacity_monotone_kernels;
+    Alcotest.test_case "lstm single kernel (full)" `Slow
+      test_lstm_single_kernel_full;
+    Alcotest.test_case "broadcast epilogue detached" `Quick
+      test_epilogue_broadcast_not_attached;
+    Alcotest.test_case "tiny device" `Quick test_tiny_device;
+  ]

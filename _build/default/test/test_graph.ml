@@ -1,0 +1,350 @@
+(* Lowering correctness: every operator's TE lowering is checked against a
+   directly-computed reference on concrete inputs. *)
+
+open Dgraph
+
+let f32 = Dtype.F32
+
+let run1 ?(seed = 11) (g : Dgraph.t) : Nd.t =
+  let p = Lower.run g in
+  (match Program.validate p with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "invalid lowered program: %s" m);
+  let inputs = Interp.random_inputs ~seed p in
+  match Interp.run p inputs with
+  | [ (_, out) ] -> out
+  | l -> snd (List.hd l)
+
+let input_env ?(seed = 11) (g : Dgraph.t) =
+  Interp.random_inputs ~seed (Lower.run g)
+
+let graph1 op ~ins ~shapes =
+  let b = B.create () in
+  List.iter2 (fun n s -> ignore (B.input b n s)) ins shapes;
+  let out = B.add b ~name:"out" op ins in
+  B.finish b ~outputs:[ out ]
+
+let test_conv2d_identity_kernel () =
+  (* 1x1 conv with identity weights returns the input *)
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 2; 4; 4 |] in
+  let w = B.input b "w" [| 2; 2; 1; 1 |] in
+  let out =
+    B.add b ~name:"out"
+      (Op.Conv2d { kernel = 1; stride = 1; padding = 0; groups = 1 })
+      [ x; w ]
+  in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.init [| 1; 2; 4; 4 |] (fun i -> float_of_int (i.(1) + i.(2) + i.(3))));
+        ( "w",
+          Nd.init [| 2; 2; 1; 1 |] (fun i -> if i.(0) = i.(1) then 1. else 0.) );
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 1e-6)) "identity conv" 5.
+    (Nd.get out [| 0; 1; 2; 2 |])
+
+let test_conv2d_padding_sums () =
+  (* all-ones 3x3 conv with padding: corner output sums a 2x2 window *)
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 1; 4; 4 |] in
+  let w = B.input b "w" [| 1; 1; 3; 3 |] in
+  let out =
+    B.add b ~name:"out"
+      (Op.Conv2d { kernel = 3; stride = 1; padding = 1; groups = 1 })
+      [ x; w ]
+  in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [ ("x", Nd.create [| 1; 1; 4; 4 |] 1.); ("w", Nd.create [| 1; 1; 3; 3 |] 1.) ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 1e-6)) "corner" 4. (Nd.get out [| 0; 0; 0; 0 |]);
+  Alcotest.(check (float 1e-6)) "center" 9. (Nd.get out [| 0; 0; 1; 1 |])
+
+let test_grouped_conv_independence () =
+  (* with 2 groups, group-0 output must not depend on group-1 channels *)
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 4; 3; 3 |] in
+  let w = B.input b "w" [| 2; 2; 1; 1 |] in
+  let out =
+    B.add b ~name:"out"
+      (Op.Conv2d { kernel = 1; stride = 1; padding = 0; groups = 2 })
+      [ x; w ]
+  in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let x0 = Nd.init [| 1; 4; 3; 3 |] (fun i -> if i.(1) < 2 then 1. else 100.) in
+  let w0 = Nd.create [| 2; 2; 1; 1 |] 1. in
+  let out0 =
+    List.assoc "out" (Interp.run p (Interp.env_of_list [ ("x", x0); ("w", w0) ]))
+  in
+  (* group 0 output channel 0 sums channels 0-1 only: 1+1 = 2 *)
+  Alcotest.(check (float 1e-6)) "group0" 2. (Nd.get out0 [| 0; 0; 1; 1 |]);
+  (* group 1 output channel 1 sums channels 2-3: 200 *)
+  Alcotest.(check (float 1e-6)) "group1" 200. (Nd.get out0 [| 0; 1; 1; 1 |])
+
+let test_depthwise_conv () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 2; 3; 3 |] in
+  let w = B.input b "w" [| 2; 1; 3; 3 |] in
+  let out =
+    B.add b ~name:"out" (Op.Depthwise_conv2d { kernel = 3; stride = 1; padding = 0 })
+      [ x; w ]
+  in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.init [| 1; 2; 3; 3 |] (fun i -> float_of_int (i.(1) + 1)));
+        ("w", Nd.create [| 2; 1; 3; 3 |] 1.);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 1e-6)) "channel 0: 9 ones" 9. (Nd.get out [| 0; 0; 0; 0 |]);
+  Alcotest.(check (float 1e-6)) "channel 1: 9 twos" 18. (Nd.get out [| 0; 1; 0; 0 |])
+
+let test_max_pool () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 1; 4; 4 |] in
+  let out =
+    B.add b ~name:"out"
+      (Op.Pool2d { kind = Op.Max_pool; kernel = 2; stride = 2; padding = 0 })
+      [ x ]
+  in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let x0 = Nd.init [| 1; 1; 4; 4 |] (fun i -> float_of_int ((i.(2) * 4) + i.(3))) in
+  let out = List.assoc "out" (Interp.run p (Interp.env_of_list [ ("x", x0) ])) in
+  Alcotest.(check (float 0.)) "2x2 max" 5. (Nd.get out [| 0; 0; 0; 0 |]);
+  Alcotest.(check (float 0.)) "last window" 15. (Nd.get out [| 0; 0; 1; 1 |])
+
+let test_avg_pool () =
+  let g =
+    graph1
+      (Op.Pool2d { kind = Op.Avg_pool; kernel = 2; stride = 2; padding = 0 })
+      ~ins:[ "x" ] ~shapes:[ [| 1; 1; 2; 2 |] ]
+  in
+  let p = Lower.run g in
+  let x0 = Nd.of_array [| 1; 1; 2; 2 |] [| 1.; 2.; 3.; 6. |] in
+  let out = List.assoc "out" (Interp.run p (Interp.env_of_list [ ("x", x0) ])) in
+  Alcotest.(check (float 1e-6)) "avg" 3. (Nd.get out [| 0; 0; 0; 0 |])
+
+let test_global_avg_pool () =
+  let g = graph1 Op.Global_avg_pool ~ins:[ "x" ] ~shapes:[ [| 1; 2; 2; 2 |] ] in
+  let p = Lower.run g in
+  let x0 = Nd.init [| 1; 2; 2; 2 |] (fun i -> float_of_int i.(1) +. 1.) in
+  let out = List.assoc "out" (Interp.run p (Interp.env_of_list [ ("x", x0) ])) in
+  Alcotest.(check (float 1e-6)) "ch0" 1. (Nd.get out [| 0; 0 |]);
+  Alcotest.(check (float 1e-6)) "ch1" 2. (Nd.get out [| 0; 1 |])
+
+let test_softmax_rows_sum_to_one () =
+  let out = run1 (graph1 Op.Softmax ~ins:[ "x" ] ~shapes:[ [| 3; 5 |] ]) in
+  for i = 0 to 2 do
+    let s = ref 0. in
+    for j = 0 to 4 do
+      s := !s +. Nd.get out [| i; j |]
+    done;
+    Alcotest.(check (float 1e-6)) "row sum" 1. !s
+  done
+
+let test_layernorm_moments () =
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 8 |] in
+  let gm = B.input b "g" [| 8 |] in
+  let bt = B.input b "b" [| 8 |] in
+  let out = B.add b ~name:"out" (Op.Layernorm { eps = 0. }) [ x; gm; bt ] in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let rng = Rng.create 3 in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.random rng [| 2; 8 |]);
+        ("g", Nd.create [| 8 |] 1.);
+        ("b", Nd.create [| 8 |] 0.);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  (* each row has ~0 mean and ~1 variance *)
+  for i = 0 to 1 do
+    let mean = ref 0. and var = ref 0. in
+    for j = 0 to 7 do
+      mean := !mean +. (Nd.get out [| i; j |] /. 8.)
+    done;
+    for j = 0 to 7 do
+      let d = Nd.get out [| i; j |] -. !mean in
+      var := !var +. (d *. d /. 8.)
+    done;
+    Alcotest.(check (float 1e-5)) "mean 0" 0. !mean;
+    Alcotest.(check (float 1e-4)) "var 1" 1. !var
+  done
+
+let test_reduce_axis () =
+  let g =
+    graph1 (Op.Reduce { op = Te.Sum; axis = 0 }) ~ins:[ "x" ]
+      ~shapes:[ [| 3; 2 |] ]
+  in
+  let p = Lower.run g in
+  let x0 = Nd.init [| 3; 2 |] (fun i -> float_of_int i.(0)) in
+  let out = List.assoc "out" (Interp.run p (Interp.env_of_list [ ("x", x0) ])) in
+  Alcotest.(check (float 1e-6)) "sum over axis 0" 3. (Nd.get out [| 0 |])
+
+let test_concat_three () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 2 |] in
+  let y = B.input b "y" [| 2; 2 |] in
+  let z = B.input b "z" [| 3; 2 |] in
+  let out = B.add b ~name:"out" (Op.Concat { axis = 0 }) [ x; y; z ] in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.create [| 1; 2 |] 1.);
+        ("y", Nd.create [| 2; 2 |] 2.);
+        ("z", Nd.create [| 3; 2 |] 3.);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (array int)) "shape" [| 6; 2 |] (Nd.shape out);
+  Alcotest.(check (float 0.)) "x part" 1. (Nd.get out [| 0; 0 |]);
+  Alcotest.(check (float 0.)) "y part" 2. (Nd.get out [| 2; 1 |]);
+  Alcotest.(check (float 0.)) "z part" 3. (Nd.get out [| 5; 0 |])
+
+let test_scale_channels () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 2; 2; 2 |] in
+  let s = B.input b "s" [| 1; 2 |] in
+  let out = B.add b ~name:"out" Op.Scale_channels [ x; s ] in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.create [| 1; 2; 2; 2 |] 3.);
+        ("s", Nd.of_array [| 1; 2 |] [| 2.; 10. |]);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 0.)) "ch0 scaled" 6. (Nd.get out [| 0; 0; 1; 1 |]);
+  Alcotest.(check (float 0.)) "ch1 scaled" 30. (Nd.get out [| 0; 1; 0; 0 |])
+
+let test_bias_channels () =
+  let b = B.create () in
+  let x = B.input b "x" [| 1; 2; 2; 2 |] in
+  let s = B.input b "s" [| 2 |] in
+  let out = B.add b ~name:"out" Op.Bias_channels [ x; s ] in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.create [| 1; 2; 2; 2 |] 3.);
+        ("s", Nd.of_array [| 2 |] [| 1.; -1. |]);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 0.)) "ch0" 4. (Nd.get out [| 0; 0; 1; 1 |]);
+  Alcotest.(check (float 0.)) "ch1" 2. (Nd.get out [| 0; 1; 0; 0 |])
+
+let test_binary_broadcast () =
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 2; 3 |] in
+  let y = B.input b "y" [| 3 |] in
+  let out = B.add b ~name:"out" (Op.Binary Expr.Add) [ x; y ] in
+  let g = B.finish b ~outputs:[ out ] in
+  let p = Lower.run g in
+  let env =
+    Interp.env_of_list
+      [
+        ("x", Nd.create [| 2; 2; 3 |] 1.);
+        ("y", Nd.of_array [| 3 |] [| 10.; 20.; 30. |]);
+      ]
+  in
+  let out = List.assoc "out" (Interp.run p env) in
+  Alcotest.(check (float 0.)) "broadcast" 21. (Nd.get out [| 1; 0; 1 |])
+
+let test_shape_inference_errors () =
+  let check_bad op shapes =
+    Alcotest.(check bool)
+      (Op.to_string op ^ " rejected") true
+      (try
+         ignore (Op.infer_shape op shapes);
+         false
+       with Invalid_argument _ -> true)
+  in
+  check_bad Op.Matmul [ [| 2; 3 |]; [| 4; 5 |] ];
+  check_bad Op.Gemv [ [| 2; 3 |]; [| 4 |] ];
+  check_bad (Op.Reshape [| 7 |]) [ [| 2; 3 |] ];
+  check_bad (Op.Transpose [| 0 |]) [ [| 2; 3 |] ];
+  check_bad (Op.Concat { axis = 0 }) [ [| 2; 3 |]; [| 2; 4 |] ];
+  check_bad Op.Bias_add [ [| 2; 3 |]; [| 2 |] ]
+
+let test_graph_validate () =
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 2 |] in
+  let out = B.add b ~name:"o" (Op.Unary Expr.Relu) [ x ] in
+  let g = B.finish b ~outputs:[ out ] in
+  Alcotest.(check bool) "valid graph" true (Result.is_ok (Dgraph.validate g));
+  let bad = { g with Dgraph.outputs = [ "missing" ] } in
+  Alcotest.(check bool) "bad output caught" true
+    (Result.is_error (Dgraph.validate bad))
+
+let test_matmul_chain_against_composition () =
+  (* (x @ A) @ B == x @ (A @ B) numerically *)
+  let b = B.create () in
+  let x = B.input b "x" [| 2; 3 |] in
+  let wa = B.input b "a" [| 3; 4 |] in
+  let wb = B.input b "bb" [| 4; 2 |] in
+  let m1 = B.add b ~name:"m1" Op.Matmul [ x; wa ] in
+  let m2 = B.add b ~name:"m2" Op.Matmul [ m1; wb ] in
+  let g = B.finish b ~outputs:[ m2 ] in
+  let p = Lower.run g in
+  let env = input_env g in
+  let out = List.assoc "m2" (Interp.run p env) in
+  (* reference: direct triple loop *)
+  let gx = Interp.lookup env "x" and ga = Interp.lookup env "a"
+  and gb = Interp.lookup env "bb" in
+  let reference =
+    Nd.init [| 2; 2 |] (fun i ->
+        let acc = ref 0. in
+        for k = 0 to 3 do
+          let m1v = ref 0. in
+          for j = 0 to 2 do
+            m1v := !m1v +. (Nd.get gx [| i.(0); j |] *. Nd.get ga [| j; k |])
+          done;
+          acc := !acc +. (!m1v *. Nd.get gb [| k; i.(1) |])
+        done;
+        !acc)
+  in
+  Alcotest.(check bool) "chain matches" true
+    (Nd.allclose ~rtol:1e-5 reference out)
+
+let suite =
+  [
+    Alcotest.test_case "conv2d identity" `Quick test_conv2d_identity_kernel;
+    Alcotest.test_case "conv2d padding" `Quick test_conv2d_padding_sums;
+    Alcotest.test_case "grouped conv" `Quick test_grouped_conv_independence;
+    Alcotest.test_case "depthwise conv" `Quick test_depthwise_conv;
+    Alcotest.test_case "max pool" `Quick test_max_pool;
+    Alcotest.test_case "avg pool" `Quick test_avg_pool;
+    Alcotest.test_case "global avg pool" `Quick test_global_avg_pool;
+    Alcotest.test_case "softmax" `Quick test_softmax_rows_sum_to_one;
+    Alcotest.test_case "layernorm moments" `Quick test_layernorm_moments;
+    Alcotest.test_case "reduce axis" `Quick test_reduce_axis;
+    Alcotest.test_case "concat three" `Quick test_concat_three;
+    Alcotest.test_case "scale channels" `Quick test_scale_channels;
+    Alcotest.test_case "bias channels" `Quick test_bias_channels;
+    Alcotest.test_case "binary broadcast" `Quick test_binary_broadcast;
+    Alcotest.test_case "shape inference errors" `Quick test_shape_inference_errors;
+    Alcotest.test_case "graph validate" `Quick test_graph_validate;
+    Alcotest.test_case "matmul chain" `Quick test_matmul_chain_against_composition;
+  ]

@@ -1,0 +1,20 @@
+let () =
+  Alcotest.run "souffle"
+    [
+      ("tensor", Test_tensor.suite);
+      ("index", Test_index.suite);
+      ("te", Test_te.suite);
+      ("transform", Test_transform.suite);
+      ("graph", Test_graph.suite);
+      ("analysis", Test_analysis.suite);
+      ("gpu", Test_gpu.suite);
+      ("kernelgen", Test_kernelgen.suite);
+      ("schedule", Test_schedule.suite);
+      ("models", Test_models.suite);
+      ("pipeline", Test_pipeline.suite);
+      ("baselines", Test_baselines.suite);
+      ("extensions", Test_extensions.suite);
+      ("autodiff", Test_autodiff.suite);
+      ("serialize", Test_serialize.suite);
+      ("tir", Test_tir.suite);
+    ]

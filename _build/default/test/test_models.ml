@@ -1,0 +1,192 @@
+(* Model-zoo tests: every model validates, lowers, shape-checks, and (at
+   tiny size) runs through the interpreter with sane numerics; full-size
+   models are structurally checked without interpretation. *)
+
+let test_all_tiny_validate_and_lower () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let g = e.Zoo.tiny () in
+      (match Dgraph.validate g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s graph invalid: %s" e.Zoo.name m);
+      let p = Lower.run g in
+      match Program.validate p with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s program invalid: %s" e.Zoo.name m)
+    Zoo.all
+
+let test_all_tiny_interpret () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      let outs = Interp.run p (Interp.random_inputs ~seed:1 p) in
+      List.iter
+        (fun (name, nd) ->
+          Nd.fold
+            (fun () v ->
+              if Float.is_nan v || Float.is_integer (v /. 0.) then
+                Alcotest.failf "%s output %s has nan/inf" e.Zoo.name name)
+            () nd)
+        outs)
+    Zoo.all
+
+let test_all_full_validate () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let g = e.Zoo.full () in
+      match Dgraph.validate g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s full graph invalid: %s" e.Zoo.name m)
+    Zoo.all
+
+let te_count name =
+  let e = Option.get (Zoo.find name) in
+  List.length (Lower.run (e.Zoo.full ())).Program.tes
+
+let test_bert_structure () =
+  let g = Bert.create () in
+  let p = Lower.run g in
+  (* 12 layers, each with 6 GEMM-class ops *)
+  let gemms =
+    List.filter
+      (fun (te : Te.t) ->
+        te.Te.tag = "matmul" || te.Te.tag = "batch_matmul")
+      p.Program.tes
+  in
+  Alcotest.(check int) "GEMMs" (12 * 8) (List.length gemms);
+  (* output shape (seq, hidden) *)
+  let info = Program.tensor_info_exn p (List.hd p.Program.outputs) in
+  Alcotest.(check (array int)) "output shape" [| 384; 768 |] info.Program.shape
+
+let test_bert_flops_magnitude () =
+  let p = Lower.run (Bert.create ()) in
+  let flops = Program.total_arith_ops p in
+  (* BERT-base at seq 384 is ~45-75 GFLOP forward *)
+  Alcotest.(check bool) "flops in range" true
+    (flops > 40_000_000_000 && flops < 120_000_000_000)
+
+let test_lstm_structure () =
+  let p = Lower.run (Lstm.create ()) in
+  let gemvs = List.filter (fun (te : Te.t) -> te.Te.tag = "gemv") p.Program.tes in
+  Alcotest.(check int) "2 GEMVs per cell-step" (2 * 100 * 10) (List.length gemvs)
+
+let test_lstm_weight_bytes () =
+  (* weights are 10 cells x 2 matrices x (1024x256) x 4B ~ 21 MB, the
+     number Table 6 reports for Souffle's total DRAM traffic *)
+  let p = Lower.run (Lstm.create ()) in
+  let weight_bytes =
+    List.fold_left
+      (fun acc (name, (info : Program.tensor_info)) ->
+        if String.length name > 0 && (name.[0] = 'w' || name.[0] = 'u') then
+          acc + (Shape.numel info.Program.shape * 4)
+        else acc)
+      0 p.Program.inputs
+  in
+  Alcotest.(check int) "~21MB of weights" (10 * 2 * 1024 * 256 * 4) weight_bytes
+
+let test_resnext_structure () =
+  let n = te_count "ResNeXt" in
+  (* 33 blocks x (32 branches x ~6 TEs + merge/shortcut) + stem/head *)
+  Alcotest.(check bool) "thousands of TEs from explicit branches" true
+    (n > 5000 && n < 10000)
+
+let test_efficientnet_structure () =
+  let p = Lower.run (Efficientnet.create ()) in
+  let dw =
+    List.filter (fun (te : Te.t) -> te.Te.tag = "dwconv2d") p.Program.tes
+  in
+  (* one depthwise conv per MBConv block: 16 blocks *)
+  Alcotest.(check int) "16 depthwise convs" 16 (List.length dw)
+
+let test_swin_structure () =
+  let p = Lower.run (Swin.create ()) in
+  let softmaxes =
+    List.filter (fun (te : Te.t) -> te.Te.tag = "softmax.sum") p.Program.tes
+  in
+  (* one attention per block: 2+2+18+2 = 24 *)
+  Alcotest.(check int) "24 attentions" 24 (List.length softmaxes);
+  let rolls =
+    List.filter
+      (fun (te : Te.t) -> Astring_contains.contains te.Te.name "_roll")
+      p.Program.tes
+  in
+  Alcotest.(check bool) "shifted blocks roll" true (List.length rolls > 0)
+
+let test_mmoe_mixture_is_convex () =
+  (* gate probabilities are a softmax: each task's mixed output lies inside
+     the convex hull of expert outputs on any input *)
+  let p = Lower.run (Mmoe.create ~cfg:Mmoe.tiny ()) in
+  let env = Interp.run_env p (Interp.random_inputs ~seed:9 p) in
+  let experts =
+    List.init Mmoe.tiny.Mmoe.num_experts (fun i ->
+        Interp.lookup env (Fmt.str "expert%d_out" i))
+  in
+  let mixed = Interp.lookup env "task0_mix" in
+  for j = 0 to Mmoe.tiny.Mmoe.expert_hidden - 1 do
+    let vals = List.map (fun e -> Nd.get e [| 0; j |]) experts in
+    let lo = List.fold_left min infinity vals
+    and hi = List.fold_left max neg_infinity vals in
+    let v = Nd.get mixed [| 0; j |] in
+    Alcotest.(check bool) "inside hull" true (v >= lo -. 1e-6 && v <= hi +. 1e-6)
+  done
+
+let test_lstm_tiny_against_reference () =
+  (* a 1-cell 1-step LSTM against a hand-computed reference *)
+  let cfg = { Lstm.steps = 1; cells = 1; hidden = 2 } in
+  let p = Lower.run (Lstm.create ~cfg ()) in
+  (* build inputs: everything 0 except bias -> gates = bias *)
+  let zero name shape = (name, Nd.zeros shape) in
+  let bias = Nd.of_array [| 8 |] [| 1.; 1.; 2.; 2.; 0.5; 0.5; 3.; 3. |] in
+  let env =
+    Interp.env_of_list
+      [
+        zero "w0" [| 8; 2 |]; zero "u0" [| 8; 2 |]; ("b0", bias);
+        zero "x0" [| 2 |]; zero "h0_0" [| 2 |]; zero "c0_0" [| 2 |];
+      ]
+  in
+  let out = snd (List.hd (Interp.run p env)) in
+  (* i=sigmoid(1), f=sigmoid(2), g=tanh(0.5), o=sigmoid(3);
+     c = f*0 + i*g; h = o * tanh(c) *)
+  let sigmoid x = 1. /. (1. +. exp (-.x)) in
+  let c = sigmoid 1. *. tanh 0.5 in
+  let expected = sigmoid 3. *. tanh c in
+  Alcotest.(check (float 1e-6)) "h value" expected (Nd.get out [| 0 |])
+
+let test_attention_subgraph () =
+  let g = Bert.attention_subgraph ~cfg:Bert.tiny () in
+  Alcotest.(check bool) "valid" true (Result.is_ok (Dgraph.validate g));
+  let p = Lower.run g in
+  ignore (Interp.run p (Interp.random_inputs p))
+
+let test_efficientnet_submodules () =
+  Alcotest.(check int) "10 sub-modules" 10 (List.length Efficientnet.sub_modules);
+  List.iter
+    (fun (name, g) ->
+      match Dgraph.validate g with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s invalid: %s" name m)
+    Efficientnet.sub_modules
+
+let test_zoo_find () =
+  Alcotest.(check bool) "finds bert" true (Option.is_some (Zoo.find "bert"));
+  Alcotest.(check bool) "unknown none" true (Option.is_none (Zoo.find "vgg"));
+  Alcotest.(check int) "six models" 6 (List.length Zoo.all)
+
+let suite =
+  [
+    Alcotest.test_case "tiny validate+lower" `Quick test_all_tiny_validate_and_lower;
+    Alcotest.test_case "tiny interpret" `Slow test_all_tiny_interpret;
+    Alcotest.test_case "full validate" `Quick test_all_full_validate;
+    Alcotest.test_case "bert structure" `Quick test_bert_structure;
+    Alcotest.test_case "bert flops" `Quick test_bert_flops_magnitude;
+    Alcotest.test_case "lstm structure" `Quick test_lstm_structure;
+    Alcotest.test_case "lstm weight bytes" `Quick test_lstm_weight_bytes;
+    Alcotest.test_case "resnext structure" `Quick test_resnext_structure;
+    Alcotest.test_case "efficientnet structure" `Quick test_efficientnet_structure;
+    Alcotest.test_case "swin structure" `Quick test_swin_structure;
+    Alcotest.test_case "mmoe convex mixture" `Quick test_mmoe_mixture_is_convex;
+    Alcotest.test_case "lstm tiny reference" `Quick test_lstm_tiny_against_reference;
+    Alcotest.test_case "attention subgraph" `Quick test_attention_subgraph;
+    Alcotest.test_case "efficientnet submodules" `Quick test_efficientnet_submodules;
+    Alcotest.test_case "zoo find" `Quick test_zoo_find;
+  ]

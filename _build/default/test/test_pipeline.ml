@@ -1,0 +1,162 @@
+(* End-to-end tests of the Souffle pipeline: semantic preservation on every
+   tiny model, ablation monotonicity (V0..V4), and structural properties of
+   the compiled artifact. *)
+
+let compile_at level p =
+  Souffle.compile ~cfg:(Souffle.config ~level ()) p
+
+let test_semantic_preservation_all_models () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      let r = compile_at Souffle.V4 p in
+      match Souffle.verify ~rtol:1e-3 r with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s not preserved: %s" e.Zoo.name m)
+    Zoo.all
+
+let test_semantic_preservation_each_level () =
+  let p = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
+  List.iter
+    (fun level ->
+      let r = compile_at level p in
+      match Souffle.verify ~rtol:1e-3 r with
+      | Ok () -> ()
+      | Error m ->
+          Alcotest.failf "%s not preserved: %s"
+            (Souffle.level_to_string level) m)
+    [ Souffle.V0; V1; V2; V3; V4 ]
+
+let test_ablation_v0_to_v4_improves () =
+  (* on the full BERT, each optimization level is at least as fast as the
+     previous one, and V4 strictly beats V0 (Table 4's trend) *)
+  let p = Lower.run (Bert.create ()) in
+  let times =
+    List.map
+      (fun level -> Souffle.time_ms (compile_at level p))
+      [ Souffle.V0; V1; V2; V3; V4 ]
+  in
+  (match times with
+  | [ v0; _; _; _; v4 ] ->
+      Alcotest.(check bool) "V4 strictly beats V0" true (v4 < v0)
+  | _ -> assert false);
+  let rec pairwise = function
+    | a :: (b :: _ as rest) ->
+        Alcotest.(check bool)
+          (Fmt.str "monotone %.3f >= %.3f" a b)
+          true
+          (b <= a *. 1.05);
+        pairwise rest
+    | _ -> ()
+  in
+  pairwise times
+
+let test_kernel_count_decreases_with_global_sync () =
+  let p = Lower.run (Bert.create ()) in
+  let v2 = compile_at Souffle.V2 p and v3 = compile_at Souffle.V3 p in
+  Alcotest.(check bool) "V3 launches fewer kernels" true
+    (Souffle.num_kernels v3 < Souffle.num_kernels v2)
+
+let test_reuse_reduces_traffic () =
+  let p = Lower.run (Bert.create ()) in
+  let v3 = compile_at Souffle.V3 p and v4 = compile_at Souffle.V4 p in
+  Alcotest.(check bool) "V4 moves fewer DRAM bytes" true
+    (Counters.global_transfer_bytes v4.Souffle.sim.Sim.total
+    <= Counters.global_transfer_bytes v3.Souffle.sim.Sim.total)
+
+let test_horizontal_merges_qkv () =
+  let p = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
+  let r = compile_at Souffle.V4 p in
+  Alcotest.(check bool) "merged groups exist" true
+    (r.Souffle.hstats.Horizontal.groups_merged > 0);
+  Alcotest.(check bool) "merged TE present" true
+    (List.exists
+       (fun (te : Te.t) -> Astring_contains.contains te.Te.name "_hz")
+       r.Souffle.transformed.Program.tes)
+
+let test_vertical_eliminates_layout_ops () =
+  (* after V2+, no pure data-movement TE remains in BERT (reshape/transpose
+     all folded, §2.3 "eliminates all element-wise memory operators") *)
+  let p = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
+  let r = compile_at Souffle.V4 p in
+  let movements =
+    List.filter
+      (fun (te : Te.t) ->
+        (not (Te.has_reduction te))
+        && Expr.is_data_movement (Te.body_expr te))
+      r.Souffle.transformed.Program.tes
+  in
+  Alcotest.(check (list string)) "no layout TEs left" []
+    (List.map (fun (te : Te.t) -> te.Te.name) movements)
+
+let test_cooperative_kernels_valid () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      let r = compile_at Souffle.V4 p in
+      match Sim.validate_prog Device.a100 r.Souffle.prog with
+      | Ok () -> ()
+      | Error m -> Alcotest.failf "%s: %s" e.Zoo.name m)
+    Zoo.all
+
+let test_lstm_single_digit_kernels () =
+  (* Table 5: Souffle compiles the LSTM to one (here: very few) kernels *)
+  let p = Lower.run (Lstm.create ()) in
+  let r = compile_at Souffle.V4 p in
+  Alcotest.(check bool) "at most 2 kernels" true (Souffle.num_kernels r <= 2)
+
+let test_mmoe_single_kernel () =
+  let p = Lower.run (Mmoe.create ()) in
+  let r = compile_at Souffle.V4 p in
+  Alcotest.(check int) "one kernel" 1 (Souffle.num_kernels r)
+
+let test_report_summary_renders () =
+  let p = Lower.run (Mmoe.create ~cfg:Mmoe.tiny ()) in
+  let r = compile_at Souffle.V4 p in
+  let s = Fmt.str "%a" Souffle.summary r in
+  Alcotest.(check bool) "mentions kernels" true
+    (Astring_contains.contains s "kernels");
+  let cuda = Souffle.cuda_source r in
+  Alcotest.(check bool) "cuda source renders" true
+    (Astring_contains.contains cuda "__global__")
+
+let test_compile_graph_entry_point () =
+  let r = Souffle.compile_graph (Mmoe.create ~cfg:Mmoe.tiny ()) in
+  Alcotest.(check bool) "compiles" true (Souffle.time_ms r > 0.)
+
+let qcheck_pipeline_preserves_random_dags =
+  QCheck.Test.make ~name:"full pipeline preserves semantics on random DAGs"
+    ~count:25
+    QCheck.(int_range 0 10_000)
+    (fun seed ->
+      (* reuse the random program generator from the transform tests *)
+      let p = Test_transform.random_program seed in
+      match Program.validate p with
+      | Error _ -> QCheck.assume_fail ()
+      | Ok () -> (
+          let r = compile_at Souffle.V4 p in
+          match Souffle.verify ~rtol:1e-3 r with
+          | Ok () -> true
+          | Error m -> QCheck.Test.fail_reportf "not preserved: %s" m))
+
+let suite =
+  [
+    Alcotest.test_case "semantic preservation (all models)" `Slow
+      test_semantic_preservation_all_models;
+    Alcotest.test_case "semantic preservation (each level)" `Quick
+      test_semantic_preservation_each_level;
+    Alcotest.test_case "ablation monotone" `Slow test_ablation_v0_to_v4_improves;
+    Alcotest.test_case "global sync cuts kernels" `Slow
+      test_kernel_count_decreases_with_global_sync;
+    Alcotest.test_case "reuse cuts traffic" `Slow test_reuse_reduces_traffic;
+    Alcotest.test_case "horizontal merges qkv" `Quick test_horizontal_merges_qkv;
+    Alcotest.test_case "vertical eliminates layout" `Quick
+      test_vertical_eliminates_layout_ops;
+    Alcotest.test_case "cooperative kernels valid" `Quick
+      test_cooperative_kernels_valid;
+    Alcotest.test_case "lstm few kernels" `Slow test_lstm_single_digit_kernels;
+    Alcotest.test_case "mmoe single kernel" `Quick test_mmoe_single_kernel;
+    Alcotest.test_case "report renders" `Quick test_report_summary_renders;
+    Alcotest.test_case "compile_graph entry" `Quick test_compile_graph_entry_point;
+    QCheck_alcotest.to_alcotest qcheck_pipeline_preserves_random_dags;
+  ]

@@ -1,0 +1,164 @@
+(* Tests for the textual graph format: round-trips for every model, error
+   reporting, and a qcheck random round-trip over the operator vocabulary. *)
+
+let roundtrip (g : Dgraph.t) : Dgraph.t =
+  match Serialize.of_string (Serialize.to_string g) with
+  | Ok g' -> g'
+  | Error m -> Alcotest.failf "roundtrip failed: %s" m
+
+let graphs_equal (a : Dgraph.t) (b : Dgraph.t) =
+  a.Dgraph.inputs = b.Dgraph.inputs
+  && a.Dgraph.outputs = b.Dgraph.outputs
+  && List.length a.Dgraph.nodes = List.length b.Dgraph.nodes
+  && List.for_all2
+       (fun (x : Dgraph.node) (y : Dgraph.node) ->
+         x.Dgraph.name = y.Dgraph.name
+         && x.Dgraph.inputs = y.Dgraph.inputs
+         && Op.to_string x.Dgraph.op = Op.to_string y.Dgraph.op)
+       a.Dgraph.nodes b.Dgraph.nodes
+
+let test_roundtrip_all_models () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let g = e.Zoo.tiny () in
+      Alcotest.(check bool) (e.Zoo.name ^ " roundtrips") true
+        (graphs_equal g (roundtrip g)))
+    Zoo.all
+
+let test_roundtrip_full_bert () =
+  let g = Bert.create () in
+  Alcotest.(check bool) "full BERT roundtrips" true
+    (graphs_equal g (roundtrip g))
+
+let test_roundtrip_preserves_semantics () =
+  let g = Mmoe.create ~cfg:Mmoe.tiny () in
+  let g' = roundtrip g in
+  match Interp.equivalent ~rtol:1e-6 (Lower.run g) (Lower.run g') with
+  | Ok () -> ()
+  | Error m -> Alcotest.fail m
+
+let test_parse_handwritten () =
+  let src =
+    {|# a small model
+input x f32 2x4
+input w f32 4x3
+node h = matmul x w
+node a = unary relu h
+node sm = softmax a
+output sm|}
+  in
+  match Serialize.of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      Alcotest.(check int) "3 nodes" 3 (List.length g.Dgraph.nodes);
+      Alcotest.(check (list string)) "outputs" [ "sm" ] g.Dgraph.outputs;
+      let p = Lower.run g in
+      ignore (Interp.run p (Interp.random_inputs p))
+
+let test_parse_conv_attrs () =
+  let src =
+    {|input x f32 1x3x8x8
+input w f32 4x3x3x3
+node c = conv2d k3 s2 p1 g1 x w
+output c|}
+  in
+  match Serialize.of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok g -> (
+      match (List.hd g.Dgraph.nodes).Dgraph.op with
+      | Op.Conv2d { kernel = 3; stride = 2; padding = 1; groups = 1 } -> ()
+      | op -> Alcotest.failf "wrong op %s" (Op.to_string op))
+
+let test_errors_report_line () =
+  let check_err src needle =
+    match Serialize.of_string src with
+    | Ok _ -> Alcotest.failf "expected failure for %S" src
+    | Error m ->
+        Alcotest.(check bool)
+          (Fmt.str "%S mentions %S (got %S)" src needle m)
+          true
+          (Astring_contains.contains m needle)
+  in
+  check_err "input x f99 2x2" "dtype";
+  check_err "node y = bogus x" "unknown";
+  check_err "flurb" "cannot parse";
+  check_err "input x f32 2x2\nnode y = matmul x x\noutput z" "output";
+  check_err "input x f32 2x2\nnode y = conv2d k3 x" "malformed"
+
+let test_scalar_shape () =
+  let src = "input x f32 scalar\nnode y = unary relu x\noutput y" in
+  match Serialize.of_string src with
+  | Error m -> Alcotest.fail m
+  | Ok g ->
+      let info = List.assoc "x" g.Dgraph.inputs in
+      Alcotest.(check int) "rank 0" 0 (Array.length info.Program.shape)
+
+(* random single-node graphs over the whole op vocabulary *)
+let random_op_graph (seed : int) : Dgraph.t =
+  let rng = Rng.create seed in
+  let open Dgraph in
+  let b = B.create () in
+  let pick l = List.nth l (Rng.int rng ~bound:(List.length l)) in
+  let x4 () = B.input b "x" [| 1; 4; 6; 6 |] in
+  let x2 () = B.input b "x" [| 4; 6 |] in
+  let out =
+    match Rng.int rng ~bound:10 with
+    | 0 ->
+        let x = B.input b "x" [| 4; 6 |] and w = B.input b "w" [| 6; 5 |] in
+        B.add b ~name:"o" Op.Matmul [ x; w ]
+    | 1 ->
+        let x = x4 () and w = B.input b "w" [| 8; 4; 3; 3 |] in
+        B.add b ~name:"o"
+          (Op.Conv2d { kernel = 3; stride = 1; padding = 1; groups = 1 })
+          [ x; w ]
+    | 2 ->
+        B.add b ~name:"o"
+          (Op.Unary (pick [ Expr.Relu; Expr.Tanh; Expr.Exp; Expr.Step ]))
+          [ x2 () ]
+    | 3 ->
+        let x = x2 () and y = B.input b "y" [| 4; 6 |] in
+        B.add b ~name:"o"
+          (Op.Binary (pick [ Expr.Add; Expr.Mul; Expr.Max ]))
+          [ x; y ]
+    | 4 -> B.add b ~name:"o" (Op.Reshape [| 24 |]) [ x2 () ]
+    | 5 -> B.add b ~name:"o" (Op.Transpose [| 1; 0 |]) [ x2 () ]
+    | 6 ->
+        B.add b ~name:"o"
+          (Op.Slice { starts = [| 1; 2 |]; sizes = [| 2; 3 |] })
+          [ x2 () ]
+    | 7 -> B.add b ~name:"o" Op.Softmax [ x2 () ]
+    | 8 ->
+        B.add b ~name:"o"
+          (Op.Affine { scale = Rng.uniform rng ~lo:(-2.) ~hi:2.;
+                       shift = Rng.uniform rng ~lo:(-1.) ~hi:1. })
+          [ x2 () ]
+    | _ ->
+        B.add b ~name:"o"
+          (Op.Pool2d { kind = pick [ Op.Max_pool; Op.Avg_pool ];
+                       kernel = 2; stride = 2; padding = 0 })
+          [ x4 () ]
+  in
+  B.finish b ~outputs:[ out ]
+
+let qcheck_random_roundtrip =
+  QCheck.Test.make ~name:"serialize roundtrip over op vocabulary" ~count:200
+    QCheck.(int_range 0 100_000)
+    (fun seed ->
+      let g = random_op_graph seed in
+      let g' = roundtrip g in
+      graphs_equal g g'
+      && Result.is_ok (Interp.equivalent (Lower.run g) (Lower.run g')))
+
+let suite =
+  [
+    Alcotest.test_case "roundtrip all tiny models" `Quick
+      test_roundtrip_all_models;
+    Alcotest.test_case "roundtrip full bert" `Quick test_roundtrip_full_bert;
+    Alcotest.test_case "roundtrip preserves semantics" `Quick
+      test_roundtrip_preserves_semantics;
+    Alcotest.test_case "parse handwritten" `Quick test_parse_handwritten;
+    Alcotest.test_case "parse conv attrs" `Quick test_parse_conv_attrs;
+    Alcotest.test_case "errors report line" `Quick test_errors_report_line;
+    Alcotest.test_case "scalar shape" `Quick test_scalar_shape;
+    QCheck_alcotest.to_alcotest qcheck_random_roundtrip;
+  ]

@@ -1,0 +1,125 @@
+(* Unit and property tests for the tensor substrate: shapes, ndarrays, rng. *)
+
+let check = Alcotest.check
+let int = Alcotest.int
+let bool = Alcotest.bool
+
+let test_numel () =
+  check int "numel 2x3x4" 24 (Shape.numel [| 2; 3; 4 |]);
+  check int "numel scalar" 1 (Shape.numel [||]);
+  check int "numel with zero" 0 (Shape.numel [| 4; 0 |])
+
+let test_strides () =
+  Alcotest.(check (array int)) "strides" [| 12; 4; 1 |]
+    (Shape.strides [| 2; 3; 4 |]);
+  Alcotest.(check (array int)) "strides 1d" [| 1 |] (Shape.strides [| 7 |])
+
+let test_ravel_unravel () =
+  let s = [| 2; 3; 4 |] in
+  check int "ravel" 23 (Shape.ravel s [| 1; 2; 3 |]);
+  Alcotest.(check (array int)) "unravel" [| 1; 2; 3 |] (Shape.unravel s 23);
+  check int "ravel 0" 0 (Shape.ravel s [| 0; 0; 0 |])
+
+let test_iter_order () =
+  let s = [| 2; 2 |] in
+  let acc = ref [] in
+  Shape.iter s (fun idx -> acc := Array.to_list (Array.copy idx) :: !acc);
+  Alcotest.(check (list (list int)))
+    "row-major order"
+    [ [ 0; 0 ]; [ 0; 1 ]; [ 1; 0 ]; [ 1; 1 ] ]
+    (List.rev !acc)
+
+let test_iter_counts () =
+  let count s =
+    let n = ref 0 in
+    Shape.iter s (fun _ -> incr n);
+    !n
+  in
+  check int "iter 3x4" 12 (count [| 3; 4 |]);
+  check int "iter scalar" 1 (count [||]);
+  check int "iter empty" 0 (count [| 0; 5 |])
+
+let test_concat_axis () =
+  Alcotest.(check (array int)) "axis0" [| 6; 16 |]
+    (Shape.concat_axis ~axis:0 [| 4; 16 |] [| 2; 16 |]);
+  Alcotest.check_raises "mismatch" (Invalid_argument "Shape.concat_axis: dim mismatch")
+    (fun () -> ignore (Shape.concat_axis ~axis:0 [| 4; 16 |] [| 2; 15 |]))
+
+let test_nd_get_set () =
+  let a = Nd.zeros [| 3; 3 |] in
+  Nd.set a [| 1; 2 |] 5.5;
+  Alcotest.(check (float 0.)) "get back" 5.5 (Nd.get a [| 1; 2 |]);
+  Alcotest.(check (float 0.)) "other zero" 0. (Nd.get a [| 2; 1 |])
+
+let test_nd_init () =
+  let a = Nd.init [| 2; 3 |] (fun i -> float_of_int ((i.(0) * 10) + i.(1))) in
+  Alcotest.(check (float 0.)) "init value" 12. (Nd.get a [| 1; 2 |])
+
+let test_allclose () =
+  let a = Nd.init [| 4 |] (fun i -> float_of_int i.(0)) in
+  let b = Nd.map (fun x -> x +. 1e-8) a in
+  check bool "close" true (Nd.allclose a b);
+  let c = Nd.map (fun x -> x +. 0.5) a in
+  check bool "not close" false (Nd.allclose a c);
+  check bool "shape mismatch" false
+    (Nd.allclose a (Nd.zeros [| 5 |]))
+
+let test_rng_deterministic () =
+  let r1 = Rng.create 7 and r2 = Rng.create 7 in
+  for _ = 1 to 100 do
+    Alcotest.(check (float 0.)) "same stream" (Rng.float r1) (Rng.float r2)
+  done
+
+let test_rng_range () =
+  let r = Rng.create 3 in
+  for _ = 1 to 1000 do
+    let x = Rng.float r in
+    check bool "in [0,1)" true (x >= 0. && x < 1.);
+    let k = Rng.int r ~bound:17 in
+    check bool "int in range" true (k >= 0 && k < 17)
+  done
+
+let test_f16_round () =
+  Alcotest.(check (float 0.)) "exact small int" 5. (Dtype.round_f16 5.);
+  let x = 1.0009765625 (* 1 + 2^-10: representable *) in
+  Alcotest.(check (float 0.)) "ulp boundary" x (Dtype.round_f16 x);
+  let y = Dtype.round_f16 1.0001 in
+  check bool "rounds to nearest f16" true (Float.abs (y -. 1.0) < 0.001);
+  check bool "rounding is idempotent" true
+    (Dtype.round_f16 y = y)
+
+let qcheck_ravel_roundtrip =
+  QCheck.Test.make ~name:"unravel . ravel = id" ~count:200
+    QCheck.(triple (int_range 1 5) (int_range 1 5) (int_range 1 5))
+    (fun (a, b, c) ->
+      let s = [| a; b; c |] in
+      let ok = ref true in
+      Shape.iter s (fun idx ->
+          let r = Shape.unravel s (Shape.ravel s idx) in
+          if r <> idx then ok := false);
+      !ok)
+
+let qcheck_f16_monotone =
+  QCheck.Test.make ~name:"f16 rounding error < 2^-10 relative" ~count:500
+    QCheck.(float_range (-100.) 100.)
+    (fun x ->
+      let y = Dtype.round_f16 x in
+      Float.abs (y -. x) <= (Float.abs x /. 1024.) +. 1e-9)
+
+let suite =
+  [
+    Alcotest.test_case "shape.numel" `Quick test_numel;
+    Alcotest.test_case "shape.strides" `Quick test_strides;
+    Alcotest.test_case "shape.ravel/unravel" `Quick test_ravel_unravel;
+    Alcotest.test_case "shape.iter order" `Quick test_iter_order;
+    Alcotest.test_case "shape.iter counts" `Quick test_iter_counts;
+    Alcotest.test_case "shape.concat_axis" `Quick test_concat_axis;
+    Alcotest.test_case "nd.get/set" `Quick test_nd_get_set;
+    Alcotest.test_case "nd.init" `Quick test_nd_init;
+    Alcotest.test_case "nd.allclose" `Quick test_allclose;
+    Alcotest.test_case "rng.deterministic" `Quick test_rng_deterministic;
+    Alcotest.test_case "rng.range" `Quick test_rng_range;
+    Alcotest.test_case "dtype.f16" `Quick test_f16_round;
+    QCheck_alcotest.to_alcotest qcheck_ravel_roundtrip;
+    QCheck_alcotest.to_alcotest qcheck_f16_monotone;
+  ]

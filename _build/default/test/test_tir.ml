@@ -1,0 +1,152 @@
+(* Tests for the TensorIR-flavoured loop-nest layer: structure of the
+   generated nests, iteration-space coverage, and CUDA rendering. *)
+
+let f32 = Dtype.F32
+let dev = Device.a100
+let input name shape = (name, { Program.shape; dtype = f32 })
+
+let gemm () =
+  let a = input "a" [| 128; 64 |] and b = input "b" [| 64; 96 |] in
+  let te = Builder.matmul ~tag:"matmul" ~name:"c" ~m:128 ~n:96 ~k:64 "a" "b" in
+  let p = Program.make ~inputs:[ a; b ] ~tes:[ te ] ~outputs:[ "c" ] in
+  (p, te)
+
+let test_gemm_loop_nest () =
+  let p, te = gemm () in
+  let s = Ansor.schedule_te dev p te in
+  let f = Tir.of_te p te s in
+  (* covers the full (possibly padded) output space *)
+  Alcotest.(check bool) "iteration space covers output" true
+    (Tir.iteration_space f >= 128 * 96);
+  (* has a serial or unrolled reduction loop *)
+  let has_reduction_loop =
+    List.exists
+      (function
+        | Tir.For { var; _ } -> String.length var > 0 && var.[0] = 'r'
+        | _ -> false)
+      (Tir.loops f.Tir.body)
+  in
+  Alcotest.(check bool) "reduction loop present" true has_reduction_loop;
+  Alcotest.(check (list string)) "params in order" [ "a"; "b"; "c" ]
+    f.Tir.params
+
+let test_gemm_cuda_render () =
+  let p, te = gemm () in
+  let s = Ansor.schedule_te dev p te in
+  let src = Tir.render_cuda (Tir.of_te p te s) in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool) ("contains " ^ needle) true
+        (Astring_contains.contains src needle))
+    [ "__global__ void te_c"; "blockIdx.x"; "threadIdx.x"; "acc +=";
+      "c[i0, i1] = acc"; "__shared__"; "__syncthreads()" ]
+
+let test_elementwise_no_accumulator () =
+  let x = input "x" [| 32; 32 |] in
+  let te = Builder.unary ~name:"y" ~shape:[| 32; 32 |] Expr.Sigmoid "x" in
+  let p = Program.make ~inputs:[ x ] ~tes:[ te ] ~outputs:[ "y" ] in
+  let s = Sched.default_elementwise te in
+  let src = Tir.render_cuda (Tir.of_te p te s) in
+  Alcotest.(check bool) "no accumulator" false
+    (Astring_contains.contains src "acc");
+  Alcotest.(check bool) "sigmoid rendered" true
+    (Astring_contains.contains src "1.f / (1.f + __expf");
+  Alcotest.(check bool) "stores result" true
+    (Astring_contains.contains src "y[i0, i1] = val")
+
+let test_rtile_splits_reduction () =
+  let p, te = gemm () in
+  let s =
+    { (Sched.default_elementwise te) with
+      Sched.tile = [| 32; 32 |]; rtile = [| 16 |]; cache_read_smem = false }
+  in
+  let f = Tir.of_te p te s in
+  (* reduction of extent 64 with rtile 16: an outer r0o loop of 4 and an
+     unrolled inner loop of 16 *)
+  let find var =
+    List.find_map
+      (function
+        | Tir.For { var = v; extent; _ } when v = var -> Some extent
+        | _ -> None)
+      (Tir.loops f.Tir.body)
+  in
+  Alcotest.(check (option int)) "outer split" (Some 4) (find "r0o");
+  Alcotest.(check (option int)) "inner split" (Some 16) (find "r0")
+
+let test_index_rendering () =
+  Alcotest.(check string) "affine" "((i0 * 2) + r1)"
+    (Tir.render_index Index.(Add (Mul (Ov 0, 2), Rv 1)));
+  Alcotest.(check string) "div mod" "((i1 / 4) % 8)"
+    (Tir.render_index Index.(Mod (Div (Ov 1, 4), 8)));
+  Alcotest.(check string) "negative offset" "(i0 - 3)"
+    (Tir.render_index Index.(Add (Ov 0, Const (-3))))
+
+let test_expr_rendering () =
+  let e =
+    Expr.(
+      Select
+        ( Cmp (Lt, Index.Ov 0, Index.Const 4),
+          Binop (Mul, Read ("a", [ Index.Ov 0 ]), Const 2.),
+          Unop (Relu, Read ("b", [ Index.Ov 0 ])) ))
+  in
+  let s = Tir.render_expr e in
+  Alcotest.(check bool) "ternary" true (Astring_contains.contains s "?");
+  Alcotest.(check bool) "guard" true (Astring_contains.contains s "(i0 < 4)");
+  Alcotest.(check bool) "relu" true (Astring_contains.contains s "fmaxf(0.f")
+
+let test_padding_guard_renders () =
+  (* a conv body with padding emits bounds checks *)
+  let g =
+    let open Dgraph in
+    let b = B.create () in
+    let x = B.input b "x" [| 1; 2; 6; 6 |] in
+    let w = B.input b "w" [| 2; 2; 3; 3 |] in
+    let c =
+      B.add b ~name:"c"
+        (Op.Conv2d { kernel = 3; stride = 1; padding = 1; groups = 1 })
+        [ x; w ]
+    in
+    B.finish b ~outputs:[ c ]
+  in
+  let p = Lower.run g in
+  let te = Program.find_te_exn p "c" in
+  let s = Ansor.schedule_te dev p te in
+  let src = Tir.render_cuda (Tir.of_te p te s) in
+  Alcotest.(check bool) "bounds guard" true
+    (Astring_contains.contains src ">= 0");
+  Alcotest.(check bool) "fallback zero" true
+    (Astring_contains.contains src ": 0f")
+
+let test_all_model_tes_render () =
+  (* every TE of every tiny model produces a well-formed loop nest *)
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      let scheds = Ansor.schedule_program dev p in
+      List.iter
+        (fun (te : Te.t) ->
+          let s = Hashtbl.find scheds te.Te.name in
+          let f = Tir.of_te p te s in
+          let src = Tir.render_cuda f in
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s nonempty" e.Zoo.name te.Te.name)
+            true
+            (String.length src > 40);
+          Alcotest.(check bool)
+            (Fmt.str "%s/%s covers output" e.Zoo.name te.Te.name)
+            true
+            (Tir.iteration_space f >= Te.out_numel te))
+        p.Program.tes)
+    Zoo.all
+
+let suite =
+  [
+    Alcotest.test_case "gemm loop nest" `Quick test_gemm_loop_nest;
+    Alcotest.test_case "gemm cuda render" `Quick test_gemm_cuda_render;
+    Alcotest.test_case "elementwise nest" `Quick test_elementwise_no_accumulator;
+    Alcotest.test_case "rtile splits" `Quick test_rtile_splits_reduction;
+    Alcotest.test_case "index rendering" `Quick test_index_rendering;
+    Alcotest.test_case "expr rendering" `Quick test_expr_rendering;
+    Alcotest.test_case "padding guard" `Quick test_padding_guard_renders;
+    Alcotest.test_case "all model TEs render" `Quick test_all_model_tes_render;
+  ]
