@@ -3,11 +3,20 @@
    Usage:
      souffle list
      souffle compile  --model bert [--level v4] [--tiny] [--cuda] [--verify]
+                      [--strict] [--inject FAULT]
      souffle compare  --model bert [--tiny]
      souffle analyze  --model mmoe [--tiny]
 *)
 
 open Cmdliner
+
+(* Last-resort exception barrier: anything a command lets escape is printed
+   as a structured diagnostic, never an OCaml backtrace, and exits 2. *)
+let protect pass (f : unit -> int) : int =
+  try f ()
+  with e ->
+    Fmt.epr "%a@." Diag.pp (Diag.of_exn pass e);
+    2
 
 let lookup_model name =
   match Zoo.find name with
@@ -71,6 +80,24 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let strict_arg =
+  let doc =
+    "Treat graceful degradation as a hard error: any pass failure that \
+     would be recovered by retrying at a lower optimization level fails \
+     the compilation instead."
+  in
+  Arg.(value & flag & info [ "strict" ] ~doc)
+
+let inject_arg =
+  let doc =
+    "Arm the fault-injection harness before compiling: a pass name \
+     (horizontal, vertical, schedule, partition, emit, sim) to make that \
+     pass fail once, or smem[:N] / grid[:N] to corrupt the next emitted \
+     kernel's resource estimate by factor N.  Used to exercise the \
+     degradation ladder."
+  in
+  Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT" ~doc)
+
 (* ---- commands ---- *)
 
 let list_cmd =
@@ -87,38 +114,62 @@ let list_cmd =
   Cmd.v (Cmd.info "list" ~doc:"List available models and baseline systems")
     Term.(const (fun () -> run (); 0) $ const ())
 
-let compile_run model file tiny level cuda verify =
-  match (resolve ~model ~file ~tiny, level_of_string (String.lowercase_ascii level)) with
-  | Error m, _ | _, Error m ->
+let arm_fault = function
+  | None -> Ok ()
+  | Some s -> (
+      match Faultinject.parse s with
+      | Ok spec ->
+          Faultinject.arm spec;
+          Ok ()
+      | Error m -> Error m)
+
+let compile_run model file tiny level cuda verify strict inject =
+  protect Diag.Validate @@ fun () ->
+  match
+    ( resolve ~model ~file ~tiny,
+      level_of_string (String.lowercase_ascii level),
+      arm_fault inject )
+  with
+  | Error m, _, _ | _, Error m, _ | _, _, Error m ->
       Fmt.epr "error: %s@." m;
       1
-  | Ok p, Ok level ->
-      let r = Souffle.compile ~cfg:(Souffle.config ~level ()) p in
-      Fmt.pr "%a@." Souffle.summary r;
-      (match r.Souffle.partition with
-      | Some part ->
-          Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
-      | None -> ());
-      if cuda then begin
-        Fmt.pr "@.%s@." (Souffle.cuda_source r);
-        Fmt.pr "@.// --- per-TE loop nests (first 4 TEs) ---@.%s@."
-          (Souffle.te_loop_nests r)
-      end;
-      if verify then begin
-        match Souffle.verify r with
-        | Ok () -> Fmt.pr "@.semantic check: PASS@."
-        | Error m -> Fmt.pr "@.semantic check FAILED: %s@." m
-      end;
-      0
+  | Ok p, Ok level, Ok () -> (
+      let result =
+        Fun.protect ~finally:Faultinject.disarm (fun () ->
+            Souffle.compile_result ~cfg:(Souffle.config ~level ()) ~strict p)
+      in
+      match result with
+      | Error ds ->
+          List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
+          1
+      | Ok r ->
+          Fmt.pr "%a@." Souffle.summary r;
+          List.iter (fun d -> Fmt.pr "%a@." Diag.pp d) r.Souffle.diags;
+          (match r.Souffle.partition with
+          | Some part ->
+              Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
+          | None -> ());
+          if cuda then begin
+            Fmt.pr "@.%s@." (Souffle.cuda_source r);
+            Fmt.pr "@.// --- per-TE loop nests (first 4 TEs) ---@.%s@."
+              (Souffle.te_loop_nests r)
+          end;
+          if verify then begin
+            match Souffle.verify r with
+            | Ok () -> Fmt.pr "@.semantic check: PASS@."
+            | Error m -> Fmt.pr "@.semantic check FAILED: %s@." m
+          end;
+          0)
 
 let compile_cmd =
   Cmd.v
     (Cmd.info "compile" ~doc:"Compile a model with Souffle and simulate it")
     Term.(
       const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
-      $ cuda_arg $ verify_arg)
+      $ cuda_arg $ verify_arg $ strict_arg $ inject_arg)
 
 let compare_run model tiny =
+  protect Diag.Simulate @@ fun () ->
   match lookup_model model with
   | Error m ->
       Fmt.epr "error: %s@." m;
@@ -151,6 +202,7 @@ let compare_cmd =
     Term.(const compare_run $ model_arg $ tiny_arg)
 
 let analyze_run model tiny =
+  protect Diag.Analysis @@ fun () ->
   match lookup_model model with
   | Error m ->
       Fmt.epr "error: %s@." m;
@@ -168,6 +220,7 @@ let analyze_cmd =
     Term.(const analyze_run $ model_arg $ tiny_arg)
 
 let dump_run model tiny output =
+  protect Diag.Validate @@ fun () ->
   match lookup_model model with
   | Error m ->
       Fmt.epr "error: %s@." m;

@@ -26,6 +26,13 @@ let level_to_string = function
 
 let level_rank = function V0 -> 0 | V1 -> 1 | V2 -> 2 | V3 -> 3 | V4 -> 4
 
+let level_of_rank = function
+  | 0 -> V0
+  | 1 -> V1
+  | 2 -> V2
+  | 3 -> V3
+  | _ -> V4
+
 type config = {
   device : Device.t;
   level : level;
@@ -39,6 +46,22 @@ let config ?(device = Device.a100) ?(level = V4)
     ?(ansor = Ansor.default_config) () =
   { device; level; ansor }
 
+(** One step of the graceful-degradation ladder: [d_subject] (the whole
+    program, or one subprogram's head TE) was retried at [d_to] after
+    [d_pass] failed at [d_from]. *)
+type degradation = {
+  d_subject : string;
+  d_pass : Diag.pass;
+  d_from : level;
+  d_to : level;
+  d_reason : string;
+}
+
+let pp_degradation ppf d =
+  Fmt.pf ppf "%s: %s failed at %s, retried at %s (%s)" d.d_subject
+    (Diag.pass_name d.d_pass) (level_to_string d.d_from)
+    (level_to_string d.d_to) d.d_reason
+
 type report = {
   cfg : config;
   original : Program.t;
@@ -51,12 +74,15 @@ type report = {
   hstats : Horizontal.stats;
   vstats : Vertical.stats;
   compile_s : float;  (** wall-clock seconds spent in Souffle's own passes *)
+  diags : Diag.t list;  (** every diagnostic any pass reported, in order *)
+  degraded : degradation list;
+      (** recovery steps taken; empty on a clean compile *)
 }
 
 (* TVM/Ansor-style grouping for levels below V3: every reduction TE starts a
    kernel and absorbs its one-relies-on-one consumers (classic epilogue
    fusion); leading elementwise TEs form their own kernels. *)
-let ansor_groups (p : Program.t) : Emit.group list =
+let ansor_groups_of_tes (tes : Te.t list) : Emit.group list =
   let rev_groups = ref [] and cur = ref [] in
   let flush () =
     if !cur <> [] then begin
@@ -93,65 +119,211 @@ let ansor_groups (p : Program.t) : Emit.group list =
           flush ()
         end
       end)
-    p.Program.tes;
+    tes;
   flush ();
   List.rev !rev_groups
 
-let compile ?(cfg = default_config) (p : Program.t) : report =
-  let t0 = Unix.gettimeofday () in
-  let rank = level_rank cfg.level in
-  (* 1-2. lowering is the caller's; validate and analyze *)
-  (match Program.validate p with
-  | Ok () -> ()
-  | Error m -> invalid_arg ("Souffle.compile: invalid program: " ^ m));
-  (* 3. horizontal transformation (V1+) *)
-  let p1, hstats =
-    if rank >= 1 then Horizontal.apply p
-    else (p, { Horizontal.groups_merged = 0; tes_eliminated = 0 })
-  in
-  (* 4. vertical transformation (V2+) *)
-  let p2, vstats =
-    if rank >= 2 then Vertical.apply ~fold_into_reduce:true p1
-    else (p1, { Vertical.chains_fused = 0; movement_folded = 0 })
-  in
-  (* 5. re-analyze and schedule the transformed program *)
-  let an = Analysis.run p2 in
-  let scheds = Ansor.schedule_program ~config:cfg.ansor cfg.device p2 in
-  (* 6. resource-aware partitioning (V3+) *)
-  let partition, groups =
-    if rank >= 3 then begin
-      let part = Partition.run cfg.device an scheds in
-      ( Some part,
-        List.map Emit.group_of_subprogram part.Partition.subprograms )
-    end
-    else (None, ansor_groups p2)
-  in
-  (* 7. emit kernels with subprogram-level optimizations (V4+) *)
-  let opts =
-    {
-      Emit.default_options with
-      Emit.reuse_cache = rank >= 4;
-      pipeline = rank >= 4;
-      attach_epilogue = true;
-      attach_prologue = rank >= 2;
-    }
-  in
-  let prog = Emit.emit cfg.device p2 an scheds opts groups in
-  let sim = Sim.run cfg.device prog in
-  let compile_s = Unix.gettimeofday () -. t0 in
+let ansor_groups (p : Program.t) : Emit.group list =
+  ansor_groups_of_tes p.Program.tes
+
+(* Emission options at a given optimization rank (Table 4's ladder). *)
+let emit_opts rank =
   {
-    cfg;
-    original = p;
-    transformed = p2;
-    analysis = an;
-    partition;
-    groups;
-    prog;
-    sim;
-    hstats;
-    vstats;
-    compile_s;
+    Emit.default_options with
+    Emit.reuse_cache = rank >= 4;
+    pipeline = rank >= 4;
+    attach_epilogue = true;
+    attach_prologue = rank >= 2;
   }
+
+let singleton_groups (tes : Te.t list) : Emit.group list =
+  List.map
+    (fun (te : Te.t) ->
+      {
+        Emit.g_tes = [ te.Te.name ];
+        cooperative = false;
+        library_call = false;
+        eff_override = None;
+      })
+    tes
+
+(** Compilation as a total function.  Any pass failure — a raised exception,
+    an injected fault, or a kernel the IR verifier rejects — degrades the
+    failing unit one optimization level (V4 -> V3 -> ... -> V0) and retries,
+    instead of aborting the whole model:
+
+    - front-end passes (transforms, scheduling, partitioning, simulation)
+      operate on the whole program, so they degrade the program level;
+    - emission and IR verification operate per subprogram, so only the
+      failing subprogram is degraded — below V3 a cooperative subprogram is
+      re-emitted as Ansor-style separate kernels, and at V0 as one kernel
+      per TE.
+
+    Every retry is recorded in [diags] / [degraded].  [Error] is returned
+    only when the input program is invalid or a subprogram still fails at
+    V0; with [strict] any degradation is promoted to an error (for CI and
+    canary deployments that prefer failing fast over serving degraded
+    kernels). *)
+let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
+    : (report, Diag.t list) result =
+  let t0 = Unix.gettimeofday () in
+  let diags = ref [] and degraded = ref [] in
+  let note d = diags := d :: !diags in
+  let record ~subject ~pass ~from_rank ~to_rank reason =
+    degraded :=
+      {
+        d_subject = subject;
+        d_pass = pass;
+        d_from = level_of_rank from_rank;
+        d_to = level_of_rank to_rank;
+        d_reason = reason;
+      }
+      :: !degraded;
+    note
+      (Diag.warning ~subject pass
+         (Fmt.str "degraded from %s to %s: %s"
+            (level_to_string (level_of_rank from_rank))
+            (level_to_string (level_of_rank to_rank))
+            reason))
+  in
+  let ( let* ) = Result.bind in
+  (* ---- front end: whole-program passes at rank [r] ---- *)
+  let front_end r =
+    let* p1, hstats =
+      if r >= 1 then Horizontal.apply_result p
+      else Ok (p, { Horizontal.groups_merged = 0; tes_eliminated = 0 })
+    in
+    let* p2, vstats =
+      if r >= 2 then Vertical.apply_result ~fold_into_reduce:true p1
+      else Ok (p1, { Vertical.chains_fused = 0; movement_folded = 0 })
+    in
+    let* an = Diag.guard Diag.Analysis (fun () -> Analysis.run p2) in
+    let* scheds =
+      Ansor.schedule_program_result ~config:cfg.ansor cfg.device p2
+    in
+    let* partition, groups =
+      if r >= 3 then
+        match Partition.run_result cfg.device an scheds with
+        | Ok part ->
+            Ok
+              ( Some part,
+                List.map Emit.group_of_subprogram part.Partition.subprograms )
+        | Error d -> Error d
+      else Ok (None, ansor_groups p2)
+    in
+    Ok (p2, an, scheds, partition, groups, hstats, vstats)
+  in
+  (* ---- back end: one subprogram (group), with its own ladder ---- *)
+  let emit_and_verify ~p2 ~an ~scheds ~index r (g : Emit.group) =
+    let* k = Emit.emit_kernel_result cfg.device p2 an scheds (emit_opts r) ~index g in
+    match Verify_ir.check cfg.device k with
+    | Ok () -> Ok k
+    | Error ds -> Error (List.hd ds)
+  in
+  let rec emit_group ~p2 ~an ~scheds ~index r (g : Emit.group) :
+      (Kernel_ir.kernel list, Diag.t) result =
+    let subject =
+      match g.Emit.g_tes with n :: _ -> n | [] -> "<empty group>"
+    in
+    let attempt =
+      if r >= 3 || not g.Emit.cooperative then
+        (* one kernel for the whole subprogram; cooperative only at V3+ *)
+        let g' = { g with Emit.cooperative = g.Emit.cooperative && r >= 3 } in
+        Result.map
+          (fun k -> [ k ])
+          (emit_and_verify ~p2 ~an ~scheds ~index r g')
+      else begin
+        (* below V3 a cooperative subprogram falls back to Ansor-style
+           separate kernels; at V0, to one kernel per TE *)
+        let tes = List.map (Program.find_te_exn p2) g.Emit.g_tes in
+        let subgroups =
+          if r >= 1 then ansor_groups_of_tes tes else singleton_groups tes
+        in
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | sg :: rest -> (
+              match emit_and_verify ~p2 ~an ~scheds ~index:(index + i) r sg with
+              | Ok k -> go (i + 1) (k :: acc) rest
+              | Error _ as e -> e)
+        in
+        go 0 [] subgroups
+      end
+    in
+    match attempt with
+    | Ok ks -> Ok ks
+    | Error d when r > 0 ->
+        note d;
+        record ~subject ~pass:d.Diag.pass ~from_rank:r ~to_rank:(r - 1)
+          d.Diag.message;
+        emit_group ~p2 ~an ~scheds ~index (r - 1) g
+    | Error _ as e -> e
+  in
+  (* ---- the program-level ladder ---- *)
+  let rec attempt r =
+    let stage =
+      let* p2, an, scheds, partition, groups, hstats, vstats = front_end r in
+      let rec emit_all idx acc = function
+        | [] -> Ok (List.concat (List.rev acc))
+        | g :: rest -> (
+            match emit_group ~p2 ~an ~scheds ~index:idx r g with
+            | Ok ks -> emit_all (idx + List.length ks) (ks :: acc) rest
+            | Error _ as e -> e)
+      in
+      let* kernels = emit_all 0 [] groups in
+      let prog = { Kernel_ir.pname = "prog"; kernels } in
+      let* sim = Sim.run_result cfg.device prog in
+      Ok (p2, an, partition, groups, hstats, vstats, prog, sim)
+    in
+    match stage with
+    | Ok (p2, an, partition, groups, hstats, vstats, prog, sim) ->
+        let compile_s = Unix.gettimeofday () -. t0 in
+        Ok
+          {
+            cfg;
+            original = p;
+            transformed = p2;
+            analysis = an;
+            partition;
+            groups;
+            prog;
+            sim;
+            hstats;
+            vstats;
+            compile_s;
+            diags = List.rev !diags;
+            degraded = List.rev !degraded;
+          }
+    | Error d when r > 0 ->
+        note d;
+        record ~subject:"program" ~pass:d.Diag.pass ~from_rank:r
+          ~to_rank:(r - 1) d.Diag.message;
+        attempt (r - 1)
+    | Error d -> Error (List.rev (d :: !diags))
+  in
+  match Program.validate p with
+  | Error m -> Error [ Diag.error Diag.Validate ("invalid program: " ^ m) ]
+  | Ok () -> (
+      match attempt (level_rank cfg.level) with
+      | Error _ as e -> e
+      | Ok r when strict && (r.degraded <> [] || List.exists Diag.is_error r.diags)
+        ->
+          Error
+            (r.diags
+            @ [
+                Diag.error Diag.Validate
+                  ~hint:"drop --strict to accept degraded compilation"
+                  (Fmt.str "strict mode: %d degradation step(s) taken"
+                     (List.length r.degraded));
+              ])
+      | Ok _ as ok -> ok)
+
+let compile ?cfg (p : Program.t) : report =
+  match compile_result ?cfg p with
+  | Ok r -> r
+  | Error ds ->
+      invalid_arg
+        (Fmt.str "Souffle.compile: %s"
+           (String.concat "; " (List.map Diag.to_string ds)))
 
 (** Compile a model graph end to end. *)
 let compile_graph ?cfg (g : Dgraph.t) : report = compile ?cfg (Lower.run g)
@@ -178,7 +350,10 @@ let summary ppf (r : report) =
     (num_kernels r) r.sim.Sim.total.Counters.grid_syncs (time_ms r)
     (Counters.mb (Counters.global_load_bytes r.sim.Sim.total))
     (Counters.mb r.sim.Sim.total.Counters.dram_write_bytes)
-    r.compile_s
+    r.compile_s;
+  if r.degraded <> [] then
+    Fmt.pf ppf "@,degraded: %a" Fmt.(list ~sep:(any "; ") pp_degradation)
+      r.degraded
 
 let cuda_source (r : report) = Codegen_cuda.to_string r.prog
 

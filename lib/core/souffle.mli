@@ -18,6 +18,9 @@ type level =
 val level_to_string : level -> string
 val level_rank : level -> int
 
+val level_of_rank : int -> level
+(** Inverse of {!level_rank}; ranks above 4 clamp to {!V4}. *)
+
 type config = {
   device : Device.t;
   level : level;
@@ -30,6 +33,19 @@ val default_config : config
 val config :
   ?device:Device.t -> ?level:level -> ?ansor:Ansor.config -> unit -> config
 
+(** One step of the graceful-degradation ladder: [d_subject] (the whole
+    program, or one subprogram's head TE) was retried at [d_to] after
+    [d_pass] failed at [d_from]. *)
+type degradation = {
+  d_subject : string;
+  d_pass : Diag.pass;
+  d_from : level;
+  d_to : level;
+  d_reason : string;
+}
+
+val pp_degradation : Format.formatter -> degradation -> unit
+
 (** Everything the pipeline produced, from the analyzed input program to the
     simulated execution. *)
 type report = {
@@ -38,12 +54,16 @@ type report = {
   transformed : Program.t;  (** after horizontal + vertical transformation *)
   analysis : Analysis.t;
   partition : Partition.t option;  (** [None] below V3 *)
-  groups : Emit.group list;        (** one group per generated kernel *)
+  groups : Emit.group list;        (** one subprogram-level group per kernel
+                                       before any degradation splits *)
   prog : Kernel_ir.prog;
   sim : Sim.result;
   hstats : Horizontal.stats;
   vstats : Vertical.stats;
   compile_s : float;  (** wall-clock seconds spent in Souffle's own passes *)
+  diags : Diag.t list;  (** every diagnostic any pass reported, in order *)
+  degraded : degradation list;
+      (** recovery steps taken; empty on a clean compile *)
 }
 
 val ansor_groups : Program.t -> Emit.group list
@@ -51,9 +71,24 @@ val ansor_groups : Program.t -> Emit.group list
     one-relies-on-one consumers); the V0..V2 grouping, also used by the
     Ansor baseline. *)
 
+val ansor_groups_of_tes : Te.t list -> Emit.group list
+(** {!ansor_groups} over an explicit TE list — how a cooperative subprogram
+    is re-grouped when it degrades below V3. *)
+
+val compile_result :
+  ?cfg:config -> ?strict:bool -> Program.t -> (report, Diag.t list) result
+(** Total compilation with per-subprogram graceful degradation: when a pass
+    raises (or a fault is injected, or the kernel-IR verifier rejects an
+    emitted kernel), the failing unit is retried one optimization level
+    lower (V4 -> V3 -> ... -> V0) instead of aborting, and the step is
+    recorded in the report's [degraded] / [diags].  Returns [Error] only
+    for an invalid input program, a subprogram that still fails at V0, or —
+    with [strict] (default false) — any degradation at all. *)
+
 val compile : ?cfg:config -> Program.t -> report
-(** Run the full pipeline on a validated TE program.
-    @raise Invalid_argument if the program fails {!Program.validate}. *)
+(** {!compile_result} with failures raised.
+    @raise Invalid_argument if the program fails {!Program.validate} or
+    cannot be compiled even with full degradation. *)
 
 val compile_graph : ?cfg:config -> Dgraph.t -> report
 (** [compile] composed with {!Lower.run}. *)

@@ -1,0 +1,98 @@
+(** Typed compiler diagnostics.
+
+    Every pipeline pass reports failures as a value of {!t} instead of an
+    untyped exception string: which pass failed, which TE / subprogram /
+    kernel it was working on, how severe the problem is, and — when the
+    driver knows one — a recovery hint.  {!Souffle.compile} threads these
+    through its graceful-degradation ladder and records them in the final
+    report, so a production deployment can log exactly what was retried at
+    a lower optimization level and why. *)
+
+type pass =
+  | Validate    (** input-program well-formedness ({!Program.validate}) *)
+  | Analysis    (** §5 global computation-graph analysis *)
+  | Horizontal  (** §6.1 horizontal TE transformation *)
+  | Vertical    (** §6.2 vertical TE transformation *)
+  | Schedule    (** §6.3 Ansor-style schedule search *)
+  | Partition   (** §5.4 resource-aware partitioning *)
+  | Emit        (** §6.3–§6.5 kernel emission *)
+  | Verify_ir   (** static kernel-IR verification (pre-launch checks) *)
+  | Simulate    (** analytical device simulation *)
+
+let pass_name = function
+  | Validate -> "validate"
+  | Analysis -> "analysis"
+  | Horizontal -> "horizontal"
+  | Vertical -> "vertical"
+  | Schedule -> "schedule"
+  | Partition -> "partition"
+  | Emit -> "emit"
+  | Verify_ir -> "verify-ir"
+  | Simulate -> "simulate"
+
+let pass_of_string = function
+  | "validate" -> Some Validate
+  | "analysis" -> Some Analysis
+  | "horizontal" -> Some Horizontal
+  | "vertical" -> Some Vertical
+  | "schedule" -> Some Schedule
+  | "partition" -> Some Partition
+  | "emit" -> Some Emit
+  | "verify-ir" | "verify_ir" -> Some Verify_ir
+  | "simulate" | "sim" -> Some Simulate
+  | _ -> None
+
+type severity = Info | Warning | Error
+
+let severity_name = function
+  | Info -> "info"
+  | Warning -> "warning"
+  | Error -> "error"
+
+type t = {
+  pass : pass;
+  severity : severity;
+  subject : string option;
+      (** the TE, subprogram, or kernel the diagnostic is about *)
+  message : string;
+  hint : string option;  (** suggested recovery, e.g. "retry at V2" *)
+}
+
+let make ?subject ?hint ~severity pass message =
+  { pass; severity; subject; message; hint }
+
+let error ?subject ?hint pass message =
+  make ?subject ?hint ~severity:Error pass message
+
+let warning ?subject ?hint pass message =
+  make ?subject ?hint ~severity:Warning pass message
+
+let info ?subject ?hint pass message =
+  make ?subject ?hint ~severity:Info pass message
+
+let is_error d = d.severity = Error
+
+let pp ppf d =
+  Fmt.pf ppf "%s[%s]%a: %s%a" (severity_name d.severity) (pass_name d.pass)
+    Fmt.(option (fun ppf s -> pf ppf " %s" s))
+    d.subject d.message
+    Fmt.(option (fun ppf h -> pf ppf " (hint: %s)" h))
+    d.hint
+
+let to_string d = Fmt.str "%a" pp d
+
+(** Raised by the fault-injection harness ({!Faultinject}) to make a pass
+    fail with a structured diagnostic attached. *)
+exception Injected of t
+
+(** Convert an escaped exception into a typed diagnostic attributed to
+    [pass].  Injected faults keep their own diagnostic. *)
+let of_exn ?subject pass = function
+  | Injected d -> d
+  | Failure m -> error ?subject pass m
+  | Invalid_argument m -> error ?subject pass m
+  | e -> error ?subject pass (Printexc.to_string e)
+
+(** Run [f], converting any escaped exception into [Error diag]. *)
+let guard ?subject pass (f : unit -> 'a) : ('a, t) result =
+  match f () with v -> Ok v | exception e -> Error (of_exn ?subject pass e)

@@ -1,0 +1,117 @@
+(** Seeded, deterministic fault injection.
+
+    Tests (and the CLI's [--inject]) arm exactly one fault; pipeline passes
+    call {!trip} at their entry points and {!smem_factor} / {!grid_factor}
+    when finalizing kernel resource estimates.  A tripped fault raises
+    {!Diag.Injected} (or corrupts the estimate), which the degradation
+    ladder in [Souffle.compile] must absorb — proving that graceful
+    degradation actually engages, not just that the happy path works.
+
+    Determinism: a fault trips on the [skip]-th matching invocation (derived
+    from [seed] by a fixed LCG step) and at most [times] times, so a given
+    (seed, spec) pair always fails the same subprogram of the same model. *)
+
+type spec =
+  | Fail_pass of Diag.pass  (** the pass raises when it next runs *)
+  | Corrupt_smem of int
+      (** multiply emitted kernels' shared-memory estimate — the kernel-IR
+          verifier must reject the corrupted kernel *)
+  | Corrupt_grid of int  (** multiply emitted kernels' grid size *)
+
+let spec_to_string = function
+  | Fail_pass p -> Diag.pass_name p
+  | Corrupt_smem f -> Fmt.str "smem:%d" f
+  | Corrupt_grid f -> Fmt.str "grid:%d" f
+
+(** Parse a CLI fault spec: a pass name ("horizontal", "emit", ...) or
+    "smem[:factor]" / "grid[:factor]". *)
+let parse (s : string) : (spec, string) result =
+  let name, factor =
+    match String.index_opt s ':' with
+    | Some i ->
+        ( String.sub s 0 i,
+          int_of_string_opt (String.sub s (i + 1) (String.length s - i - 1)) )
+    | None -> (s, None)
+  in
+  let factor = Option.value ~default:64 factor in
+  match name with
+  | "smem" -> Ok (Corrupt_smem factor)
+  | "grid" -> Ok (Corrupt_grid factor)
+  | _ -> (
+      match Diag.pass_of_string name with
+      | Some p -> Ok (Fail_pass p)
+      | None ->
+          Error
+            (Fmt.str
+               "unknown fault %S (expected a pass name, smem[:N], or \
+                grid[:N])"
+               s))
+
+type armed = {
+  spec : spec;
+  mutable skip : int;       (* matching invocations to let through first *)
+  mutable remaining : int;  (* how many times to trip *)
+  mutable trips : int;      (* observed trips, for tests *)
+}
+
+let state : armed option ref = ref None
+
+(* One multiplicative-congruential step; keeps equal seeds reproducible and
+   spreads consecutive seeds over the first few invocations. *)
+let skip_of_seed seed = if seed = 0 then 0 else (seed * 48271 + 11) mod 3
+
+let arm ?(seed = 0) ?(times = 1) spec =
+  state := Some { spec; skip = skip_of_seed seed; remaining = times; trips = 0 }
+
+let disarm () = state := None
+let armed () = !state <> None
+let trips () = match !state with Some a -> a.trips | None -> 0
+
+(* Consume one matching invocation; [Some a] iff the fault fires now. *)
+let fire (matches : spec -> bool) : armed option =
+  match !state with
+  | Some a when matches a.spec ->
+      if a.skip > 0 then begin
+        a.skip <- a.skip - 1;
+        None
+      end
+      else if a.remaining > 0 then begin
+        a.remaining <- a.remaining - 1;
+        a.trips <- a.trips + 1;
+        Some a
+      end
+      else None
+  | _ -> None
+
+(** Called at a pass entry point: raises {!Diag.Injected} when the armed
+    fault targets [pass] and its trigger count is reached. *)
+let trip ?subject (pass : Diag.pass) : unit =
+  match fire (function Fail_pass p -> p = pass | _ -> false) with
+  | Some _ ->
+      raise
+        (Diag.Injected
+           (Diag.error ?subject
+              ~hint:"injected fault; retry at a lower optimization level" pass
+              "injected failure (fault-injection harness)"))
+  | None -> ()
+
+(** Multiplier to apply to an emitted kernel's shared-memory estimate
+    (1 when no smem-corruption fault fires on this invocation). *)
+let smem_factor () : int =
+  match fire (function Corrupt_smem _ -> true | _ -> false) with
+  | Some { spec = Corrupt_smem f; _ } -> f
+  | _ -> 1
+
+(** Same for the launch-grid size. *)
+let grid_factor () : int =
+  match fire (function Corrupt_grid _ -> true | _ -> false) with
+  | Some { spec = Corrupt_grid f; _ } -> f
+  | _ -> 1
+
+(** Arm [spec], run [f], always disarm; returns [f ()]'s result together
+    with the number of times the fault tripped. *)
+let with_fault ?seed ?times spec (f : unit -> 'a) : 'a * int =
+  arm ?seed ?times spec;
+  Fun.protect ~finally:disarm (fun () ->
+      let v = f () in
+      (v, trips ()))

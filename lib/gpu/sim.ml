@@ -168,3 +168,11 @@ let run (dev : Device.t) (p : Kernel_ir.prog) : result =
   }
 
 let time_ms (r : result) = r.total.Counters.time_us /. 1000.
+
+(** {!run} as a total function: fault-injection aware, exceptions converted
+    to a typed diagnostic. *)
+let run_result (dev : Device.t) (p : Kernel_ir.prog) :
+    (result, Diag.t) Stdlib.result =
+  Diag.guard ~subject:p.Kernel_ir.pname Diag.Simulate (fun () ->
+      Faultinject.trip ~subject:p.Kernel_ir.pname Diag.Simulate;
+      run dev p)

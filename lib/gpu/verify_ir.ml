@@ -1,0 +1,136 @@
+(** Static kernel-IR verifier: pre-launch well-formedness checks.
+
+    A merged-kernel compiler must prove an emitted kernel is launchable
+    before it ever reaches the device — a cooperative kernel whose grid
+    exceeds one resident wave deadlocks on [grid.sync], and a block whose
+    shared-memory or register footprint exceeds the SM budget fails to
+    launch at all.  [check_kernel] runs every check and returns all
+    violations as typed diagnostics; [check_prog] aggregates over a program
+    and is run by [Souffle.compile] on every emitted kernel before
+    simulation, feeding the per-subprogram degradation ladder. *)
+
+let err ~subject fmt = Fmt.kstr (fun m -> Diag.error ~subject Diag.Verify_ir m) fmt
+
+let check_instr ~subject (i : Kernel_ir.instr) : Diag.t list =
+  let neg what n =
+    if n < 0 then [ err ~subject "negative %s count: %d" what n ] else []
+  in
+  match i with
+  | Kernel_ir.Ldg { bytes } -> neg "ldg byte" bytes
+  | Ldl2 { bytes } -> neg "ldl2 byte" bytes
+  | Lds { bytes } -> neg "lds byte" bytes
+  | Stg { bytes } -> neg "stg byte" bytes
+  | Atomic_add { bytes } -> neg "atomic byte" bytes
+  | Mma { flops } -> neg "mma flop" flops
+  | Fma { flops } -> neg "fma flop" flops
+  | Sfu { ops } -> neg "sfu op" ops
+  | Grid_sync | Block_sync -> []
+
+let check_stage ~subject si (s : Kernel_ir.stage) : Diag.t list =
+  let effs =
+    let bad name v =
+      if v <= 0. || v > 1. then
+        [ err ~subject "stage %d (%s): %s %.3f outside (0, 1]" si
+            s.Kernel_ir.label name v ]
+      else []
+    in
+    bad "compute_eff" s.Kernel_ir.compute_eff
+    @ bad "mem_eff" s.Kernel_ir.mem_eff
+  in
+  let sgrid =
+    if s.Kernel_ir.sgrid < 0 then
+      [ err ~subject "stage %d (%s): negative stage grid %d" si
+          s.Kernel_ir.label s.Kernel_ir.sgrid ]
+    else []
+  in
+  (* grid.sync placement: it separates dependent stages, so it may only
+     appear as the leading instruction of a stage that has predecessors —
+     anywhere else there is no cross-stage dependency for it to order *)
+  let syncs =
+    List.concat
+      (List.mapi
+         (fun ii instr ->
+           match instr with
+           | Kernel_ir.Grid_sync when si = 0 ->
+               [ err ~subject
+                   "stage 0 (%s): grid.sync with no preceding stage"
+                   s.Kernel_ir.label ]
+           | Kernel_ir.Grid_sync when ii > 0 ->
+               [ err ~subject
+                   "stage %d (%s): grid.sync not at the stage boundary" si
+                   s.Kernel_ir.label ]
+           | _ -> [])
+         s.Kernel_ir.instrs)
+  in
+  effs @ sgrid @ syncs
+  @ List.concat_map (check_instr ~subject) s.Kernel_ir.instrs
+
+let check_kernel (dev : Device.t) (k : Kernel_ir.kernel) : Diag.t list =
+  let subject = k.Kernel_ir.kname in
+  let launch =
+    (if k.Kernel_ir.grid_blocks < 1 then
+       [ err ~subject "grid of %d blocks" k.Kernel_ir.grid_blocks ]
+     else [])
+    @ (if
+         k.Kernel_ir.threads_per_block < 1
+         || k.Kernel_ir.threads_per_block > dev.Device.max_threads_per_block
+       then
+         [ err ~subject "%d threads/block exceeds device limit %d"
+             k.Kernel_ir.threads_per_block dev.Device.max_threads_per_block ]
+       else [])
+    @ (if k.Kernel_ir.smem_per_block > dev.Device.max_smem_per_block then
+         [ err ~subject "%d B shared memory/block exceeds device limit %d B"
+             k.Kernel_ir.smem_per_block dev.Device.max_smem_per_block ]
+       else if k.Kernel_ir.smem_per_block < 0 then
+         [ err ~subject "negative shared-memory estimate %d B"
+             k.Kernel_ir.smem_per_block ]
+       else [])
+    @
+    if
+      k.Kernel_ir.regs_per_thread < 1
+      || k.Kernel_ir.regs_per_thread > dev.Device.max_regs_per_thread
+    then
+      [ err ~subject "%d registers/thread outside [1, %d]"
+          k.Kernel_ir.regs_per_thread dev.Device.max_regs_per_thread ]
+    else []
+  in
+  (* only meaningful once the per-block footprint is itself legal *)
+  let residency =
+    if launch <> [] then []
+    else if Occupancy.blocks_per_sm dev (Kernel_ir.usage k) < 1 then
+      [ err ~subject "block footprint fits no SM (occupancy 0)" ]
+    else []
+  in
+  let cooperative =
+    let nsync = Kernel_ir.num_grid_syncs k in
+    if nsync = 0 then []
+    else if k.Kernel_ir.library_call then
+      [ err ~subject "library-call kernel contains grid.sync" ]
+    else if launch <> [] || residency <> [] then []
+    else begin
+      let cap = Occupancy.max_blocks_per_wave dev (Kernel_ir.usage k) in
+      if k.Kernel_ir.grid_blocks > cap then
+        [ Diag.error ~subject
+            ~hint:"shrink the subprogram or fall back to separate kernels"
+            Diag.Verify_ir
+            (Fmt.str
+               "cooperative grid of %d blocks exceeds one wave (max %d)"
+               k.Kernel_ir.grid_blocks cap) ]
+      else []
+    end
+  in
+  let stages =
+    if k.Kernel_ir.stages = [] then [ err ~subject "kernel has no stages" ]
+    else List.concat (List.mapi (check_stage ~subject) k.Kernel_ir.stages)
+  in
+  launch @ residency @ cooperative @ stages
+
+let check (dev : Device.t) (k : Kernel_ir.kernel) : (unit, Diag.t list) result
+    =
+  match check_kernel dev k with [] -> Ok () | ds -> Error ds
+
+let check_prog (dev : Device.t) (p : Kernel_ir.prog) :
+    (unit, Diag.t list) result =
+  match List.concat_map (check_kernel dev) p.Kernel_ir.kernels with
+  | [] -> Ok ()
+  | ds -> Error ds

@@ -138,16 +138,15 @@ let tensor_bytes (p : Program.t) name =
   let info = Program.tensor_info_exn p name in
   Shape.numel info.Program.shape * Dtype.bytes info.Program.dtype
 
-let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
-    (scheds : (string, Sched.t) Hashtbl.t) (opts : options)
-    (groups : group list) : Kernel_ir.prog =
+(** Emit the single kernel of one group ([index] numbers it within the
+    program, for naming).  This is the unit the per-subprogram degradation
+    ladder retries: every call re-derives its own state, so re-emitting one
+    group under different options cannot disturb its neighbours. *)
+let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
+    (scheds : (string, Sched.t) Hashtbl.t) (opts : options) ~(index : int)
+    (g : group) : Kernel_ir.kernel =
   let outputs = SSet.of_list p.Program.outputs in
   let consumers = Program.consumers p in
-  (* which kernel (group index) produces each tensor *)
-  let producer_group : (string, int) Hashtbl.t = Hashtbl.create 64 in
-  List.iteri
-    (fun gi g -> List.iter (fun n -> Hashtbl.replace producer_group n gi) g.g_tes)
-    groups;
   let sched name =
     match Hashtbl.find_opt scheds name with
     | Some s -> s
@@ -159,9 +158,9 @@ let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
         (int_of_float
            (opts.cache_capacity_frac *. float_of_int (Device.total_smem dev)))
   in
-  let kernels =
-    List.mapi
-      (fun gi (g : group) ->
+  let kernel =
+    let gi = index in
+    (fun (g : group) ->
         let tes = List.map (Program.find_te_exn p) g.g_tes in
         let stages_tes =
           if opts.concurrent_stages then [ tes ] else build_stages opts tes
@@ -378,10 +377,47 @@ let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
                 max r' (Sched.regs_per_thread s) ))
             (1, 32, 0, 16) stages_tes
         in
+        (* fault injection: corrupted resource estimates must be caught by
+           the kernel-IR verifier before launch; the additive term keeps the
+           corruption visible even when the honest estimate is tiny *)
+        let sf = Faultinject.smem_factor () in
+        let smem = if sf = 1 then smem else (smem * sf) + (sf * 4096) in
+        let gf = Faultinject.grid_factor () in
+        let grid = if gf = 1 then grid else (grid * gf) + (gf * 4096) in
         Kernel_ir.kernel
           ~name:(Fmt.str "k%d_%s" gi (List.hd g.g_tes))
           ~grid_blocks:grid ~threads_per_block:threads ~smem_per_block:smem
           ~regs_per_thread:regs ~library_call:g.library_call kstages)
-      groups
+      g
   in
-  { Kernel_ir.pname = "prog"; kernels }
+  kernel
+
+let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
+    (scheds : (string, Sched.t) Hashtbl.t) (opts : options)
+    (groups : group list) : Kernel_ir.prog =
+  {
+    Kernel_ir.pname = "prog";
+    kernels =
+      List.mapi (fun gi g -> emit_kernel dev p an scheds opts ~index:gi g) groups;
+  }
+
+(** {!emit_kernel} as a total function: fault-injection aware, exceptions
+    converted to a typed diagnostic naming the failed group. *)
+let emit_kernel_result dev p an scheds opts ~index (g : group) :
+    (Kernel_ir.kernel, Diag.t) result =
+  let subject = match g.g_tes with n :: _ -> n | [] -> "<empty group>" in
+  Diag.guard ~subject Diag.Emit (fun () ->
+      Faultinject.trip ~subject Diag.Emit;
+      emit_kernel dev p an scheds opts ~index g)
+
+(** {!emit} as a total function. *)
+let emit_result dev p an scheds opts (groups : group list) :
+    (Kernel_ir.prog, Diag.t) result =
+  let rec go gi acc = function
+    | [] -> Ok { Kernel_ir.pname = "prog"; kernels = List.rev acc }
+    | g :: rest -> (
+        match emit_kernel_result dev p an scheds opts ~index:gi g with
+        | Ok k -> go (gi + 1) (k :: acc) rest
+        | Error _ as e -> e)
+  in
+  go 0 [] groups

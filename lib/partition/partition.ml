@@ -146,3 +146,22 @@ let pp ppf (t : t) =
         (String.concat ", " (te_names sp)))
     t.subprograms;
   Fmt.pf ppf "@]"
+
+(** {!run} as a total function: fault-injection aware, exceptions converted
+    to a typed diagnostic, and the coverage invariant ({!validate}) checked
+    before the result is handed to emission. *)
+let run_result (dev : Device.t) (an : Analysis.t)
+    (scheds : (string, Sched.t) Hashtbl.t) : (t, Diag.t) result =
+  match
+    Diag.guard Diag.Partition (fun () ->
+        Faultinject.trip Diag.Partition;
+        run dev an scheds)
+  with
+  | Error _ as e -> e
+  | Ok t -> (
+      match validate t an.Analysis.program with
+      | Ok () -> Ok t
+      | Error m ->
+          Error
+            (Diag.error ~hint:"fall back to Ansor-style grouping"
+               Diag.Partition m))

@@ -33,3 +33,8 @@ val validate : t -> Program.t -> (unit, string) result
 
 val num_subprograms : t -> int
 val pp : Format.formatter -> t -> unit
+
+val run_result :
+  Device.t -> Analysis.t -> (string, Sched.t) Hashtbl.t -> (t, Diag.t) result
+(** {!run} with escaped exceptions (and injected faults) converted to a
+    typed diagnostic, plus a {!validate} coverage check of the result. *)

@@ -210,3 +210,11 @@ let schedule_program ?(config = default_config) (dev : Device.t)
       Hashtbl.replace table te.Te.name sched)
     p.Program.tes;
   table
+
+(** {!schedule_program} as a total function: fault-injection aware,
+    exceptions converted to a typed diagnostic. *)
+let schedule_program_result ?config (dev : Device.t) (p : Program.t) :
+    ((string, Sched.t) Hashtbl.t, Diag.t) result =
+  Diag.guard Diag.Schedule (fun () ->
+      Faultinject.trip Diag.Schedule;
+      schedule_program ?config dev p)

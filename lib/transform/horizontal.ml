@@ -234,3 +234,10 @@ let apply (p : Program.t) : Program.t * stats =
             0 merged_tes;
       } )
   end
+
+(** {!apply} as a total function: fault-injection aware, exceptions
+    converted to a typed diagnostic for the degradation ladder. *)
+let apply_result (p : Program.t) : (Program.t * stats, Diag.t) result =
+  Diag.guard Diag.Horizontal (fun () ->
+      Faultinject.trip Diag.Horizontal;
+      apply p)

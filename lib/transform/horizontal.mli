@@ -27,3 +27,7 @@ type stats = { groups_merged : int; tes_eliminated : int }
 
 val apply : Program.t -> Program.t * stats
 (** Merge every group, rewrite consumers, and re-toposort. *)
+
+val apply_result : Program.t -> (Program.t * stats, Diag.t) result
+(** {!apply} with escaped exceptions (and injected faults) converted to a
+    typed diagnostic instead of aborting the compilation. *)

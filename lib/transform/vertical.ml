@@ -134,3 +134,11 @@ let apply ?(fold_into_reduce = true) (p : Program.t) : Program.t * stats =
     end
   in
   go p { chains_fused = 0; movement_folded = 0 } 0
+
+(** {!apply} as a total function: fault-injection aware, exceptions
+    converted to a typed diagnostic for the degradation ladder. *)
+let apply_result ?fold_into_reduce (p : Program.t) :
+    (Program.t * stats, Diag.t) result =
+  Diag.guard Diag.Vertical (fun () ->
+      Faultinject.trip Diag.Vertical;
+      apply ?fold_into_reduce p)

@@ -21,3 +21,8 @@ val apply : ?fold_into_reduce:bool -> Program.t -> Program.t * stats
 (** Iterate inlining to a fixpoint.  [fold_into_reduce] (default true)
     additionally folds data-movement producers into reduction consumers;
     baselines that cannot fuse across reductions disable it. *)
+
+val apply_result :
+  ?fold_into_reduce:bool -> Program.t -> (Program.t * stats, Diag.t) result
+(** {!apply} with escaped exceptions (and injected faults) converted to a
+    typed diagnostic instead of aborting the compilation. *)

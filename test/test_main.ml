@@ -12,6 +12,7 @@ let () =
       ("schedule", Test_schedule.suite);
       ("models", Test_models.suite);
       ("pipeline", Test_pipeline.suite);
+      ("robustness", Test_robustness.suite);
       ("baselines", Test_baselines.suite);
       ("extensions", Test_extensions.suite);
       ("autodiff", Test_autodiff.suite);

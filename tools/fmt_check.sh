@@ -1,0 +1,23 @@
+#!/bin/sh
+# Dependency-free style lint for `dune build @fmt-check`: no tab
+# indentation and no trailing whitespace in committed OCaml sources.
+# (ocamlformat is not available in the build image; see .ocamlformat.)
+# Usage: fmt_check.sh DIR...
+set -eu
+status=0
+tab=$(printf '\t')
+for dir in "$@"; do
+  for f in $(find "$dir" -name '*.ml' -o -name '*.mli' | sort); do
+    if grep -n "$tab" "$f" >/dev/null; then
+      echo "fmt-check: $f: tab character" >&2
+      grep -n "$tab" "$f" | head -3 >&2
+      status=1
+    fi
+    if grep -n ' $' "$f" >/dev/null; then
+      echo "fmt-check: $f: trailing whitespace" >&2
+      grep -n ' $' "$f" | head -3 >&2
+      status=1
+    fi
+  done
+done
+exit $status
