@@ -42,7 +42,11 @@ let run () =
   List.iter
     (fun frac ->
       let device = { dev with Device.coop_capacity_frac = frac } in
-      let r = Souffle.compile ~cfg:(Souffle.config ~device ()) p in
+      let r =
+        Tables.compile_recorded
+          ~name:(Fmt.str "BERT@coop-frac=%.2f" frac)
+          ~cfg:(Souffle.config ~device ()) p
+      in
       Fmt.pr "  frac=%.2f  kernels=%-4d syncs=%-4d time=%.3f ms@." frac
         (Souffle.num_kernels r)
         r.Souffle.sim.Sim.total.Counters.grid_syncs

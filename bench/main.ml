@@ -82,6 +82,11 @@ let sections : (string * (unit -> unit)) list =
 
 let () =
   let args = List.tl (Array.to_list Sys.argv) in
+  (* --strict-bench: exit non-zero if any model compiled degraded, so CI
+     evaluation runs fail loudly instead of publishing tables measured on
+     degraded kernels *)
+  let strict = List.mem "--strict-bench" args in
+  let args = List.filter (fun a -> a <> "--strict-bench") args in
   let chosen = if args = [] then List.map fst sections else args in
   Fmt.pr "Souffle reproduction benchmark harness — device: %a@." Device.pp
     Tables.dev;
@@ -92,4 +97,10 @@ let () =
       | None ->
           Fmt.epr "unknown section %s (available: %s)@." name
             (String.concat ", " (List.map fst sections)))
-    chosen
+    chosen;
+  Tables.section "Compilation health";
+  Fmt.pr "  %a@." Runlog.pp Tables.runlog;
+  let code = Runlog.exit_code ~strict Tables.runlog in
+  if code <> 0 then
+    Fmt.epr "strict-bench: failing the run over degraded compilations@.";
+  exit code

@@ -88,6 +88,22 @@ let strict_arg =
   in
   Arg.(value & flag & info [ "strict" ] ~doc)
 
+let trace_arg =
+  let doc =
+    "Record a hierarchical timing trace of every compiler pass and write \
+     it to $(docv) in the Chrome-trace JSON format (load it in \
+     chrome://tracing or https://ui.perfetto.dev)."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let profile_arg =
+  let doc =
+    "Print the pass-timing span tree and the per-kernel counter report \
+     (kernel identity joined with its Nsight-style counters) after \
+     compiling."
+  in
+  Arg.(value & flag & info [ "profile" ] ~doc)
+
 let inject_arg =
   let doc =
     "Arm the fault-injection harness before compiling: a pass name \
@@ -123,7 +139,8 @@ let arm_fault = function
           Ok ()
       | Error m -> Error m)
 
-let compile_run model file tiny level cuda verify strict inject =
+let compile_run model file tiny level cuda verify strict inject trace profile
+    =
   protect Diag.Validate @@ fun () ->
   match
     ( resolve ~model ~file ~tiny,
@@ -134,10 +151,26 @@ let compile_run model file tiny level cuda verify strict inject =
       Fmt.epr "error: %s@." m;
       1
   | Ok p, Ok level, Ok () -> (
-      let result =
+      let compile () =
         Fun.protect ~finally:Faultinject.disarm (fun () ->
             Souffle.compile_result ~cfg:(Souffle.config ~level ()) ~strict p)
       in
+      (* --trace / --profile record the compile under the Obs collector *)
+      let result, recorded =
+        if trace <> None || profile then
+          let r, t = Obs.record compile in
+          (r, Some t)
+        else (compile (), None)
+      in
+      (match (trace, recorded) with
+      | Some path, Some t ->
+          Obs.to_chrome_file t path;
+          Fmt.pr "trace: wrote %s (%d spans, %.1f us recorded)@." path
+            (Obs.span_count t) t.Obs.wall_us
+      | _ -> ());
+      (match recorded with
+      | Some t when profile -> Fmt.pr "%a@.@." Obs.pp_tree t
+      | _ -> ());
       match result with
       | Error ds ->
           List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
@@ -149,6 +182,7 @@ let compile_run model file tiny level cuda verify strict inject =
           | Some part ->
               Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
           | None -> ());
+          if profile then Fmt.pr "@.%a@." Souffle.pp_kernel_report r;
           if cuda then begin
             Fmt.pr "@.%s@." (Souffle.cuda_source r);
             Fmt.pr "@.// --- per-TE loop nests (first 4 TEs) ---@.%s@."
@@ -166,7 +200,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a model with Souffle and simulate it")
     Term.(
       const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
-      $ cuda_arg $ verify_arg $ strict_arg $ inject_arg)
+      $ cuda_arg $ verify_arg $ strict_arg $ inject_arg $ trace_arg
+      $ profile_arg)
 
 let compare_run model tiny =
   protect Diag.Simulate @@ fun () ->

@@ -197,7 +197,10 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       if r >= 2 then Vertical.apply_result ~fold_into_reduce:true p1
       else Ok (p1, { Vertical.chains_fused = 0; movement_folded = 0 })
     in
-    let* an = Diag.guard Diag.Analysis (fun () -> Analysis.run p2) in
+    let* an =
+      Obs.span "analysis" (fun () ->
+          Diag.guard Diag.Analysis (fun () -> Analysis.run p2))
+    in
     let* scheds =
       Ansor.schedule_program_result ~config:cfg.ansor cfg.device p2
     in
@@ -216,6 +219,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
   (* ---- back end: one subprogram (group), with its own ladder ---- *)
   let emit_and_verify ~p2 ~an ~scheds ~index r (g : Emit.group) =
     let* k = Emit.emit_kernel_result cfg.device p2 an scheds (emit_opts r) ~index g in
+    Obs.span ~meta:[ ("kernel", k.Kernel_ir.kname) ] "verify-ir" @@ fun () ->
     match Verify_ir.check cfg.device k with
     | Ok () -> Ok k
     | Error ds -> Error (List.hd ds)
@@ -260,6 +264,10 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
   in
   (* ---- the program-level ladder ---- *)
   let rec attempt r =
+    Obs.span
+      ~meta:[ ("level", level_to_string (level_of_rank r)) ]
+      "attempt"
+    @@ fun () ->
     let stage =
       let* p2, an, scheds, partition, groups, hstats, vstats = front_end r in
       let rec emit_all idx acc = function
@@ -300,6 +308,14 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
         attempt (r - 1)
     | Error d -> Error (List.rev (d :: !diags))
   in
+  Obs.span
+    ~meta:
+      [
+        ("level", level_to_string cfg.level);
+        ("tes", string_of_int (List.length p.Program.tes));
+      ]
+    "compile"
+  @@ fun () ->
   match Program.validate p with
   | Error m -> Error [ Diag.error Diag.Validate ("invalid program: " ^ m) ]
   | Ok () -> (
@@ -354,6 +370,31 @@ let summary ppf (r : report) =
   if r.degraded <> [] then
     Fmt.pf ppf "@,degraded: %a" Fmt.(list ~sep:(any "; ") pp_degradation)
       r.degraded
+
+(** The per-kernel counter report ({!Kreport}) of the compiled program:
+    one row per launched kernel joining its Nsight-style counters with its
+    identity (name encoding the subprogram index, member TEs, launch
+    configuration). *)
+let kernel_report (r : report) : Kreport.row list = Kreport.of_sim r.sim
+
+(** {!kernel_report} as machine-readable JSON, stamped with the compile's
+    identity (optimization level, device, kernel/degradation totals). *)
+let kernel_report_json ?(model = "") (r : report) : string =
+  Jsonlite.to_string
+    (Kreport.to_json
+       ~meta:
+         [
+           ("model", model);
+           ("level", level_to_string r.cfg.level);
+           ("device", r.cfg.device.Device.name);
+           ("degraded_steps", string_of_int (List.length r.degraded));
+         ]
+       r.sim)
+
+let pp_kernel_report ppf (r : report) =
+  Fmt.pf ppf "@[<v>per-kernel counters (%s, %d kernel(s)):@,%a@]"
+    (level_to_string r.cfg.level)
+    (num_kernels r) Kreport.pp (kernel_report r)
 
 let cuda_source (r : report) = Codegen_cuda.to_string r.prog
 

@@ -106,6 +106,19 @@ val num_kernels : report -> int
 val summary : Format.formatter -> report -> unit
 (** Human-readable compile summary (TE counts, kernels, traffic, time). *)
 
+val kernel_report : report -> Kreport.row list
+(** Per-kernel counter rows: the {!Kreport} join of the simulator's
+    Nsight-style counters with kernel identity (subprogram index encoded in
+    the kernel name, member TE names, launch configuration). *)
+
+val kernel_report_json : ?model:string -> report -> string
+(** {!kernel_report} as JSON, stamped with model name, optimization level,
+    device, and degradation count — the machine-readable form behind the
+    bench tables. *)
+
+val pp_kernel_report : Format.formatter -> report -> unit
+(** {!kernel_report} as an aligned text table (the [--profile] view). *)
+
 val cuda_source : report -> string
 (** The generated kernels rendered as CUDA-flavoured source (Fig. 2 step 5
     style); documentation output, the simulator runs the kernel IR. *)

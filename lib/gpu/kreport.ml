@@ -1,0 +1,124 @@
+(** Per-kernel counter report: the join of the simulator's Nsight-style
+    {!Counters} with kernel identity — kernel name (which encodes the
+    subprogram index the emitter assigned), the TEs its stages implement,
+    and the launch configuration.  This is the table that explains *why* a
+    compilation variant wins: which kernel moved the DRAM bytes, which one
+    paid the grid syncs, where the tensor-core time went.  Rendered as an
+    aligned text table ({!pp}) or machine-readable JSON ({!to_json}). *)
+
+type row = {
+  r_kernel : string;       (** kernel name, [k<subprogram-index>_<head TE>] *)
+  r_index : int;           (** position in launch order *)
+  r_tes : string list;     (** TE names from the kernel's stage labels *)
+  r_grid : int;
+  r_threads : int;
+  r_smem : int;            (** bytes per block *)
+  r_counters : Counters.t;
+  r_compute_us : float;
+  r_memory_us : float;
+}
+
+(* stage labels name the anchor TE of each fused region; dedup preserving
+   first-occurrence order *)
+let stage_tes (k : Kernel_ir.kernel) : string list =
+  List.fold_left
+    (fun acc (s : Kernel_ir.stage) ->
+      if List.mem s.Kernel_ir.label acc then acc else acc @ [ s.Kernel_ir.label ])
+    [] k.Kernel_ir.stages
+
+let of_sim (sim : Sim.result) : row list =
+  List.mapi
+    (fun i (kr : Sim.kernel_result) ->
+      let k = kr.Sim.kernel in
+      {
+        r_kernel = k.Kernel_ir.kname;
+        r_index = i;
+        r_tes = stage_tes k;
+        r_grid = k.Kernel_ir.grid_blocks;
+        r_threads = k.Kernel_ir.threads_per_block;
+        r_smem = k.Kernel_ir.smem_per_block;
+        r_counters = kr.Sim.kcounters;
+        r_compute_us = kr.Sim.compute_us;
+        r_memory_us = kr.Sim.memory_us;
+      })
+    sim.Sim.per_kernel
+
+let truncate_name n s =
+  if String.length s <= n then s else String.sub s 0 (n - 1) ^ "~"
+
+let pp ppf (rows : row list) =
+  Fmt.pf ppf "@[<v>";
+  Fmt.pf ppf "%-26s %8s %6s %9s %9s %8s %8s %6s %7s %7s" "kernel" "grid"
+    "syncs" "time_us" "DRAMrdMB" "DRAMwrMB" "L2_MB" "smemKB" "mma_M" "fma_M";
+  List.iter
+    (fun r ->
+      let c = r.r_counters in
+      Fmt.pf ppf "@,%-26s %8d %6d %9.2f %9.3f %8.3f %8.3f %6d %7.1f %7.1f"
+        (truncate_name 26 r.r_kernel)
+        r.r_grid c.Counters.grid_syncs c.Counters.time_us
+        (Counters.mb (Counters.global_load_bytes c))
+        (Counters.mb c.Counters.dram_write_bytes)
+        (Counters.mb c.Counters.l2_read_bytes)
+        (r.r_smem / 1024)
+        (float_of_int c.Counters.mma_flops /. 1e6)
+        (float_of_int c.Counters.fma_flops /. 1e6);
+      Fmt.pf ppf "@,  %-24s tes: %s"
+        ""
+        (truncate_name 70 (String.concat ", " r.r_tes)))
+    rows;
+  Fmt.pf ppf "@]"
+
+let row_to_json (r : row) : Jsonlite.t =
+  let c = r.r_counters in
+  let num f = Jsonlite.Num f in
+  let int i = Jsonlite.Num (float_of_int i) in
+  Jsonlite.Obj
+    [
+      ("kernel", Jsonlite.Str r.r_kernel);
+      ("index", int r.r_index);
+      ("tes", Jsonlite.Arr (List.map (fun t -> Jsonlite.Str t) r.r_tes));
+      ("grid_blocks", int r.r_grid);
+      ("threads_per_block", int r.r_threads);
+      ("smem_per_block", int r.r_smem);
+      ("time_us", num c.Counters.time_us);
+      ("launch_us", num c.Counters.launch_us);
+      ("compute_us", num r.r_compute_us);
+      ("memory_us", num r.r_memory_us);
+      ("grid_syncs", int c.Counters.grid_syncs);
+      ("dram_read_bytes", int c.Counters.dram_read_bytes);
+      ("dram_write_bytes", int c.Counters.dram_write_bytes);
+      ("l2_read_bytes", int c.Counters.l2_read_bytes);
+      ("smem_read_bytes", int c.Counters.smem_read_bytes);
+      ("atomic_bytes", int c.Counters.atomic_bytes);
+      ("mma_flops", int c.Counters.mma_flops);
+      ("fma_flops", int c.Counters.fma_flops);
+      ("sfu_ops", int c.Counters.sfu_ops);
+      ("lsu_utilization", num (Counters.lsu_utilization c));
+      ("fma_utilization", num (Counters.fma_utilization c));
+      ("mma_utilization", num (Counters.mma_utilization c));
+    ]
+
+(** The whole report as JSON: [meta] carries compile-level identity
+    (model, optimization level, device) the rows themselves don't know. *)
+let to_json ?(meta = []) (sim : Sim.result) : Jsonlite.t
+    =
+  Jsonlite.Obj
+    [
+      ( "meta",
+        Jsonlite.Obj (List.map (fun (k, v) -> (k, Jsonlite.Str v)) meta) );
+      ("kernels", Jsonlite.Arr (List.map row_to_json (of_sim sim)));
+      ( "total",
+        Jsonlite.Obj
+          [
+            ("time_us", Jsonlite.Num sim.Sim.total.Counters.time_us);
+            ( "kernel_launches",
+              Jsonlite.Num
+                (float_of_int sim.Sim.total.Counters.kernel_launches) );
+            ( "global_load_bytes",
+              Jsonlite.Num
+                (float_of_int (Counters.global_load_bytes sim.Sim.total)) );
+            ( "dram_write_bytes",
+              Jsonlite.Num
+                (float_of_int sim.Sim.total.Counters.dram_write_bytes) );
+          ] );
+    ]

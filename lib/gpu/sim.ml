@@ -156,7 +156,14 @@ let validate_prog (dev : Device.t) (p : Kernel_ir.prog) :
             (List.map (fun k -> k.Kernel_ir.kname) bad)))
 
 let run (dev : Device.t) (p : Kernel_ir.prog) : result =
-  let per_kernel = List.map (run_kernel dev) p.Kernel_ir.kernels in
+  Obs.span ~meta:[ ("prog", p.Kernel_ir.pname) ] "simulate" @@ fun () ->
+  let per_kernel =
+    List.map
+      (fun (k : Kernel_ir.kernel) ->
+        Obs.span ~meta:[ ("kernel", k.Kernel_ir.kname) ] "sim-kernel"
+          (fun () -> run_kernel dev k))
+      p.Kernel_ir.kernels
+  in
   let total = Counters.create () in
   List.iter (fun r -> Counters.add ~into:total r.kcounters) per_kernel;
   {

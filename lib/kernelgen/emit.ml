@@ -395,6 +395,8 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
 let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
     (scheds : (string, Sched.t) Hashtbl.t) (opts : options)
     (groups : group list) : Kernel_ir.prog =
+  Obs.span ~meta:[ ("groups", string_of_int (List.length groups)) ] "emit"
+  @@ fun () ->
   {
     Kernel_ir.pname = "prog";
     kernels =
@@ -406,6 +408,13 @@ let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
 let emit_kernel_result dev p an scheds opts ~index (g : group) :
     (Kernel_ir.kernel, Diag.t) result =
   let subject = match g.g_tes with n :: _ -> n | [] -> "<empty group>" in
+  Obs.span
+    ~meta:
+      [
+        ("subprogram", subject); ("tes", string_of_int (List.length g.g_tes));
+      ]
+    "emit-kernel"
+  @@ fun () ->
   Diag.guard ~subject Diag.Emit (fun () ->
       Faultinject.trip ~subject Diag.Emit;
       emit_kernel dev p an scheds opts ~index g)

@@ -1,0 +1,47 @@
+(** Evaluation-run accounting: which models compiled clean, which degraded.
+
+    The bench harness records one entry per compiled model; at the end of
+    the run the log prints a summary and decides the process exit code, so
+    an evaluation driven with [--strict-bench] fails loudly instead of
+    silently publishing tables measured on degraded kernels. *)
+
+type entry = {
+  model : string;
+  degraded_steps : int;  (** graceful-degradation retries taken *)
+  errors : int;          (** error-severity diagnostics reported *)
+}
+
+type t = { mutable entries : entry list (* reverse record order *) }
+
+let create () = { entries = [] }
+
+let record (t : t) ~model ~degraded_steps ~errors =
+  t.entries <- { model; degraded_steps; errors } :: t.entries
+
+let entries (t : t) = List.rev t.entries
+
+let clean (e : entry) = e.degraded_steps = 0 && e.errors = 0
+
+let dirty (t : t) = List.filter (fun e -> not (clean e)) (entries t)
+
+let any_degraded (t : t) = dirty t <> []
+
+(** Exit code the bench process should use: 0 when every recorded compile
+    was clean or strictness is off; 3 when [strict] and any model degraded
+    or errored (distinct from the CLI's 1 = compile error, 2 = crash). *)
+let exit_code ~strict (t : t) : int =
+  if strict && any_degraded t then 3 else 0
+
+let pp ppf (t : t) =
+  let es = entries t in
+  let d = dirty t in
+  Fmt.pf ppf "@[<v>compiled %d model configuration(s): %d clean, %d degraded"
+    (List.length es)
+    (List.length es - List.length d)
+    (List.length d);
+  List.iter
+    (fun e ->
+      Fmt.pf ppf "@,  %s: %d degradation step(s), %d error diagnostic(s)"
+        e.model e.degraded_steps e.errors)
+    d;
+  Fmt.pf ppf "@]"

@@ -152,10 +152,13 @@ let pp ppf (t : t) =
     before the result is handed to emission. *)
 let run_result (dev : Device.t) (an : Analysis.t)
     (scheds : (string, Sched.t) Hashtbl.t) : (t, Diag.t) result =
+  Obs.span "partition" @@ fun () ->
   match
     Diag.guard Diag.Partition (fun () ->
         Faultinject.trip Diag.Partition;
-        run dev an scheds)
+        let t = run dev an scheds in
+        Obs.annotate "subprograms" (string_of_int (num_subprograms t));
+        t)
   with
   | Error _ as e -> e
   | Ok t -> (

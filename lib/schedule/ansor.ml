@@ -188,6 +188,9 @@ let schedule_te ?(config = default_config) (dev : Device.t) (p : Program.t)
     models repeat identical layers many times). *)
 let schedule_program ?(config = default_config) (dev : Device.t)
     (p : Program.t) : (string, Sched.t) Hashtbl.t =
+  Obs.span ~meta:[ ("tes", string_of_int (List.length p.Program.tes)) ]
+    "ansor"
+  @@ fun () ->
   let table = Hashtbl.create 64 in
   let cache = Hashtbl.create 64 in
   List.iter
@@ -203,7 +206,12 @@ let schedule_program ?(config = default_config) (dev : Device.t)
         match Hashtbl.find_opt cache key with
         | Some s -> { s with Sched.te_name = te.Te.name }
         | None ->
-            let s = schedule_te ~config dev p te in
+            (* only cache misses run the candidate search, so only they get
+               a child span — the trace shows the memoization working *)
+            let s =
+              Obs.span ~meta:[ ("te", te.Te.name) ] "ansor-search" (fun () ->
+                  schedule_te ~config dev p te)
+            in
             Hashtbl.replace cache key s;
             s
       in

@@ -238,6 +238,10 @@ let apply (p : Program.t) : Program.t * stats =
 (** {!apply} as a total function: fault-injection aware, exceptions
     converted to a typed diagnostic for the degradation ladder. *)
 let apply_result (p : Program.t) : (Program.t * stats, Diag.t) result =
+  Obs.span "horizontal" @@ fun () ->
   Diag.guard Diag.Horizontal (fun () ->
       Faultinject.trip Diag.Horizontal;
-      apply p)
+      let ((_, stats) as r) = apply p in
+      Obs.annotate "groups_merged" (string_of_int stats.groups_merged);
+      Obs.annotate "tes_eliminated" (string_of_int stats.tes_eliminated);
+      r)

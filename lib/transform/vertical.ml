@@ -139,6 +139,10 @@ let apply ?(fold_into_reduce = true) (p : Program.t) : Program.t * stats =
     converted to a typed diagnostic for the degradation ladder. *)
 let apply_result ?fold_into_reduce (p : Program.t) :
     (Program.t * stats, Diag.t) result =
+  Obs.span "vertical" @@ fun () ->
   Diag.guard Diag.Vertical (fun () ->
       Faultinject.trip Diag.Vertical;
-      apply ?fold_into_reduce p)
+      let ((_, stats) as r) = apply ?fold_into_reduce p in
+      Obs.annotate "chains_fused" (string_of_int stats.chains_fused);
+      Obs.annotate "movement_folded" (string_of_int stats.movement_folded);
+      r)

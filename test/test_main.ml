@@ -18,4 +18,5 @@ let () =
       ("autodiff", Test_autodiff.suite);
       ("serialize", Test_serialize.suite);
       ("tir", Test_tir.suite);
+      ("obs", Test_obs.suite);
     ]

@@ -1,0 +1,30 @@
+#!/bin/sh
+# Doc honesty check for `dune build @doc-check`: every source-file path a
+# documentation file cites (backtick-quoted `lib/...ml`, `bin/...`, etc.)
+# must still exist, so the architecture docs cannot silently rot as the
+# code moves.  Usage: doc_check.sh ROOT DOC...
+set -eu
+root=$1
+shift
+status=0
+for doc in "$@"; do
+  if [ ! -f "$doc" ]; then
+    echo "doc-check: missing documentation file $doc" >&2
+    status=1
+    continue
+  fi
+  # backtick-quoted repo paths with an extension, e.g. `lib/te/expr.ml`
+  cited=$(grep -oE '`(lib|bin|bench|test|tools|examples|docs)/[A-Za-z0-9_./-]+\.[A-Za-z]+`' "$doc" \
+    | tr -d '`' | sort -u)
+  for path in $cited; do
+    if [ ! -f "$root/$path" ]; then
+      echo "doc-check: $doc cites $path, which does not exist" >&2
+      status=1
+    fi
+  done
+  if [ -z "$cited" ]; then
+    echo "doc-check: $doc cites no source paths (suspicious)" >&2
+    status=1
+  fi
+done
+exit $status
