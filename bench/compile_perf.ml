@@ -1,0 +1,141 @@
+(* Compile-throughput benchmark: measures what the fast-compilation layer
+   buys — the domain-parallel Ansor search and the persistent schedule
+   cache (Scache) — and checks, on every model, that neither changes the
+   compiled artifact.
+
+   Three compiles per model:
+     cold/serial    fresh cache, search_domains = 1
+     cold/parallel  fresh cache, default domain count
+     warm           the cache the serial run populated
+
+   Each compile runs under [Obs.record], so besides end-to-end wall time we
+   report the schedule-phase time ("ansor" spans) and the number of
+   candidate searches actually performed ("ansor-search" spans).  The warm
+   run must perform zero searches.  Results land in BENCH_compile.json. *)
+
+let spans_named (t : Obs.trace) (name : string) : int =
+  let n = ref 0 in
+  Obs.iter (fun s ~depth:_ -> if s.Obs.sname = name then incr n) t;
+  !n
+
+type run = {
+  label : string;
+  compile_s : float;     (* end-to-end wall seconds *)
+  ansor_us : float;      (* schedule-phase ("ansor" spans) microseconds *)
+  searches : int;        (* "ansor-search" spans: candidate searches done *)
+  sim : Sim.result;
+}
+
+let measure ~model ~label ?sched_cache ~domains (p : Program.t) : run =
+  let ansor = { Ansor.default_config with Ansor.search_domains = domains } in
+  let cfg = Souffle.config ~ansor ?sched_cache () in
+  let t0 = Unix.gettimeofday () in
+  let r, trace =
+    Obs.record (fun () ->
+        Tables.compile_recorded ~cfg ~name:(model ^ "/" ^ label) p)
+  in
+  {
+    label;
+    compile_s = Unix.gettimeofday () -. t0;
+    ansor_us = Obs.total_us trace "ansor";
+    searches = spans_named trace "ansor-search";
+    sim = r.Souffle.sim;
+  }
+
+let bench_model ~graph_of (e : Zoo.entry) : string * run list =
+  let p = Lower.run (graph_of e) in
+  let cache = Scache.create () in
+  let serial =
+    measure ~model:e.Zoo.name ~label:"cold/serial" ~sched_cache:cache
+      ~domains:1 p
+  in
+  let parallel =
+    measure ~model:e.Zoo.name ~label:"cold/parallel"
+      ~sched_cache:(Scache.create ())
+      ~domains:(Domain.recommended_domain_count ())
+      p
+  in
+  let warm =
+    measure ~model:e.Zoo.name ~label:"warm" ~sched_cache:cache ~domains:1 p
+  in
+  if parallel.sim <> serial.sim then
+    Fmt.epr "  !! %s: parallel search changed the compiled artifact@."
+      e.Zoo.name;
+  if warm.sim <> serial.sim then
+    Fmt.epr "  !! %s: warm-cache compile changed the compiled artifact@."
+      e.Zoo.name;
+  if warm.searches <> 0 then
+    Fmt.epr "  !! %s: warm compile still ran %d candidate search(es)@."
+      e.Zoo.name warm.searches;
+  (e.Zoo.name, [ serial; parallel; warm ])
+
+let json_of_run (r : run) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("label", Jsonlite.Str r.label);
+      ("compile_s", Jsonlite.Num r.compile_s);
+      ("ansor_us", Jsonlite.Num r.ansor_us);
+      ("searches", Jsonlite.Num (float_of_int r.searches));
+    ]
+
+let ratio num den = if den > 0. then num /. den else 0.
+
+let run_with ~graph_of ~out () =
+  Tables.section "Compile throughput — parallel search + schedule cache";
+  let results = List.map (bench_model ~graph_of) Zoo.all in
+  Fmt.pr "  %-14s %-14s %12s %12s %10s@." "model" "run" "compile(s)"
+    "ansor(ms)" "searches";
+  List.iter
+    (fun (model, runs) ->
+      List.iter
+        (fun r ->
+          Fmt.pr "  %-14s %-14s %12.3f %12.2f %10d@." model r.label
+            r.compile_s (r.ansor_us /. 1e3) r.searches)
+        runs)
+    results;
+  let pick label runs = List.find (fun r -> r.label = label) runs in
+  let sum f = List.fold_left (fun a (_, runs) -> a +. f runs) 0. results in
+  let serial_s = sum (fun rs -> (pick "cold/serial" rs).compile_s) in
+  let warm_s = sum (fun rs -> (pick "warm" rs).compile_s) in
+  let parallel_s = sum (fun rs -> (pick "cold/parallel" rs).compile_s) in
+  let serial_ansor = sum (fun rs -> (pick "cold/serial" rs).ansor_us) in
+  let warm_ansor = sum (fun rs -> (pick "warm" rs).ansor_us) in
+  Fmt.pr "  ---@.";
+  Fmt.pr "  end-to-end:     warm %.2fx vs cold/serial, parallel %.2fx@."
+    (ratio serial_s warm_s) (ratio serial_s parallel_s);
+  Fmt.pr "  schedule phase: warm %.2fx vs cold/serial@."
+    (ratio serial_ansor warm_ansor);
+  let json =
+    Jsonlite.Obj
+      [
+        ("bench", Jsonlite.Str "compile-perf");
+        ("device", Jsonlite.Str Tables.dev.Device.name);
+        ( "models",
+          Jsonlite.Obj
+            (List.map
+               (fun (model, runs) ->
+                 (model, Jsonlite.Arr (List.map json_of_run runs)))
+               results) );
+        ( "summary",
+          Jsonlite.Obj
+            [
+              ("e2e_warm_speedup", Jsonlite.Num (ratio serial_s warm_s));
+              ( "e2e_parallel_speedup",
+                Jsonlite.Num (ratio serial_s parallel_s) );
+              ( "schedule_warm_speedup",
+                Jsonlite.Num (ratio serial_ansor warm_ansor) );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonlite.to_string json));
+  Fmt.pr "  wrote %s@." out
+
+(* full-size models: the measurement run *)
+let run () = run_with ~graph_of:(fun e -> e.Zoo.full ()) ~out:"BENCH_compile.json" ()
+
+(* tiny models: the @bench-smoke alias — seconds, not minutes *)
+let smoke () =
+  run_with ~graph_of:(fun e -> e.Zoo.tiny ()) ~out:"BENCH_compile_smoke.json" ()

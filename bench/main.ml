@@ -77,6 +77,8 @@ let sections : (string * (unit -> unit)) list =
     ("table6", Tables.table6);
     ("overhead", Tables.overhead);
     ("ablation", Ablation.run);
+    ("compile-perf", Compile_perf.run);
+    ("compile-perf-smoke", Compile_perf.smoke);
     ("bechamel", run_bechamel);
   ]
 

@@ -104,6 +104,29 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let sched_cache_arg =
+  let doc =
+    "Persistent schedule cache: load previously searched Ansor schedules \
+     from $(docv) before compiling (structurally matching TEs skip the \
+     candidate search) and write any newly searched schedules back \
+     afterwards.  A missing or stale file is treated as an empty cache."
+  in
+  Arg.(
+    value
+    & opt (some string) None
+    & info [ "schedule-cache" ] ~docv:"FILE" ~doc)
+
+let search_domains_arg =
+  let doc =
+    "Number of domains (OS threads) the Ansor candidate search fans out \
+     over; 1 forces a serial search.  Results are identical at any value.  \
+     Defaults to the machine's recommended domain count."
+  in
+  Arg.(
+    value
+    & opt (some int) None
+    & info [ "j"; "search-domains" ] ~docv:"N" ~doc)
+
 let inject_arg =
   let doc =
     "Arm the fault-injection harness before compiling: a pass name \
@@ -140,7 +163,7 @@ let arm_fault = function
       | Error m -> Error m)
 
 let compile_run model file tiny level cuda verify strict inject trace profile
-    =
+    sched_cache_path search_domains =
   protect Diag.Validate @@ fun () ->
   match
     ( resolve ~model ~file ~tiny,
@@ -151,9 +174,23 @@ let compile_run model file tiny level cuda verify strict inject trace profile
       Fmt.epr "error: %s@." m;
       1
   | Ok p, Ok level, Ok () -> (
+      let sched_cache = Option.map Scache.load sched_cache_path in
+      let ansor =
+        match search_domains with
+        | None -> Ansor.default_config
+        | Some n -> { Ansor.default_config with Ansor.search_domains = n }
+      in
+      let cfg = Souffle.config ~level ~ansor ?sched_cache () in
       let compile () =
         Fun.protect ~finally:Faultinject.disarm (fun () ->
-            Souffle.compile_result ~cfg:(Souffle.config ~level ()) ~strict p)
+            Souffle.compile_result ~cfg ~strict p)
+      in
+      let save_cache () =
+        match (sched_cache, sched_cache_path) with
+        | Some c, Some path ->
+            if Scache.dirty c then Scache.save c path;
+            Fmt.pr "%a (%s)@." Scache.pp c path
+        | _ -> ()
       in
       (* --trace / --profile record the compile under the Obs collector *)
       let result, recorded =
@@ -171,6 +208,7 @@ let compile_run model file tiny level cuda verify strict inject trace profile
       (match recorded with
       | Some t when profile -> Fmt.pr "%a@.@." Obs.pp_tree t
       | _ -> ());
+      save_cache ();
       match result with
       | Error ds ->
           List.iter (fun d -> Fmt.epr "%a@." Diag.pp d) ds;
@@ -201,7 +239,7 @@ let compile_cmd =
     Term.(
       const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
       $ cuda_arg $ verify_arg $ strict_arg $ inject_arg $ trace_arg
-      $ profile_arg)
+      $ profile_arg $ sched_cache_arg $ search_domains_arg)
 
 let compare_run model tiny =
   protect Diag.Simulate @@ fun () ->

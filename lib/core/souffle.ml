@@ -37,14 +37,22 @@ type config = {
   device : Device.t;
   level : level;
   ansor : Ansor.config;
+  sched_cache : Scache.t option;
+      (** persistent cross-run schedule cache; warm entries skip the Ansor
+          candidate search entirely *)
 }
 
 let default_config =
-  { device = Device.a100; level = V4; ansor = Ansor.default_config }
+  {
+    device = Device.a100;
+    level = V4;
+    ansor = Ansor.default_config;
+    sched_cache = None;
+  }
 
 let config ?(device = Device.a100) ?(level = V4)
-    ?(ansor = Ansor.default_config) () =
-  { device; level; ansor }
+    ?(ansor = Ansor.default_config) ?sched_cache () =
+  { device; level; ansor; sched_cache }
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -71,6 +79,10 @@ type report = {
   groups : Emit.group list;
   prog : Kernel_ir.prog;
   sim : Sim.result;
+  scheds : (string, Sched.t) Hashtbl.t;
+      (** the schedule table of the successful attempt, keyed by TE name —
+          kept so downstream renderings ({!te_loop_nests}) never re-run the
+          Ansor search *)
   hstats : Horizontal.stats;
   vstats : Vertical.stats;
   compile_s : float;  (** wall-clock seconds spent in Souffle's own passes *)
@@ -83,7 +95,10 @@ type report = {
    kernel and absorbs its one-relies-on-one consumers (classic epilogue
    fusion); leading elementwise TEs form their own kernels. *)
 let ansor_groups_of_tes (tes : Te.t list) : Emit.group list =
-  let rev_groups = ref [] and cur = ref [] in
+  let module SSet = Program.SSet in
+  (* [cur_names] mirrors [cur] so the produced-in-current-group test is a
+     set lookup, not a nested list scan per input of every TE *)
+  let rev_groups = ref [] and cur = ref [] and cur_names = ref SSet.empty in
   let flush () =
     if !cur <> [] then begin
       rev_groups :=
@@ -94,28 +109,30 @@ let ansor_groups_of_tes (tes : Te.t list) : Emit.group list =
           eff_override = None;
         }
         :: !rev_groups;
-      cur := []
+      cur := [];
+      cur_names := SSet.empty
     end
+  in
+  let push (te : Te.t) =
+    cur := te :: !cur;
+    cur_names := SSet.add te.Te.name !cur_names
   in
   List.iter
     (fun (te : Te.t) ->
       if Te.has_reduction te then begin
         flush ();
-        cur := [ te ]
+        push te
       end
       else begin
         (* attach to the current group when it consumes it, else keep as a
            standalone elementwise kernel *)
         let produced_in_cur =
-          List.exists
-            (fun i ->
-              List.exists (fun (x : Te.t) -> x.Te.name = i) !cur)
-            (Te.inputs te)
+          List.exists (fun i -> SSet.mem i !cur_names) (Te.inputs te)
         in
-        if produced_in_cur && !cur <> [] then cur := te :: !cur
+        if produced_in_cur && !cur <> [] then push te
         else begin
           flush ();
-          cur := [ te ];
+          push te;
           flush ()
         end
       end)
@@ -187,6 +204,59 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
             reason))
   in
   let ( let* ) = Result.bind in
+  (* One in-memory schedule store shared by every rung of the ladder: a
+     retry at a lower level re-schedules the same (or structurally equal)
+     TEs, so attempt r-1 reuses attempt r's search results.  Layered on top
+     of the optional persistent cache: persistent hits are promoted into the
+     run memo, new results are written through to both. *)
+  let run_memo : (string, Sched.t) Hashtbl.t = Hashtbl.create 64 in
+  let store =
+    {
+      Ansor.find =
+        (fun key ->
+          match Hashtbl.find_opt run_memo key with
+          | Some _ as hit -> hit
+          | None -> (
+              match cfg.sched_cache with
+              | None -> None
+              | Some c -> (
+                  match Scache.find c key with
+                  | Some s ->
+                      Hashtbl.replace run_memo key s;
+                      Some s
+                  | None -> None)));
+      Ansor.add =
+        (fun key s ->
+          Hashtbl.replace run_memo key s;
+          match cfg.sched_cache with
+          | None -> ()
+          | Some c -> Scache.add c key s);
+    }
+  in
+  (* Schedule with one retry: a failing full-space search is re-run on the
+     reduced candidate set before the whole program degrades a level.  A
+     recovery is a warning diagnostic, not a degradation step — the chosen
+     optimization level is untouched, only this search ran narrower. *)
+  let schedule p2 =
+    match
+      Ansor.schedule_program_result ~config:cfg.ansor ~store cfg.device p2
+    with
+    | Ok _ as ok -> ok
+    | Error d -> (
+        match
+          Ansor.schedule_program_result ~config:cfg.ansor ~space:Ansor.Reduced
+            ~store cfg.device p2
+        with
+        | Ok scheds ->
+            note
+              (Diag.warning ~subject:"program" Diag.Schedule
+                 (Fmt.str
+                    "full-space search failed (%s); recovered on the reduced \
+                     candidate set"
+                    d.Diag.message));
+            Ok scheds
+        | Error _ -> Error d)
+  in
   (* ---- front end: whole-program passes at rank [r] ---- *)
   let front_end r =
     let* p1, hstats =
@@ -201,9 +271,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       Obs.span "analysis" (fun () ->
           Diag.guard Diag.Analysis (fun () -> Analysis.run p2))
     in
-    let* scheds =
-      Ansor.schedule_program_result ~config:cfg.ansor cfg.device p2
-    in
+    let* scheds = schedule p2 in
     let* partition, groups =
       if r >= 3 then
         match Partition.run_result cfg.device an scheds with
@@ -280,10 +348,10 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       let* kernels = emit_all 0 [] groups in
       let prog = { Kernel_ir.pname = "prog"; kernels } in
       let* sim = Sim.run_result cfg.device prog in
-      Ok (p2, an, partition, groups, hstats, vstats, prog, sim)
+      Ok (p2, an, scheds, partition, groups, hstats, vstats, prog, sim)
     in
     match stage with
-    | Ok (p2, an, partition, groups, hstats, vstats, prog, sim) ->
+    | Ok (p2, an, scheds, partition, groups, hstats, vstats, prog, sim) ->
         let compile_s = Unix.gettimeofday () -. t0 in
         Ok
           {
@@ -295,6 +363,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
             groups;
             prog;
             sim;
+            scheds;
             hstats;
             vstats;
             compile_s;
@@ -400,15 +469,13 @@ let cuda_source (r : report) = Codegen_cuda.to_string r.prog
 
 (** Per-TE loop nests (TensorIR level, Fig. 2 step 5) for the first
     [limit] TEs of the transformed program — the detailed view behind the
-    kernel-level rendering of {!cuda_source}. *)
+    kernel-level rendering of {!cuda_source}.  Reads the schedule table
+    recorded in the report; nothing is re-searched. *)
 let te_loop_nests ?(limit = 4) (r : report) : string =
-  let scheds =
-    Ansor.schedule_program ~config:r.cfg.ansor r.cfg.device r.transformed
-  in
   r.transformed.Program.tes
   |> List.filteri (fun i _ -> i < limit)
   |> List.map (fun (te : Te.t) ->
          Tir.render_cuda
-           (Tir.of_te r.transformed te (Hashtbl.find scheds te.Te.name)))
+           (Tir.of_te r.transformed te (Hashtbl.find r.scheds te.Te.name)))
   |> String.concat "\n"
 

@@ -25,13 +25,21 @@ type config = {
   device : Device.t;
   level : level;
   ansor : Ansor.config;
+  sched_cache : Scache.t option;
+      (** persistent cross-run schedule cache; warm entries skip the Ansor
+          candidate search entirely *)
 }
 
 val default_config : config
-(** A100, level V4, default scheduler efficiency. *)
+(** A100, level V4, default scheduler efficiency, no persistent cache. *)
 
 val config :
-  ?device:Device.t -> ?level:level -> ?ansor:Ansor.config -> unit -> config
+  ?device:Device.t ->
+  ?level:level ->
+  ?ansor:Ansor.config ->
+  ?sched_cache:Scache.t ->
+  unit ->
+  config
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -58,6 +66,10 @@ type report = {
                                        before any degradation splits *)
   prog : Kernel_ir.prog;
   sim : Sim.result;
+  scheds : (string, Sched.t) Hashtbl.t;
+      (** the schedule table of the successful attempt, keyed by TE name —
+          kept so downstream renderings ({!te_loop_nests}) never re-run the
+          Ansor search *)
   hstats : Horizontal.stats;
   vstats : Vertical.stats;
   compile_s : float;  (** wall-clock seconds spent in Souffle's own passes *)

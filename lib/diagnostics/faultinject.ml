@@ -9,7 +9,12 @@
 
     Determinism: a fault trips on the [skip]-th matching invocation (derived
     from [seed] by a fixed LCG step) and at most [times] times, so a given
-    (seed, spec) pair always fails the same subprogram of the same model. *)
+    (seed, spec) pair always fails the same subprogram of the same model.
+
+    Concurrency: the armed fault is keyed per domain ([Domain.DLS]), i.e.
+    per compilation context — the parallel Ansor search and concurrent
+    compiles each see their own (initially disarmed) slot instead of racing
+    on one global cell. *)
 
 type spec =
   | Fail_pass of Diag.pass  (** the pass raises when it next runs *)
@@ -54,22 +59,30 @@ type armed = {
   mutable trips : int;      (* observed trips, for tests *)
 }
 
-let state : armed option ref = ref None
+(* The armed fault is domain-local state: each domain (compilation context)
+   gets its own slot, so the parallel Ansor search — and, eventually,
+   concurrent compilations — cannot race on one global cell or trip a fault
+   armed by another context.  Freshly spawned domains start disarmed. *)
+let state_key : armed option ref Domain.DLS.key =
+  Domain.DLS.new_key (fun () -> ref None)
+
+let state () = Domain.DLS.get state_key
 
 (* One multiplicative-congruential step; keeps equal seeds reproducible and
    spreads consecutive seeds over the first few invocations. *)
 let skip_of_seed seed = if seed = 0 then 0 else (seed * 48271 + 11) mod 3
 
 let arm ?(seed = 0) ?(times = 1) spec =
-  state := Some { spec; skip = skip_of_seed seed; remaining = times; trips = 0 }
+  state ()
+  := Some { spec; skip = skip_of_seed seed; remaining = times; trips = 0 }
 
-let disarm () = state := None
-let armed () = !state <> None
-let trips () = match !state with Some a -> a.trips | None -> 0
+let disarm () = state () := None
+let armed () = !(state ()) <> None
+let trips () = match !(state ()) with Some a -> a.trips | None -> 0
 
 (* Consume one matching invocation; [Some a] iff the fault fires now. *)
 let fire (matches : spec -> bool) : armed option =
-  match !state with
+  match !(state ()) with
   | Some a when matches a.spec ->
       if a.skip > 0 then begin
         a.skip <- a.skip - 1;

@@ -79,26 +79,35 @@ let numel_of_program (p : Program.t) : string -> int option =
     (fun (i : Program.tensor_info) -> Shape.numel i.Program.shape)
     (Program.tensor_info p name)
 
-(** Shared memory one block needs: the output tile plus (when staging reads)
-    the input tiles of one branch of the body, double-buffered. *)
-let smem_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+(** {!smem_bytes} with the per-TE invariants ([numel_of] closure, body
+    expression) hoisted out — the Ansor search calls this once per
+    candidate, so the invariants must not be rebuilt per call. *)
+let smem_bytes_with ~numel_of ~(body : Expr.t) (te : Te.t) (s : t) : int =
   let elem_bytes = Dtype.bytes te.Te.dtype in
   let out = tile_elems s * elem_bytes in
   let ins =
     if not s.cache_read_smem then 0
-    else
-      body_tile_elems ~numel_of:(numel_of_program p) s (Te.body_expr te)
-      * elem_bytes
+    else body_tile_elems ~numel_of s body * elem_bytes
   in
   (* double buffering of staged inputs for the async-copy pipeline *)
   out + (2 * ins)
 
+(** Shared memory one block needs: the output tile plus (when staging reads)
+    the input tiles of one branch of the body, double-buffered. *)
+let smem_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+  smem_bytes_with ~numel_of:(numel_of_program p) ~body:(Te.body_expr te) te s
+
 (** Bytes one full pass of a reduction TE loads through its tiles (the
-    block-by-block traffic; anything beyond the unique footprint hits L2). *)
-let tiled_load_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+    block-by-block traffic; anything beyond the unique footprint hits L2).
+    Hoisted-invariant form; see {!smem_bytes_with}. *)
+let tiled_load_bytes_with ~numel_of ~(body : Expr.t) (te : Te.t) (s : t) : int
+    =
   let grid = grid_blocks te s in
-  body_tile_elems ~numel_of:(numel_of_program p) s (Te.body_expr te)
-  * Dtype.bytes te.Te.dtype * grid
+  body_tile_elems ~numel_of s body * Dtype.bytes te.Te.dtype * grid
+
+let tiled_load_bytes (p : Program.t) (te : Te.t) (s : t) : int =
+  tiled_load_bytes_with ~numel_of:(numel_of_program p) ~body:(Te.body_expr te)
+    te s
 
 (** Registers per thread: accumulator fragment plus addressing/loop
     overhead. *)
@@ -106,12 +115,16 @@ let regs_per_thread (s : t) : int =
   let acc_per_thread = tile_elems s / max 1 s.threads_per_block in
   min 255 (16 + (2 * max 1 acc_per_thread))
 
-let usage (p : Program.t) (te : Te.t) (s : t) : Occupancy.usage =
+let usage_with ~numel_of ~(body : Expr.t) (te : Te.t) (s : t) :
+    Occupancy.usage =
   {
     Occupancy.threads_per_block = s.threads_per_block;
-    smem_per_block = smem_bytes p te s;
+    smem_per_block = smem_bytes_with ~numel_of ~body te s;
     regs_per_thread = regs_per_thread s;
   }
+
+let usage (p : Program.t) (te : Te.t) (s : t) : Occupancy.usage =
+  usage_with ~numel_of:(numel_of_program p) ~body:(Te.body_expr te) te s
 
 (** Structural tensor-core eligibility: a sum-reduction whose body is a
     product of two reads (GEMM-shaped).  The paper runs GEMMs in FP16 on

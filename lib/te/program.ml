@@ -19,8 +19,71 @@ let input_names p = List.map fst p.inputs
 
 let te_names p = List.map (fun (te : Te.t) -> te.Te.name) p.tes
 
-let find_te p name =
-  List.find_opt (fun (te : Te.t) -> te.Te.name = name) p.tes
+(* ---- memoized O(1) name index ------------------------------------- *)
+
+(* [t] is an immutable record that transformations rebuild freely with
+   [{ p with tes = ... }], so a name index cannot live inside the record
+   without going stale.  Instead a small side memo keyed by the *physical
+   identity* of the program value caches one index per program generation;
+   entries die with their program (weak keys).  Access is mutex-guarded so
+   parallel Ansor-search domains can consult the index concurrently — the
+   cached tables themselves are never mutated after construction, making
+   unsynchronized concurrent reads safe. *)
+
+type index = {
+  te_by_name : (string, Te.t) Hashtbl.t;
+  info_by_name : (string, tensor_info) Hashtbl.t;
+}
+
+let index_memo : (Obj.t Weak.t * index) list ref = ref []
+let index_lock = Mutex.create ()
+
+let build_index (p : t) : index =
+  let n = List.length p.tes in
+  let te_by_name = Hashtbl.create (2 * max 1 n) in
+  let info_by_name = Hashtbl.create (2 * max 1 (n + List.length p.inputs)) in
+  (* first binding wins, mirroring the original scan order: inputs shadow
+     TEs, earlier TEs shadow later duplicates (invalid programs only) *)
+  List.iter
+    (fun (name, info) ->
+      if not (Hashtbl.mem info_by_name name) then
+        Hashtbl.add info_by_name name info)
+    p.inputs;
+  List.iter
+    (fun (te : Te.t) ->
+      if not (Hashtbl.mem te_by_name te.Te.name) then
+        Hashtbl.add te_by_name te.Te.name te;
+      if not (Hashtbl.mem info_by_name te.Te.name) then
+        Hashtbl.add info_by_name te.Te.name
+          { shape = te.Te.out_shape; dtype = te.Te.dtype })
+    p.tes;
+  { te_by_name; info_by_name }
+
+let index_of (p : t) : index =
+  let key = Obj.repr p in
+  Mutex.protect index_lock @@ fun () ->
+  let hit =
+    List.find_opt
+      (fun (w, _) -> match Weak.get w 0 with Some o -> o == key | None -> false)
+      !index_memo
+  in
+  match hit with
+  | Some (_, idx) -> idx
+  | None ->
+      let idx = build_index p in
+      let w = Weak.create 1 in
+      Weak.set w 0 (Some key);
+      (* drop dead generations so the memo stays a handful of entries *)
+      index_memo :=
+        (w, idx)
+        :: List.filter (fun (w, _) -> Weak.check w 0) !index_memo;
+      idx
+
+(** Force the index to exist — called before fanning work out to domains so
+    workers only ever read an already-built table. *)
+let prime_index (p : t) : unit = ignore (index_of p)
+
+let find_te p name = Hashtbl.find_opt (index_of p).te_by_name name
 
 let find_te_exn p name =
   match find_te p name with
@@ -29,12 +92,7 @@ let find_te_exn p name =
 
 (** Shape and dtype of any tensor in the program (input or TE output). *)
 let tensor_info p name : tensor_info option =
-  match List.assoc_opt name p.inputs with
-  | Some i -> Some i
-  | None ->
-      Option.map
-        (fun (te : Te.t) -> { shape = te.Te.out_shape; dtype = te.Te.dtype })
-        (find_te p name)
+  Hashtbl.find_opt (index_of p).info_by_name name
 
 let tensor_info_exn p name =
   match tensor_info p name with

@@ -19,4 +19,5 @@ let () =
       ("serialize", Test_serialize.suite);
       ("tir", Test_tir.suite);
       ("obs", Test_obs.suite);
+      ("perf", Test_perf.suite);
     ]
