@@ -34,6 +34,23 @@ let measure ~model ~label ?sched_cache ~domains (p : Program.t) : run =
     Obs.record (fun () ->
         Tables.compile_recorded ~cfg ~name:(model ^ "/" ^ label) p)
   in
+  (* artifact-quality check: the compiled program must be dataflow-clean
+     (every re-read of an on-device tensor classified as L2/shared, bytes
+     reconciling with tensor footprints) — recorded in the runlog so
+     --strict-bench fails over a violation *)
+  (match
+     Dataflow.check_prog Tables.dev
+       (Souffle.dataflow_env r.Souffle.transformed)
+       r.Souffle.prog
+   with
+  | Ok () -> ()
+  | Error ds ->
+      Fmt.epr "  !! %s/%s: compiled artifact is not dataflow-clean:@." model
+        label;
+      List.iter (fun d -> Fmt.epr "     %a@." Diag.pp d) ds;
+      Runlog.record Tables.runlog
+        ~model:(model ^ "/" ^ label ^ "@dataflow")
+        ~degraded_steps:0 ~errors:(List.length ds));
   {
     label;
     compile_s = Unix.gettimeofday () -. t0;

@@ -3,7 +3,7 @@
    Usage:
      souffle list
      souffle compile  --model bert [--level v4] [--tiny] [--cuda] [--verify]
-                      [--strict] [--inject FAULT]
+                      [--verify-dataflow] [--strict] [--inject FAULT]
      souffle compare  --model bert [--tiny]
      souffle analyze  --model mmoe [--tiny]
 *)
@@ -80,6 +80,15 @@ let verify_arg =
   in
   Arg.(value & flag & info [ "verify" ] ~doc)
 
+let verify_dataflow_arg =
+  let doc =
+    "Print the cross-kernel dataflow report: per-tensor byte accounting \
+     (DRAM first touches vs. L2/shared re-reads vs. stores) over the \
+     emitted kernels.  The dataflow $(i,check) itself always runs as part \
+     of compilation; this flag shows its view of the program."
+  in
+  Arg.(value & flag & info [ "verify-dataflow" ] ~doc)
+
 let strict_arg =
   let doc =
     "Treat graceful degradation as a hard error: any pass failure that \
@@ -130,10 +139,11 @@ let search_domains_arg =
 let inject_arg =
   let doc =
     "Arm the fault-injection harness before compiling: a pass name \
-     (horizontal, vertical, schedule, partition, emit, sim) to make that \
-     pass fail once, or smem[:N] / grid[:N] to corrupt the next emitted \
-     kernel's resource estimate by factor N.  Used to exercise the \
-     degradation ladder."
+     (horizontal, vertical, schedule, partition, emit, dataflow, sim) to \
+     make that pass fail once, smem[:N] / grid[:N] to corrupt the next \
+     emitted kernel's resource estimate by factor N, or mistag to make the \
+     emitter misclassify one on-device re-read as a DRAM first touch.  \
+     Used to exercise the degradation ladder."
   in
   Arg.(value & opt (some string) None & info [ "inject" ] ~docv:"FAULT" ~doc)
 
@@ -162,8 +172,8 @@ let arm_fault = function
           Ok ()
       | Error m -> Error m)
 
-let compile_run model file tiny level cuda verify strict inject trace profile
-    sched_cache_path search_domains =
+let compile_run model file tiny level cuda verify verify_dataflow strict
+    inject trace profile sched_cache_path search_domains =
   protect Diag.Validate @@ fun () ->
   match
     ( resolve ~model ~file ~tiny,
@@ -221,6 +231,12 @@ let compile_run model file tiny level cuda verify strict inject trace profile
               Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
           | None -> ());
           if profile then Fmt.pr "@.%a@." Souffle.pp_kernel_report r;
+          if verify_dataflow then begin
+            let env = Souffle.dataflow_env r.Souffle.transformed in
+            Fmt.pr "@.dataflow (per-tensor byte accounting):@.%a@."
+              Dataflow.pp_flows
+              (Dataflow.summarize env r.Souffle.prog)
+          end;
           if cuda then begin
             Fmt.pr "@.%s@." (Souffle.cuda_source r);
             Fmt.pr "@.// --- per-TE loop nests (first 4 TEs) ---@.%s@."
@@ -238,8 +254,8 @@ let compile_cmd =
     (Cmd.info "compile" ~doc:"Compile a model with Souffle and simulate it")
     Term.(
       const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
-      $ cuda_arg $ verify_arg $ strict_arg $ inject_arg $ trace_arg
-      $ profile_arg $ sched_cache_arg $ search_domains_arg)
+      $ cuda_arg $ verify_arg $ verify_dataflow_arg $ strict_arg $ inject_arg
+      $ trace_arg $ profile_arg $ sched_cache_arg $ search_domains_arg)
 
 let compare_run model tiny =
   protect Diag.Simulate @@ fun () ->

@@ -153,6 +153,20 @@ let emit_opts rank =
     attach_prologue = rank >= 2;
   }
 
+(** Cross-kernel dataflow environment for a (transformed) TE program: what
+    {!Dataflow} may assume about the program's tensors. *)
+let dataflow_env (p : Program.t) : Dataflow.env =
+  let inputs = Program.SSet.of_list (Program.input_names p) in
+  {
+    Dataflow.is_input = (fun t -> Program.SSet.mem t inputs);
+    bytes_of =
+      (fun t ->
+        Option.map
+          (fun (i : Program.tensor_info) ->
+            Shape.numel i.Program.shape * Dtype.bytes i.Program.dtype)
+          (Program.tensor_info p t));
+  }
+
 let singleton_groups (tes : Te.t list) : Emit.group list =
   List.map
     (fun (te : Te.t) ->
@@ -292,8 +306,11 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
     | Ok () -> Ok k
     | Error ds -> Error (List.hd ds)
   in
+  (* Returns the emitted kernels together with the rank the group settled
+     at, so a later cross-kernel check can re-emit it from that rung
+     without replaying (and re-recording) the degradations. *)
   let rec emit_group ~p2 ~an ~scheds ~index r (g : Emit.group) :
-      (Kernel_ir.kernel list, Diag.t) result =
+      (Kernel_ir.kernel list * int, Diag.t) result =
     let subject =
       match g.Emit.g_tes with n :: _ -> n | [] -> "<empty group>"
     in
@@ -322,7 +339,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       end
     in
     match attempt with
-    | Ok ks -> Ok ks
+    | Ok ks -> Ok (ks, r)
     | Error d when r > 0 ->
         note d;
         record ~subject ~pass:d.Diag.pass ~from_rank:r ~to_rank:(r - 1)
@@ -338,15 +355,75 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
     @@ fun () ->
     let stage =
       let* p2, an, scheds, partition, groups, hstats, vstats = front_end r in
-      let rec emit_all idx acc = function
-        | [] -> Ok (List.concat (List.rev acc))
-        | g :: rest -> (
-            match emit_group ~p2 ~an ~scheds ~index:idx r g with
-            | Ok ks -> emit_all (idx + List.length ks) (ks :: acc) rest
-            | Error _ as e -> e)
+      (* Emit every group at its own (possibly already degraded) rank,
+         keeping per-group kernel lists so a cross-kernel dataflow failure
+         can be attributed back to its owning subprogram. *)
+      let garr = Array.of_list groups in
+      let ranks = Array.make (Array.length garr) r in
+      let emit_all () =
+        let rec go i idx acc =
+          if i >= Array.length garr then Ok (List.rev acc)
+          else
+            match
+              emit_group ~p2 ~an ~scheds ~index:idx ranks.(i) garr.(i)
+            with
+            | Ok (ks, settled) ->
+                ranks.(i) <- settled;
+                go (i + 1) (idx + List.length ks) (ks :: acc)
+            | Error _ as e -> e
+        in
+        go 0 0 []
       in
-      let* kernels = emit_all 0 [] groups in
-      let prog = { Kernel_ir.pname = "prog"; kernels } in
+      (* Emission followed by the cross-kernel dataflow check: a dataflow
+         diagnostic names the offending kernel, which maps to exactly one
+         subprogram — degrade that group one rung and re-emit (groups
+         already settled re-emit unchanged at their recorded ranks).  A
+         failure that names no kernel degrades the whole program, like any
+         other program-level pass.  Terminates: every iteration either
+         succeeds or strictly lowers one group's rank. *)
+      let env = dataflow_env p2 in
+      let rec emit_checked () =
+        let* per_group = emit_all () in
+        let prog =
+          { Kernel_ir.pname = "prog"; kernels = List.concat per_group }
+        in
+        match Dataflow.check_result cfg.device env prog with
+        | Ok () -> Ok prog
+        | Error ds -> (
+            let d = List.hd ds in
+            let owner =
+              match d.Diag.subject with
+              | None -> None
+              | Some kname ->
+                  let rec find i = function
+                    | [] -> None
+                    | ks :: rest ->
+                        if
+                          List.exists
+                            (fun (k : Kernel_ir.kernel) ->
+                              k.Kernel_ir.kname = kname)
+                            ks
+                        then Some i
+                        else find (i + 1) rest
+                  in
+                  find 0 per_group
+            in
+            match owner with
+            | Some i when ranks.(i) > 0 ->
+                let subject =
+                  match garr.(i).Emit.g_tes with
+                  | n :: _ -> n
+                  | [] -> "<empty group>"
+                in
+                List.iter note ds;
+                record ~subject ~pass:Diag.Dataflow ~from_rank:ranks.(i)
+                  ~to_rank:(ranks.(i) - 1)
+                  d.Diag.message;
+                ranks.(i) <- ranks.(i) - 1;
+                emit_checked ()
+            | _ -> Error d)
+      in
+      let* prog = emit_checked () in
       let* sim = Sim.run_result cfg.device prog in
       Ok (p2, an, scheds, partition, groups, hstats, vstats, prog, sim)
     in

@@ -87,6 +87,12 @@ val ansor_groups_of_tes : Te.t list -> Emit.group list
 (** {!ansor_groups} over an explicit TE list — how a cooperative subprogram
     is re-grouped when it degrades below V3. *)
 
+val dataflow_env : Program.t -> Dataflow.env
+(** The cross-kernel dataflow verifier's view of a TE program: inputs are
+    DRAM-resident from the start, every other tensor's byte footprint comes
+    from its [tensor_info].  Built from the $(i,transformed) program when
+    checking a compiled report. *)
+
 val compile_result :
   ?cfg:config -> ?strict:bool -> Program.t -> (report, Diag.t list) result
 (** Total compilation with per-subprogram graceful degradation: when a pass

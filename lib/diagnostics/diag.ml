@@ -17,6 +17,7 @@ type pass =
   | Partition   (** §5.4 resource-aware partitioning *)
   | Emit        (** §6.3–§6.5 kernel emission *)
   | Verify_ir   (** static kernel-IR verification (pre-launch checks) *)
+  | Dataflow    (** cross-kernel dataflow verification (tensor provenance) *)
   | Simulate    (** analytical device simulation *)
 
 let pass_name = function
@@ -28,6 +29,7 @@ let pass_name = function
   | Partition -> "partition"
   | Emit -> "emit"
   | Verify_ir -> "verify-ir"
+  | Dataflow -> "dataflow"
   | Simulate -> "simulate"
 
 let pass_of_string = function
@@ -39,6 +41,7 @@ let pass_of_string = function
   | "partition" -> Some Partition
   | "emit" -> Some Emit
   | "verify-ir" | "verify_ir" -> Some Verify_ir
+  | "dataflow" -> Some Dataflow
   | "simulate" | "sim" -> Some Simulate
   | _ -> None
 

@@ -22,14 +22,19 @@ type spec =
       (** multiply emitted kernels' shared-memory estimate — the kernel-IR
           verifier must reject the corrupted kernel *)
   | Corrupt_grid of int  (** multiply emitted kernels' grid size *)
+  | Mistag_load
+      (** make the emitter classify one on-device re-read as a DRAM
+          first-touch [Ldg] — the cross-kernel dataflow verifier must
+          reject the mistagged kernel *)
 
 let spec_to_string = function
   | Fail_pass p -> Diag.pass_name p
   | Corrupt_smem f -> Fmt.str "smem:%d" f
   | Corrupt_grid f -> Fmt.str "grid:%d" f
+  | Mistag_load -> "mistag"
 
-(** Parse a CLI fault spec: a pass name ("horizontal", "emit", ...) or
-    "smem[:factor]" / "grid[:factor]". *)
+(** Parse a CLI fault spec: a pass name ("horizontal", "emit", ...),
+    "smem[:factor]" / "grid[:factor]", or "mistag". *)
 let parse (s : string) : (spec, string) result =
   let name, factor =
     match String.index_opt s ':' with
@@ -42,14 +47,15 @@ let parse (s : string) : (spec, string) result =
   match name with
   | "smem" -> Ok (Corrupt_smem factor)
   | "grid" -> Ok (Corrupt_grid factor)
+  | "mistag" -> Ok Mistag_load
   | _ -> (
       match Diag.pass_of_string name with
       | Some p -> Ok (Fail_pass p)
       | None ->
           Error
             (Fmt.str
-               "unknown fault %S (expected a pass name, smem[:N], or \
-                grid[:N])"
+               "unknown fault %S (expected a pass name, smem[:N], \
+                grid[:N], or mistag)"
                s))
 
 type armed = {
@@ -120,6 +126,14 @@ let grid_factor () : int =
   match fire (function Corrupt_grid _ -> true | _ -> false) with
   | Some { spec = Corrupt_grid f; _ } -> f
   | _ -> 1
+
+(** [true] when the armed mistag fault fires on this load classification:
+    the emitter then deliberately issues an on-device re-read as a DRAM
+    first-touch [Ldg], which the dataflow verifier must catch. *)
+let mistag_load () : bool =
+  match fire (function Mistag_load -> true | _ -> false) with
+  | Some _ -> true
+  | None -> false
 
 (** Arm [spec], run [f], always disarm; returns [f ()]'s result together
     with the number of times the fault tripped. *)

@@ -1,0 +1,234 @@
+(** Cross-kernel dataflow verifier: tensor-provenance checks over a whole
+    emitted program.
+
+    {!Verify_ir} proves each kernel is individually launchable; this pass
+    proves the *program* moves data consistently with the TE graph it was
+    compiled from.  Walking kernels in launch order (and stages in issue
+    order) it tracks the set of tensors materialized on the device and
+    checks, for every memory instruction the emitter tagged with a tensor
+    name:
+
+    - a loaded tensor is a program input or was produced by an earlier
+      kernel/stage (no phantom loads, no loads ahead of production);
+    - a tensor produced earlier in the program is re-read as [Ldl2]/[Lds],
+      never as a DRAM first-touch [Ldg] — unless it is larger than the L2
+      cache, in which case a DRAM round trip is the honest cost;
+    - a stored tensor is one this stage (or an earlier one) produced;
+    - instruction byte counts reconcile with the tensor's size: every
+      tagged load/store moves an exact positive multiple of the tensor's
+      byte footprint (the multiple is the replication factor the schedule
+      implies, e.g. the [rsplit]-way atomic partials of §6.3).
+
+    Untagged instructions (aggregate tiling re-reads) are exempt from the
+    per-tensor checks.  The pass is static and cheap — it runs on every
+    compile, after {!Verify_ir}, and its diagnostics feed the same
+    per-subprogram degradation ladder: an emitter bug that would silently
+    skew simulated performance numbers becomes a typed error naming the
+    kernel, stage, and tensor instead. *)
+
+module SSet = Set.Make (String)
+
+(** What the verifier knows about the compiled program's tensors, supplied
+    by the driver (from [Program.t]) or built by hand in tests. *)
+type env = {
+  is_input : string -> bool;
+      (** externally supplied tensor (model input or weight) — starts in
+          DRAM, so a first-touch [Ldg] is always legal *)
+  bytes_of : string -> int option;
+      (** full byte footprint of a tensor ([numel * dtype bytes]);
+          [None] marks a name unknown to the program *)
+}
+
+let err ~subject ?hint fmt =
+  Fmt.kstr (fun m -> Diag.error ~subject ?hint Diag.Dataflow m) fmt
+
+(* Availability at one point of the walk: tensors some earlier stage
+   produced ([before]), plus — for shared-memory reads and stores — the
+   current stage's own outputs. *)
+let check_instr ~subject ~stage_label ~(l2_bytes : int) (env : env)
+    ~(before : SSet.t) ~(here : SSet.t) (i : Kernel_ir.instr) : Diag.t list =
+  match Kernel_ir.instr_tensor i with
+  | None -> []
+  | Some t -> (
+      match env.bytes_of t with
+      | None ->
+          [ err ~subject "stage %s: %a references unknown tensor %S"
+              stage_label Kernel_ir.pp_instr i t ]
+      | Some size ->
+          let bytes =
+            match i with
+            | Kernel_ir.Ldg { bytes; _ } | Ldl2 { bytes; _ } | Lds { bytes; _ }
+            | Stg { bytes; _ } | Atomic_add { bytes; _ } ->
+                bytes
+            | Mma _ | Fma _ | Sfu _ | Grid_sync | Block_sync -> 0
+          in
+          let accounting =
+            if size <= 0 then
+              [ err ~subject "stage %s: tensor %s has no byte footprint"
+                  stage_label t ]
+            else if bytes <= 0 || bytes mod size <> 0 then
+              [ err ~subject
+                  "stage %s: %a moves %d B of tensor %s, not a positive \
+                   multiple of its %d B footprint"
+                  stage_label Kernel_ir.pp_instr i bytes t size ]
+            else []
+          in
+          let input = env.is_input t in
+          let provenance =
+            match i with
+            | Kernel_ir.Ldg _ ->
+                if SSet.mem t before then
+                  if size <= l2_bytes then
+                    [ err ~subject
+                        ~hint:
+                          "an on-device intermediate must be re-read as \
+                           ldl2/lds"
+                        "stage %s: ldg (DRAM first touch) of tensor %s, \
+                         which an earlier kernel/stage produced (%d B fits \
+                         L2)"
+                        stage_label t size ]
+                  else []
+                else if not input then
+                  [ err ~subject
+                      "stage %s: phantom load — tensor %s is neither a \
+                       program input nor produced by an earlier \
+                       kernel/stage"
+                      stage_label t ]
+                else []
+            | Ldl2 _ ->
+                if input || SSet.mem t before then []
+                else
+                  [ err ~subject
+                      "stage %s: ldl2 of tensor %s before any kernel/stage \
+                       produced it"
+                      stage_label t ]
+            | Lds _ ->
+                if input || SSet.mem t before || SSet.mem t here then []
+                else
+                  [ err ~subject
+                      "stage %s: lds of tensor %s, which this kernel never \
+                       produced"
+                      stage_label t ]
+            | Stg _ | Atomic_add _ ->
+                if SSet.mem t before || SSet.mem t here then []
+                else
+                  [ err ~subject
+                      "stage %s: store of tensor %s, which no stage \
+                       produced"
+                      stage_label t ]
+            | Mma _ | Fma _ | Sfu _ | Grid_sync | Block_sync -> []
+          in
+          accounting @ provenance)
+
+let check_prog (dev : Device.t) (env : env) (p : Kernel_ir.prog) :
+    (unit, Diag.t list) result =
+  let l2_bytes = dev.Device.l2_bytes in
+  let available = ref SSet.empty in
+  let ds =
+    List.concat_map
+      (fun (k : Kernel_ir.kernel) ->
+        let subject = k.Kernel_ir.kname in
+        List.concat_map
+          (fun (s : Kernel_ir.stage) ->
+            let here = SSet.of_list s.Kernel_ir.produces in
+            let errs =
+              List.concat_map
+                (check_instr ~subject ~stage_label:s.Kernel_ir.label
+                   ~l2_bytes env ~before:!available ~here)
+                s.Kernel_ir.instrs
+            in
+            available := SSet.union !available here;
+            errs)
+          k.Kernel_ir.stages)
+      p.Kernel_ir.kernels
+  in
+  match ds with [] -> Ok () | ds -> Error ds
+
+(** {!check_prog} as the pipeline runs it: fault-injection aware, traced,
+    exceptions converted to typed diagnostics. *)
+let check_result (dev : Device.t) (env : env) (p : Kernel_ir.prog) :
+    (unit, Diag.t list) result =
+  Obs.span
+    ~meta:[ ("kernels", string_of_int (List.length p.Kernel_ir.kernels)) ]
+    "verify-dataflow"
+  @@ fun () ->
+  match
+    Diag.guard ~subject:p.Kernel_ir.pname Diag.Dataflow (fun () ->
+        Faultinject.trip ~subject:p.Kernel_ir.pname Diag.Dataflow;
+        check_prog dev env p)
+  with
+  | Ok (Ok () as ok) -> ok
+  | Ok (Error _ as e) -> e
+  | Error d -> Error [ d ]
+
+(* ------------------------------------------------------------------ *)
+(* Per-tensor byte accounting, for the CLI's --verify-dataflow report  *)
+(* ------------------------------------------------------------------ *)
+
+type flow = {
+  f_tensor : string;
+  f_bytes : int;        (** footprint per {!env} *)
+  f_input : bool;
+  f_ldg : int;          (** DRAM first-touch bytes *)
+  f_ldl2 : int;
+  f_lds : int;
+  f_stored : int;       (** stg + atomic bytes *)
+}
+
+(** Aggregate tagged traffic per tensor, in first-touch order. *)
+let summarize (env : env) (p : Kernel_ir.prog) : flow list =
+  let order = ref [] in
+  let flows : (string, flow) Hashtbl.t = Hashtbl.create 32 in
+  let get t =
+    match Hashtbl.find_opt flows t with
+    | Some f -> f
+    | None ->
+        let f =
+          {
+            f_tensor = t;
+            f_bytes = Option.value ~default:0 (env.bytes_of t);
+            f_input = env.is_input t;
+            f_ldg = 0;
+            f_ldl2 = 0;
+            f_lds = 0;
+            f_stored = 0;
+          }
+        in
+        order := t :: !order;
+        f
+  in
+  let record (i : Kernel_ir.instr) =
+    match Kernel_ir.instr_tensor i with
+    | None -> ()
+    | Some t ->
+        let f = get t in
+        let f =
+          match i with
+          | Kernel_ir.Ldg { bytes; _ } -> { f with f_ldg = f.f_ldg + bytes }
+          | Ldl2 { bytes; _ } -> { f with f_ldl2 = f.f_ldl2 + bytes }
+          | Lds { bytes; _ } -> { f with f_lds = f.f_lds + bytes }
+          | Stg { bytes; _ } | Atomic_add { bytes; _ } ->
+              { f with f_stored = f.f_stored + bytes }
+          | Mma _ | Fma _ | Sfu _ | Grid_sync | Block_sync -> f
+        in
+        Hashtbl.replace flows t f
+  in
+  List.iter
+    (fun (k : Kernel_ir.kernel) ->
+      List.iter
+        (fun (s : Kernel_ir.stage) -> List.iter record s.Kernel_ir.instrs)
+        k.Kernel_ir.stages)
+    p.Kernel_ir.kernels;
+  List.rev_map (Hashtbl.find flows) !order
+
+let pp_flows ppf (fs : flow list) =
+  let kb b = float_of_int b /. 1024. in
+  Fmt.pf ppf "@[<v>%-28s %6s %10s %10s %10s %10s" "tensor" "kind" "size_KB"
+    "ldg_KB" "ldl2_KB" "stored_KB";
+  List.iter
+    (fun f ->
+      Fmt.pf ppf "@,%-28s %6s %10.1f %10.1f %10.1f %10.1f" f.f_tensor
+        (if f.f_input then "input" else "te")
+        (kb f.f_bytes) (kb f.f_ldg) (kb f.f_ldl2) (kb f.f_stored))
+    fs;
+  Fmt.pf ppf "@]"

@@ -4,16 +4,23 @@
     list of stages (one per fused TE group region, matching the
     [Fn_TE_Subprogram] structure of Fig. 2's step 5); a stage carries the
     aggregate instruction counts of all its thread blocks.  Byte/flop totals
-    are grid-wide, which is the right granularity for a throughput model. *)
+    are grid-wide, which is the right granularity for a throughput model.
+
+    Memory instructions optionally carry the name of the tensor they move
+    ([tensor]): the emitter tags every load/store it derives from the TE
+    graph, and the cross-kernel dataflow verifier ({!Dataflow}) uses the
+    tags to prove producer/consumer consistency over the whole program.
+    Untagged ([None]) traffic — e.g. the schedule-implied tiling re-reads,
+    which aggregate several tensors — is exempt from per-tensor checks. *)
 
 type instr =
-  | Ldg of { bytes : int }
+  | Ldg of { bytes : int; tensor : string option }
       (** load from DRAM (first touch of a tensor) *)
-  | Ldl2 of { bytes : int }
+  | Ldl2 of { bytes : int; tensor : string option }
       (** load of data resident in L2 (re-read of an on-device tensor) *)
-  | Lds of { bytes : int }
+  | Lds of { bytes : int; tensor : string option }
       (** shared-memory load (reuse hits of the §6.5 software cache) *)
-  | Stg of { bytes : int }
+  | Stg of { bytes : int; tensor : string option }
       (** store to DRAM *)
   | Mma of { flops : int }
       (** tensor-core half-precision multiply-accumulate (HMMA) *)
@@ -21,12 +28,26 @@ type instr =
       (** CUDA-core FP32 multiply-add *)
   | Sfu of { ops : int }
       (** transcendental ops (exp, tanh, rsqrt, ...) *)
-  | Atomic_add of { bytes : int }
+  | Atomic_add of { bytes : int; tensor : string option }
       (** global-memory atomic reduction traffic *)
   | Grid_sync
       (** cooperative-groups grid synchronization *)
   | Block_sync
       (** __syncthreads-level barrier (cheap) *)
+
+(* tagged-construction helpers: [ldg ~tensor:"x" 1024] *)
+let ldg ?tensor bytes = Ldg { bytes; tensor }
+let ldl2 ?tensor bytes = Ldl2 { bytes; tensor }
+let lds ?tensor bytes = Lds { bytes; tensor }
+let stg ?tensor bytes = Stg { bytes; tensor }
+let atomic_add ?tensor bytes = Atomic_add { bytes; tensor }
+
+(** The tensor a memory instruction moves, when the emitter tagged it. *)
+let instr_tensor = function
+  | Ldg { tensor; _ } | Ldl2 { tensor; _ } | Lds { tensor; _ }
+  | Stg { tensor; _ } | Atomic_add { tensor; _ } ->
+      tensor
+  | Mma _ | Fma _ | Sfu _ | Grid_sync | Block_sync -> None
 
 type stage = {
   label : string;       (** which TE(s) this stage implements *)
@@ -34,6 +55,10 @@ type stage = {
   compute_eff : float;  (** achieved fraction of pipeline peak *)
   mem_eff : float;      (** achieved fraction of DRAM bandwidth *)
   sgrid : int;          (** thread blocks active in this stage (0: whole kernel) *)
+  produces : string list;
+      (** outputs of the TEs this stage computes — including tensors that
+          stay in registers/shared memory and never touch a memory
+          instruction; the dataflow verifier's definition of "on device" *)
   instrs : instr list;
 }
 
@@ -57,8 +82,8 @@ let usage (k : kernel) : Occupancy.usage =
   }
 
 let stage ?(pipelined = false) ?(compute_eff = 0.7) ?(mem_eff = 0.85)
-    ?(sgrid = 0) ~label instrs =
-  { label; pipelined; compute_eff; mem_eff; sgrid; instrs }
+    ?(sgrid = 0) ?(produces = []) ~label instrs =
+  { label; pipelined; compute_eff; mem_eff; sgrid; produces; instrs }
 
 let kernel ?(threads_per_block = 256) ?(smem_per_block = 48 * 1024)
     ?(regs_per_thread = 64) ?(library_call = false) ~name ~grid_blocks stages =
@@ -83,19 +108,24 @@ let dram_read_bytes_kernel (k : kernel) =
   List.fold_left
     (fun acc s ->
       List.fold_left
-        (fun acc -> function Ldg { bytes } -> acc + bytes | _ -> acc)
+        (fun acc -> function Ldg { bytes; _ } -> acc + bytes | _ -> acc)
         acc s.instrs)
     0 k.stages
 
+let pp_tag ppf = function
+  | None -> ()
+  | Some t -> Fmt.pf ppf "<%s>" t
+
 let pp_instr ppf = function
-  | Ldg { bytes } -> Fmt.pf ppf "ldg %dB" bytes
-  | Ldl2 { bytes } -> Fmt.pf ppf "ldl2 %dB" bytes
-  | Lds { bytes } -> Fmt.pf ppf "lds %dB" bytes
-  | Stg { bytes } -> Fmt.pf ppf "stg %dB" bytes
+  | Ldg { bytes; tensor } -> Fmt.pf ppf "ldg%a %dB" pp_tag tensor bytes
+  | Ldl2 { bytes; tensor } -> Fmt.pf ppf "ldl2%a %dB" pp_tag tensor bytes
+  | Lds { bytes; tensor } -> Fmt.pf ppf "lds%a %dB" pp_tag tensor bytes
+  | Stg { bytes; tensor } -> Fmt.pf ppf "stg%a %dB" pp_tag tensor bytes
   | Mma { flops } -> Fmt.pf ppf "mma %d" flops
   | Fma { flops } -> Fmt.pf ppf "fma %d" flops
   | Sfu { ops } -> Fmt.pf ppf "sfu %d" ops
-  | Atomic_add { bytes } -> Fmt.pf ppf "atomic %dB" bytes
+  | Atomic_add { bytes; tensor } ->
+      Fmt.pf ppf "atomic%a %dB" pp_tag tensor bytes
   | Grid_sync -> Fmt.string ppf "grid.sync"
   | Block_sync -> Fmt.string ppf "block.sync"
 

@@ -55,14 +55,14 @@ let run_stage (dev : Device.t) ~(waves : int) ~(kernel_grid : int)
   let syncs = ref 0 and bsyncs = ref 0 in
   List.iter
     (function
-      | Kernel_ir.Ldg { bytes } -> ldg := !ldg + bytes
-      | Kernel_ir.Ldl2 { bytes } -> ldl2 := !ldl2 + bytes
-      | Kernel_ir.Lds { bytes } -> lds := !lds + bytes
-      | Kernel_ir.Stg { bytes } -> stg := !stg + bytes
+      | Kernel_ir.Ldg { bytes; _ } -> ldg := !ldg + bytes
+      | Kernel_ir.Ldl2 { bytes; _ } -> ldl2 := !ldl2 + bytes
+      | Kernel_ir.Lds { bytes; _ } -> lds := !lds + bytes
+      | Kernel_ir.Stg { bytes; _ } -> stg := !stg + bytes
       | Kernel_ir.Mma { flops } -> mma := !mma + flops
       | Kernel_ir.Fma { flops } -> fma := !fma + flops
       | Kernel_ir.Sfu { ops } -> sfu := !sfu + ops
-      | Kernel_ir.Atomic_add { bytes } -> atomic := !atomic + bytes
+      | Kernel_ir.Atomic_add { bytes; _ } -> atomic := !atomic + bytes
       | Kernel_ir.Grid_sync -> incr syncs
       | Kernel_ir.Block_sync -> incr bsyncs)
     s.Kernel_ir.instrs;

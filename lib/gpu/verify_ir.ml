@@ -16,11 +16,11 @@ let check_instr ~subject (i : Kernel_ir.instr) : Diag.t list =
     if n < 0 then [ err ~subject "negative %s count: %d" what n ] else []
   in
   match i with
-  | Kernel_ir.Ldg { bytes } -> neg "ldg byte" bytes
-  | Ldl2 { bytes } -> neg "ldl2 byte" bytes
-  | Lds { bytes } -> neg "lds byte" bytes
-  | Stg { bytes } -> neg "stg byte" bytes
-  | Atomic_add { bytes } -> neg "atomic byte" bytes
+  | Kernel_ir.Ldg { bytes; _ } -> neg "ldg byte" bytes
+  | Ldl2 { bytes; _ } -> neg "ldl2 byte" bytes
+  | Lds { bytes; _ } -> neg "lds byte" bytes
+  | Stg { bytes; _ } -> neg "stg byte" bytes
+  | Atomic_add { bytes; _ } -> neg "atomic byte" bytes
   | Mma { flops } -> neg "mma flop" flops
   | Fma { flops } -> neg "fma flop" flops
   | Sfu { ops } -> neg "sfu op" ops

@@ -4,23 +4,32 @@
     the kernel IR directly, but examples and the CLI print this text so a
     reader can see what Souffle generated. *)
 
+let render_tensor ppf = function
+  | None -> Fmt.string ppf ""
+  | Some t -> Fmt.pf ppf " [%s]" t
+
 let render_instr ppf = function
-  | Kernel_ir.Ldg { bytes } ->
-      Fmt.pf ppf "ldg2s(smem, gmem, %d);           // global -> shared" bytes
-  | Kernel_ir.Ldl2 { bytes } ->
-      Fmt.pf ppf "ldg2s(smem, gmem_l2, %d);        // L2-resident load" bytes
-  | Kernel_ir.Lds { bytes } ->
-      Fmt.pf ppf "lds(reg, smem, %d);              // shared -> register" bytes
-  | Kernel_ir.Stg { bytes } ->
-      Fmt.pf ppf "sts2g(gmem, smem, %d);           // shared -> global" bytes
+  | Kernel_ir.Ldg { bytes; tensor } ->
+      Fmt.pf ppf "ldg2s(smem, gmem, %d);           // global -> shared%a"
+        bytes render_tensor tensor
+  | Kernel_ir.Ldl2 { bytes; tensor } ->
+      Fmt.pf ppf "ldg2s(smem, gmem_l2, %d);        // L2-resident load%a"
+        bytes render_tensor tensor
+  | Kernel_ir.Lds { bytes; tensor } ->
+      Fmt.pf ppf "lds(reg, smem, %d);              // shared -> register%a"
+        bytes render_tensor tensor
+  | Kernel_ir.Stg { bytes; tensor } ->
+      Fmt.pf ppf "sts2g(gmem, smem, %d);           // shared -> global%a"
+        bytes render_tensor tensor
   | Kernel_ir.Mma { flops } ->
       Fmt.pf ppf "wmma_16x16(acc, a_frag, b_frag); // %d flops (HMMA.16816.F16)" flops
   | Kernel_ir.Fma { flops } ->
       Fmt.pf ppf "ffma(acc, a, b);                 // %d flops (FFMA)" flops
   | Kernel_ir.Sfu { ops } ->
       Fmt.pf ppf "sfu(dst, src);                   // %d ops (MUFU)" ops
-  | Kernel_ir.Atomic_add { bytes } ->
-      Fmt.pf ppf "atomicAdd(partial, acc);         // %d bytes of partials" bytes
+  | Kernel_ir.Atomic_add { bytes; tensor } ->
+      Fmt.pf ppf "atomicAdd(partial, acc);         // %d bytes of partials%a"
+        bytes render_tensor tensor
   | Kernel_ir.Grid_sync -> Fmt.pf ppf "grid.sync();"
   | Kernel_ir.Block_sync -> Fmt.pf ppf "__syncthreads();"
 

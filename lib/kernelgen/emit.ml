@@ -204,6 +204,17 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
               let asched = sched anchor.Te.name in
               let instrs = ref [] in
               let push i = instrs := i :: !instrs in
+              (* on-device intermediate (some TE produced it earlier in the
+                 program, so it is already materialized): an L2 re-read when
+                 it fits, a DRAM round trip when it does not — never a
+                 first-touch ldg.  The armed mistag fault deliberately
+                 breaks this classification so the dataflow verifier can be
+                 exercised end to end. *)
+              let push_ondevice ~tensor bytes =
+                if bytes <= dev.Device.l2_bytes && not (Faultinject.mistag_load ())
+                then push (Kernel_ir.ldl2 ~tensor bytes)
+                else push (Kernel_ir.ldg ~tensor bytes)
+              in
               (* dependent stages in a cooperative kernel synchronize *)
               if si > 0 && g.cooperative then begin
                 let reads_earlier =
@@ -233,26 +244,29 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
                       in
                       if same_stage then
                         (* producer in the same fused stage: register/smem *)
-                        push (Kernel_ir.Lds { bytes })
+                        push (Kernel_ir.lds ~tensor:input bytes)
                       else begin
                         let in_kernel = SSet.mem input member_set in
-                        if in_kernel then begin
-                          if
-                            opts.reuse_cache
-                            && Reuse_cache.touch cache input = Reuse_cache.Hit
-                          then push (Kernel_ir.Lds { bytes })
-                          else if bytes <= dev.Device.l2_bytes then
-                            push (Kernel_ir.Ldl2 { bytes })
-                          else push (Kernel_ir.Ldg { bytes })
-                        end
+                        let produced = Program.producer p input <> None in
+                        if
+                          in_kernel && opts.reuse_cache
+                          && Reuse_cache.touch cache input = Reuse_cache.Hit
+                        then push (Kernel_ir.lds ~tensor:input bytes)
+                        else if produced then
+                          (* an earlier kernel/stage materialized it — this
+                             also covers the reuse-cache bypass (a miss or
+                             the cache disabled below V4), which must not
+                             fall back to a DRAM first touch *)
+                          push_ondevice ~tensor:input bytes
                         else if SSet.mem input !touched then begin
+                          (* program input re-read within this kernel *)
                           if bytes <= dev.Device.l2_bytes then
-                            push (Kernel_ir.Ldl2 { bytes })
-                          else push (Kernel_ir.Ldg { bytes })
+                            push (Kernel_ir.ldl2 ~tensor:input bytes)
+                          else push (Kernel_ir.ldg ~tensor:input bytes)
                         end
                         else begin
                           touched := SSet.add input !touched;
-                          push (Kernel_ir.Ldg { bytes })
+                          push (Kernel_ir.ldg ~tensor:input bytes)
                         end
                       end)
                     (Te.inputs te);
@@ -264,7 +278,8 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
                         0 (Te.inputs te)
                     in
                     let extra = Sched.tiled_load_bytes p te asched - unique in
-                    if extra > 0 then push (Kernel_ir.Ldl2 { bytes = extra })
+                    (* aggregate over several tensors: left untagged *)
+                    if extra > 0 then push (Kernel_ir.ldl2 extra)
                   end;
                   (* ---- compute ---- *)
                   let evals = Te.out_numel te * max 1 (Te.reduce_domain te) in
@@ -295,15 +310,15 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
                   let later = consumed_in_later_stage te my_stage in
                   if is_fused_reduction then begin
                     push
-                      (Kernel_ir.Atomic_add
-                         { bytes = out_bytes * max 1 te_sched.Sched.rsplit });
+                      (Kernel_ir.atomic_add ~tensor:te.Te.name
+                         (out_bytes * max 1 te_sched.Sched.rsplit));
                     if opts.reuse_cache && later then
                       ignore
                         (Reuse_cache.insert cache ~tensor:te.Te.name
                            ~bytes:out_bytes ~dirty:false)
                   end
                   else if outside then begin
-                    push (Kernel_ir.Stg { bytes = out_bytes });
+                    push (Kernel_ir.stg ~tensor:te.Te.name out_bytes);
                     if opts.reuse_cache && later then
                       ignore
                         (Reuse_cache.insert cache ~tensor:te.Te.name
@@ -318,16 +333,16 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
                       | Reuse_cache.Inserted | Reuse_cache.Hit
                       | Reuse_cache.Miss -> ()
                       | Reuse_cache.Rejected ->
-                          push (Kernel_ir.Stg { bytes = out_bytes })
+                          push (Kernel_ir.stg ~tensor:te.Te.name out_bytes)
                       | Reuse_cache.Spilled victims ->
                           (* write back dirty victims, with a barrier *)
                           List.iter
-                            (fun v ->
-                              push (Kernel_ir.Stg { bytes = tensor_bytes p v }))
+                            (fun (v, vbytes) ->
+                              push (Kernel_ir.stg ~tensor:v vbytes))
                             victims;
                           push Kernel_ir.Block_sync
                     end
-                    else push (Kernel_ir.Stg { bytes = out_bytes })
+                    else push (Kernel_ir.stg ~tensor:te.Te.name out_bytes)
                   end
                   (* else: consumed only within this stage — never
                      materialized at all *))
@@ -351,6 +366,8 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
                 ~compute_eff
                 ~mem_eff:
                   (if is_movement then opts.movement_mem_eff else opts.mem_eff)
+                ~produces:
+                  (List.map (fun (te : Te.t) -> te.Te.name) stage_members)
                 ~sgrid:
                   (if opts.concurrent_stages then
                      List.fold_left

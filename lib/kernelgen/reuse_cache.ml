@@ -20,7 +20,8 @@ type event =
   | Miss                      (** not resident *)
   | Inserted
   | Rejected                  (** larger than the whole cache *)
-  | Spilled of string list    (** these victims were written back *)
+  | Spilled of (string * int) list
+      (** these victims (tensor, byte footprint) were written back *)
 
 let create ~capacity = { capacity; used = 0; lru = [] }
 
@@ -46,8 +47,9 @@ let touch t tensor : event =
   end
   else Miss
 
-(* Evict LRU entries until [need] bytes fit; returns dirty victims. *)
-let evict_for t need : string list =
+(* Evict LRU entries until [need] bytes fit; returns dirty victims with
+   their byte footprints (what the write-back must move). *)
+let evict_for t need : (string * int) list =
   let rec go spilled =
     if t.used + need <= t.capacity then List.rev spilled
     else begin
@@ -56,7 +58,9 @@ let evict_for t need : string list =
       | victim :: _ ->
           t.lru <- List.filter (fun e -> e.tensor <> victim.tensor) t.lru;
           t.used <- t.used - victim.bytes;
-          go (if victim.dirty then victim.tensor :: spilled else spilled)
+          go
+            (if victim.dirty then (victim.tensor, victim.bytes) :: spilled
+             else spilled)
     end
   in
   go []

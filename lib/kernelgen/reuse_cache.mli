@@ -13,7 +13,8 @@ type event =
   | Miss                   (** not resident *)
   | Inserted
   | Rejected               (** larger than the whole cache *)
-  | Spilled of string list (** these dirty victims were written back *)
+  | Spilled of (string * int) list
+      (** these dirty victims (tensor, byte footprint) were written back *)
 
 val create : capacity:int -> t
 (** [capacity] in bytes. *)

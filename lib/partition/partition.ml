@@ -25,22 +25,26 @@ type t = {
 let te_names sp = List.map (fun (te : Te.t) -> te.Te.name) sp.tes
 
 (* Resource accumulator for the §5.4 constraint. *)
+(* Each resource is maxed independently — exactly how {!Emit} aggregates a
+   kernel's launch configuration from its stages — so the feasibility
+   verdict here can only be more conservative than the occupancy the IR
+   verifier later computes for the emitted kernel, never less. *)
 type acc = {
   max_grid : int;
   max_smem : int;   (* bytes per block *)
-  max_regs_per_block : int;
+  max_regs_per_thread : int;
   max_threads : int;
 }
 
-let empty_acc = { max_grid = 0; max_smem = 0; max_regs_per_block = 0; max_threads = 0 }
+let empty_acc =
+  { max_grid = 0; max_smem = 0; max_regs_per_thread = 0; max_threads = 0 }
 
 let add_usage acc ~grid ~(u : Occupancy.usage) =
   {
     max_grid = max acc.max_grid grid;
     max_smem = max acc.max_smem u.Occupancy.smem_per_block;
-    max_regs_per_block =
-      max acc.max_regs_per_block
-        (u.Occupancy.regs_per_thread * u.Occupancy.threads_per_block);
+    max_regs_per_thread =
+      max acc.max_regs_per_thread u.Occupancy.regs_per_thread;
     max_threads = max acc.max_threads u.Occupancy.threads_per_block;
   }
 
@@ -54,9 +58,7 @@ let feasible (dev : Device.t) acc =
       {
         Occupancy.threads_per_block = max 1 acc.max_threads;
         smem_per_block = acc.max_smem;
-        regs_per_thread =
-          (acc.max_regs_per_block + max 1 acc.max_threads - 1)
-          / max 1 acc.max_threads;
+        regs_per_thread = acc.max_regs_per_thread;
       }
     in
     let cap =
@@ -66,6 +68,46 @@ let feasible (dev : Device.t) acc =
     in
     acc.max_grid <= cap
   end
+
+(* Coarsen a memory-intensive TE's output tile until the subprogram
+   accumulator extended with it satisfies the cooperative-launch
+   constraint.  The TE has no tensor-core fragment shape to preserve, so
+   its grid is elastic: doubling the tile factor of the output dimension
+   with the most blocks (lowest index wins ties — deterministic) shrinks
+   the grid geometrically while the per-block cost grows only linearly.
+   Gives up when no dimension can coarsen further (grid = rsplit) or the
+   per-block footprint stops fitting first. *)
+let retile_into (dev : Device.t) (p : Program.t) (te : Te.t) (s : Sched.t)
+    ~(acc : acc) : (Sched.t * int * Occupancy.usage) option =
+  let shape = te.Te.out_shape in
+  let rec go (s : Sched.t) n =
+    if n > 32 then None
+    else
+      let grid = Sched.grid_blocks te s in
+      let u = Sched.usage p te s in
+      if
+        feasible dev (add_usage acc ~grid ~u)
+        && u.Occupancy.smem_per_block <= dev.Device.max_smem_per_block
+      then Some (s, grid, u)
+      else begin
+        let best = ref (-1) and best_tiles = ref 1 in
+        Array.iteri
+          (fun i d ->
+            let tiles = (d + s.Sched.tile.(i) - 1) / s.Sched.tile.(i) in
+            if tiles > !best_tiles then begin
+              best := i;
+              best_tiles := tiles
+            end)
+          shape;
+        if !best < 0 then None
+        else begin
+          let tile = Array.copy s.Sched.tile in
+          tile.(!best) <- min shape.(!best) (2 * tile.(!best));
+          go { s with Sched.tile } (n + 1)
+        end
+      end
+  in
+  go s 0
 
 let run (dev : Device.t) (an : Analysis.t) (scheds : (string, Sched.t) Hashtbl.t)
     : t =
@@ -107,22 +149,42 @@ let run (dev : Device.t) (an : Analysis.t) (scheds : (string, Sched.t) Hashtbl.t
               go subs [] empty_acc `Coop (te :: rest)
             end
         | `Coop ->
-            if not is_compute then go subs (te :: cur) acc `Coop rest
+            (* Every absorbed TE is accounted: any TE can anchor an emitted
+               stage, and a stage anchor's grid becomes (part of) the
+               cooperative kernel's launch grid — absorbing a
+               memory-intensive reduction without charging its grid let
+               kernels exceed one wave and fail verify-ir downstream. *)
+            let s = sched name in
+            let grid = Sched.grid_blocks te s in
+            let u = Sched.usage p te s in
+            let acc' = add_usage acc ~grid ~u in
+            if feasible dev acc' then go subs (te :: cur) acc' `Coop rest
+            else if not is_compute then begin
+              (* memory-intensive: coarsen its output tile at the wave
+                 boundary instead of breaking the subprogram *)
+              match retile_into dev p te s ~acc with
+              | Some (s', grid', u') ->
+                  Hashtbl.replace scheds name s';
+                  go subs (te :: cur) (add_usage acc ~grid:grid' ~u:u') `Coop
+                    rest
+              | None -> (
+                  let subs = close subs cur ~cooperative:true in
+                  match retile_into dev p te s ~acc:empty_acc with
+                  | Some (s', grid', u') ->
+                      Hashtbl.replace scheds name s';
+                      go subs [ te ]
+                        (add_usage empty_acc ~grid:grid' ~u:u')
+                        `Coop rest
+                  | None -> go subs [ te ] empty_acc `Noncoop rest)
+            end
             else begin
-              let s = sched name in
-              let grid = Sched.grid_blocks te s in
-              let u = Sched.usage p te s in
-              let acc' = add_usage acc ~grid ~u in
-              if feasible dev acc' then go subs (te :: cur) acc' `Coop rest
-              else begin
-                (* close the current subprogram and retry this TE *)
-                let subs = close subs cur ~cooperative:true in
-                let acc0 = add_usage empty_acc ~grid ~u in
-                if feasible dev acc0 then go subs [ te ] acc0 `Coop rest
-                else
-                  (* this TE alone cannot grid-sync: non-cooperative *)
-                  go subs [ te ] empty_acc `Noncoop rest
-              end
+              (* close the current subprogram and retry this TE *)
+              let subs = close subs cur ~cooperative:true in
+              let acc0 = add_usage empty_acc ~grid ~u in
+              if feasible dev acc0 then go subs [ te ] acc0 `Coop rest
+              else
+                (* this TE alone cannot grid-sync: non-cooperative *)
+                go subs [ te ] empty_acc `Noncoop rest
             end)
   in
   let subs = List.rev (go [] [] empty_acc `Coop p.Program.tes) in

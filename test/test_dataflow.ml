@@ -1,0 +1,251 @@
+(* Tests for the cross-kernel dataflow verifier: provenance and byte
+   accounting over emitted programs, plus the degradation-ladder reaction
+   to a seeded emitter mistag. *)
+
+let dev = Device.a100
+
+(* Hand-built environment: inputs a (1 KiB) and b (2 KiB), intermediate t
+   (4 KiB); everything else unknown. *)
+let env : Dataflow.env =
+  let sizes = [ ("a", 1024); ("b", 2048); ("t", 4096) ] in
+  {
+    Dataflow.is_input = (fun n -> n = "a" || n = "b");
+    bytes_of = (fun n -> List.assoc_opt n sizes);
+  }
+
+let prog kernels = { Kernel_ir.pname = "t"; kernels }
+
+let producer_stage =
+  Kernel_ir.stage ~label:"make_t" ~produces:[ "t" ]
+    [ Kernel_ir.ldg ~tensor:"a" 1024; Kernel_ir.stg ~tensor:"t" 4096 ]
+
+let check p = Dataflow.check_prog dev env p
+
+let msgs = function
+  | Ok () -> []
+  | Error ds -> List.map (fun (d : Diag.t) -> d.Diag.message) ds
+
+let expect_reject what pat p =
+  match check p with
+  | Ok () -> Alcotest.failf "%s: accepted" what
+  | Error ds ->
+      Alcotest.(check bool)
+        (what ^ ": diagnostic names the defect")
+        true
+        (List.exists
+           (fun (d : Diag.t) ->
+             d.Diag.pass = Diag.Dataflow
+             && Astring.String.is_infix ~affix:pat d.Diag.message)
+           ds)
+
+let test_accepts_legal () =
+  (* k0 produces t from input a; k1 re-reads t through L2 and reduces it
+     with input b *)
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32 [ producer_stage ];
+        Kernel_ir.kernel ~name:"k1" ~grid_blocks:32
+          [
+            Kernel_ir.stage ~label:"use_t" ~produces:[ "o" ]
+              [ Kernel_ir.ldl2 ~tensor:"t" 4096; Kernel_ir.ldg ~tensor:"b" 2048 ];
+          ];
+      ]
+  in
+  Alcotest.(check (list string)) "clean" [] (msgs (check p))
+
+let test_rejects_phantom_load () =
+  (* "ghost" is neither an input nor produced by anything *)
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [
+            Kernel_ir.stage ~label:"s" [ Kernel_ir.ldg ~tensor:"ghost" 512 ];
+          ];
+      ]
+  in
+  expect_reject "phantom load" "unknown tensor" p;
+  (* a known tensor no stage produced is also a phantom *)
+  let p2 =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [ Kernel_ir.stage ~label:"s" [ Kernel_ir.ldg ~tensor:"t" 4096 ] ];
+      ]
+  in
+  expect_reject "load before production" "phantom load" p2
+
+let test_rejects_ldg_of_produced () =
+  (* t (4 KiB, trivially fits A100's 40 MB L2) is produced by k0 but
+     re-read by k1 as a DRAM first touch *)
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32 [ producer_stage ];
+        Kernel_ir.kernel ~name:"k1" ~grid_blocks:32
+          [ Kernel_ir.stage ~label:"s" [ Kernel_ir.ldg ~tensor:"t" 4096 ] ];
+      ]
+  in
+  expect_reject "ldg of produced tensor" "ldg (DRAM first touch)" p;
+  (* the offending kernel, not the producer, is the diagnostic subject *)
+  (match check p with
+  | Error (d :: _) ->
+      Alcotest.(check (option string)) "subject" (Some "k1") d.Diag.subject
+  | _ -> Alcotest.fail "expected a diagnostic")
+
+let test_rejects_byte_mismatch () =
+  (* 1000 B of a 1024 B tensor: not a positive multiple of the footprint *)
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [ Kernel_ir.stage ~label:"s" [ Kernel_ir.ldg ~tensor:"a" 1000 ] ];
+      ]
+  in
+  expect_reject "byte mismatch" "not a positive multiple" p;
+  (* replication (e.g. rsplit partials) is an exact multiple: legal *)
+  let p2 =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [
+            Kernel_ir.stage ~label:"s" ~produces:[ "t" ]
+              [
+                Kernel_ir.ldg ~tensor:"a" (4 * 1024);
+                Kernel_ir.atomic_add ~tensor:"t" (2 * 4096);
+              ];
+          ];
+      ]
+  in
+  Alcotest.(check (list string)) "replication legal" [] (msgs (check p2))
+
+let test_rejects_store_of_unproduced () =
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [ Kernel_ir.stage ~label:"s" [ Kernel_ir.stg ~tensor:"t" 4096 ] ];
+      ]
+  in
+  expect_reject "store of unproduced tensor" "no stage" p
+
+let test_lds_same_stage_legal () =
+  (* shared-memory reads may reference tensors the same stage produces
+     (reuse-cache residents that never touch DRAM) *)
+  let p =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [
+            Kernel_ir.stage ~label:"s" ~produces:[ "t" ]
+              [ Kernel_ir.ldg ~tensor:"a" 1024; Kernel_ir.lds ~tensor:"t" 4096 ];
+          ];
+      ]
+  in
+  Alcotest.(check (list string)) "clean" [] (msgs (check p));
+  let p2 =
+    prog
+      [
+        Kernel_ir.kernel ~name:"k0" ~grid_blocks:32
+          [ Kernel_ir.stage ~label:"s" [ Kernel_ir.lds ~tensor:"t" 4096 ] ];
+      ]
+  in
+  expect_reject "lds of never-produced tensor" "never" p2
+
+(* ---- whole-zoo acceptance: every compiled model is dataflow-clean ---- *)
+
+let test_zoo_dataflow_clean () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let p = Lower.run (e.Zoo.tiny ()) in
+      match Souffle.compile_result p with
+      | Error ds ->
+          Alcotest.failf "%s failed to compile: %s" e.Zoo.name
+            (String.concat "; " (List.map Diag.to_string ds))
+      | Ok r -> (
+          let env = Souffle.dataflow_env r.Souffle.transformed in
+          match Dataflow.check_prog dev env r.Souffle.prog with
+          | Ok () -> ()
+          | Error ds ->
+              Alcotest.failf "%s not dataflow-clean: %s" e.Zoo.name
+                (String.concat "; " (List.map Diag.to_string ds))))
+    Zoo.all
+
+(* ---- fault injection: a seeded mistag degrades exactly one subprogram ---- *)
+
+let test_mistag_degrades_one_subprogram () =
+  (* the full-size model: tiny configurations fuse every consumer into the
+     producing stage, so no cross-kernel re-read exists to mistag *)
+  let e = Option.get (Zoo.find "bert") in
+  let p = Lower.run (e.Zoo.full ()) in
+  let result, trips =
+    Faultinject.with_fault Faultinject.Mistag_load (fun () ->
+        Souffle.compile_result p)
+  in
+  Alcotest.(check int) "fault tripped once" 1 trips;
+  match result with
+  | Error ds ->
+      Alcotest.failf "mistagged compile not recovered: %s"
+        (String.concat "; " (List.map Diag.to_string ds))
+  | Ok r ->
+      let df =
+        List.filter
+          (fun (d : Souffle.degradation) -> d.Souffle.d_pass = Diag.Dataflow)
+          r.Souffle.degraded
+      in
+      Alcotest.(check int) "exactly one dataflow degradation" 1
+        (List.length df);
+      Alcotest.(check int) "no other degradations" 1
+        (List.length r.Souffle.degraded);
+      (* the re-emitted program (fault consumed) is dataflow-clean *)
+      let env = Souffle.dataflow_env r.Souffle.transformed in
+      (match Dataflow.check_prog dev env r.Souffle.prog with
+      | Ok () -> ()
+      | Error ds ->
+          Alcotest.failf "recovered program not clean: %s"
+            (String.concat "; " (List.map Diag.to_string ds)));
+      (* the degraded subject is one subprogram's head TE, not "program" *)
+      match df with
+      | [ d ] ->
+          Alcotest.(check bool) "subject is a subprogram" true
+            (d.Souffle.d_subject <> "program")
+      | _ -> ()
+
+let test_injected_dataflow_pass_fault () =
+  (* Fail_pass Dataflow trips inside the checker itself: the whole program
+     degrades one level and the compile still succeeds *)
+  let e = Option.get (Zoo.find "mmoe") in
+  let p = Lower.run (e.Zoo.tiny ()) in
+  let result, trips =
+    Faultinject.with_fault (Faultinject.Fail_pass Diag.Dataflow) (fun () ->
+        Souffle.compile_result p)
+  in
+  Alcotest.(check int) "fault tripped once" 1 trips;
+  match result with
+  | Error ds ->
+      Alcotest.failf "injected dataflow fault not recovered: %s"
+        (String.concat "; " (List.map Diag.to_string ds))
+  | Ok r ->
+      Alcotest.(check bool) "a degradation was recorded" true
+        (r.Souffle.degraded <> [])
+
+let suite =
+  [
+    Alcotest.test_case "accepts legal program" `Quick test_accepts_legal;
+    Alcotest.test_case "rejects phantom load" `Quick test_rejects_phantom_load;
+    Alcotest.test_case "rejects ldg of produced tensor" `Quick
+      test_rejects_ldg_of_produced;
+    Alcotest.test_case "rejects byte mismatch" `Quick
+      test_rejects_byte_mismatch;
+    Alcotest.test_case "rejects store of unproduced" `Quick
+      test_rejects_store_of_unproduced;
+    Alcotest.test_case "lds same-stage residency" `Quick
+      test_lds_same_stage_legal;
+    Alcotest.test_case "zoo compiles dataflow-clean" `Slow
+      test_zoo_dataflow_clean;
+    Alcotest.test_case "mistag degrades one subprogram" `Quick
+      test_mistag_degrades_one_subprogram;
+    Alcotest.test_case "injected dataflow pass fault" `Quick
+      test_injected_dataflow_pass_fault;
+  ]

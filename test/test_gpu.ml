@@ -58,7 +58,7 @@ let test_memory_bound_stage () =
   (* 155.5 MB at 1555 GB/s * 0.85 eff = ~117.6 us *)
   let bytes = 155_500_000 in
   let r =
-    sim_of [ Kernel_ir.stage ~label:"ld" [ Kernel_ir.Ldg { bytes } ] ]
+    sim_of [ Kernel_ir.stage ~label:"ld" [ Kernel_ir.ldg bytes ] ]
   in
   let t = r.Sim.total.Counters.time_us -. dev.Device.kernel_launch_us in
   Alcotest.(check bool) "within 5% of bandwidth model" true
@@ -90,7 +90,7 @@ let test_tensor_core_faster_than_fma () =
 
 let test_pipelining_overlaps () =
   let instrs =
-    [ Kernel_ir.Ldg { bytes = 50_000_000 }; Kernel_ir.Mma { flops = 10_000_000_000 } ]
+    [ Kernel_ir.ldg 50_000_000; Kernel_ir.Mma { flops = 10_000_000_000 } ]
   in
   let t_plain =
     (sim_of [ Kernel_ir.stage ~label:"s" ~pipelined:false instrs ]).Sim.total
@@ -118,11 +118,11 @@ let test_grid_sync_cost () =
 let test_atomic_slower_than_store () =
   let bytes = 10_000_000 in
   let t_atomic =
-    (sim_of [ Kernel_ir.stage ~label:"a" [ Kernel_ir.Atomic_add { bytes } ] ])
+    (sim_of [ Kernel_ir.stage ~label:"a" [ Kernel_ir.atomic_add bytes ] ])
       .Sim.total.Counters.time_us
   in
   let t_store =
-    (sim_of [ Kernel_ir.stage ~label:"s" [ Kernel_ir.Stg { bytes } ] ])
+    (sim_of [ Kernel_ir.stage ~label:"s" [ Kernel_ir.stg bytes ] ])
       .Sim.total.Counters.time_us
   in
   Alcotest.(check bool) "atomics slower" true (t_atomic > t_store)
@@ -130,11 +130,11 @@ let test_atomic_slower_than_store () =
 let test_l2_faster_than_dram () =
   let bytes = 100_000_000 in
   let t_l2 =
-    (sim_of [ Kernel_ir.stage ~label:"l" [ Kernel_ir.Ldl2 { bytes } ] ])
+    (sim_of [ Kernel_ir.stage ~label:"l" [ Kernel_ir.ldl2 bytes ] ])
       .Sim.total.Counters.time_us
   in
   let t_dram =
-    (sim_of [ Kernel_ir.stage ~label:"d" [ Kernel_ir.Ldg { bytes } ] ])
+    (sim_of [ Kernel_ir.stage ~label:"d" [ Kernel_ir.ldg bytes ] ])
       .Sim.total.Counters.time_us
   in
   Alcotest.(check bool) "l2 faster" true (t_l2 < t_dram)
@@ -188,7 +188,7 @@ let test_utilization_counters () =
   let r =
     sim_of
       [ Kernel_ir.stage ~label:"s"
-          [ Kernel_ir.Ldg { bytes = 100_000_000 }; Kernel_ir.Fma { flops = 1_000_000 } ] ]
+          [ Kernel_ir.ldg 100_000_000; Kernel_ir.Fma { flops = 1_000_000 } ] ]
   in
   let lsu = Counters.lsu_utilization r.Sim.total in
   Alcotest.(check bool) "LSU utilization in (0,1]" true (lsu > 0. && lsu <= 1.);
@@ -201,7 +201,7 @@ let qcheck_more_traffic_never_faster =
     QCheck.(pair (int_range 1 1_000_000) (int_range 0 1_000_000))
     (fun (base, extra) ->
       let t b =
-        (sim_of [ Kernel_ir.stage ~label:"s" [ Kernel_ir.Ldg { bytes = b } ] ])
+        (sim_of [ Kernel_ir.stage ~label:"s" [ Kernel_ir.ldg b ] ])
           .Sim.total.Counters.time_us
       in
       t (base + extra) >= t base -. 1e-9)

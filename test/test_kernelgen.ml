@@ -21,9 +21,10 @@ let test_lru_eviction_order () =
   (* touch a so b becomes LRU *)
   ignore (Reuse_cache.touch c "a");
   (match Reuse_cache.insert c ~tensor:"c" ~bytes:40 ~dirty:false with
-  | Reuse_cache.Spilled [ "b" ] -> ()
+  | Reuse_cache.Spilled [ ("b", 40) ] -> ()
   | Reuse_cache.Spilled l ->
-      Alcotest.failf "wrong victims: %s" (String.concat "," l)
+      Alcotest.failf "wrong victims: %s"
+        (String.concat "," (List.map fst l))
   | _ -> Alcotest.fail "expected a spill");
   Alcotest.(check bool) "a kept" true (Reuse_cache.mem c "a");
   Alcotest.(check bool) "b gone" false (Reuse_cache.mem c "b")
@@ -34,7 +35,8 @@ let test_lru_clean_not_spilled () =
   (match Reuse_cache.insert c ~tensor:"b" ~bytes:80 ~dirty:true with
   | Reuse_cache.Spilled [] | Reuse_cache.Inserted -> ()
   | Reuse_cache.Spilled l ->
-      Alcotest.failf "clean victim written back: %s" (String.concat "," l)
+      Alcotest.failf "clean victim written back: %s"
+        (String.concat "," (List.map fst l))
   | _ -> Alcotest.fail "unexpected");
   Alcotest.(check bool) "a evicted" false (Reuse_cache.mem c "a")
 
@@ -170,9 +172,15 @@ let test_unfused_pays_roundtrips () =
     Sim.run Device.a100
       (emit_simple ~opts:{ Emit.default_options with Emit.reuse_cache = false } groups)
   in
-  Alcotest.(check bool) "unfused reads more from DRAM" true
-    (unfused.Sim.total.Counters.dram_read_bytes
-    > fused.Sim.total.Counters.dram_read_bytes);
+  (* intermediates fit A100's L2, so unfused round trips surface as extra
+     L2 traffic (re-reads of produced tensors), not extra DRAM first
+     touches *)
+  let off_chip (s : Sim.result) =
+    s.Sim.total.Counters.dram_read_bytes
+    + s.Sim.total.Counters.l2_read_bytes
+  in
+  Alcotest.(check bool) "unfused reads more off-chip" true
+    (off_chip unfused > off_chip fused);
   Alcotest.(check bool) "unfused launches more kernels" true
     (unfused.Sim.total.Counters.kernel_launches
     > fused.Sim.total.Counters.kernel_launches)

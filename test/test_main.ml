@@ -8,6 +8,7 @@ let () =
       ("graph", Test_graph.suite);
       ("analysis", Test_analysis.suite);
       ("gpu", Test_gpu.suite);
+      ("dataflow", Test_dataflow.suite);
       ("kernelgen", Test_kernelgen.suite);
       ("schedule", Test_schedule.suite);
       ("models", Test_models.suite);

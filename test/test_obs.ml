@@ -168,15 +168,15 @@ let two_kernel_prog () =
       [
         Kernel_ir.kernel ~name:"k0_a" ~grid_blocks:108
           [
-            stage ~label:"a" [ Kernel_ir.Ldg { bytes = 1_000_000 } ];
+            stage ~label:"a" [ Kernel_ir.ldg 1_000_000 ];
             stage ~label:"b"
               [
                 Kernel_ir.Fma { flops = 2_000_000 };
-                Kernel_ir.Stg { bytes = 500_000 };
+                Kernel_ir.stg 500_000;
               ];
           ];
         Kernel_ir.kernel ~name:"k1_c" ~grid_blocks:108
-          [ stage ~label:"c" [ Kernel_ir.Ldg { bytes = 3_000_000 } ] ];
+          [ stage ~label:"c" [ Kernel_ir.ldg 3_000_000 ] ];
       ];
   }
 

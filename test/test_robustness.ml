@@ -106,7 +106,7 @@ let test_verifier_rejects_sync_in_library_call () =
 let test_verifier_rejects_negative_bytes () =
   rejects "negative byte count"
     (Kernel_ir.kernel ~name:"bad_bytes" ~grid_blocks:8
-       [ stage ~instrs:[ Kernel_ir.Ldg { bytes = -4 } ] "s0" ])
+       [ stage ~instrs:[ Kernel_ir.ldg (-4) ] "s0" ])
 
 let test_verifier_rejects_empty_kernel () =
   rejects "kernel with no stages"
