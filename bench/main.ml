@@ -79,6 +79,8 @@ let sections : (string * (unit -> unit)) list =
     ("ablation", Ablation.run);
     ("compile-perf", Compile_perf.run);
     ("compile-perf-smoke", Compile_perf.smoke);
+    ("serve-perf", Serve_perf.run);
+    ("serve-perf-smoke", Serve_perf.smoke);
     ("bechamel", run_bechamel);
   ]
 

@@ -1,0 +1,253 @@
+(* Serving benchmark: the multi-stream engine against serial one-at-a-time
+   execution of the same compiled artifacts.
+
+   The workload is a traffic-weighted mix over the whole zoo: cheap
+   models field most of the traffic (as production serving mixes do), so
+   request counts are weighted inversely to model cost rather than
+   uniformly — a uniform mix would measure little besides ResNeXt, whose
+   full-device compute stages honestly cannot overlap.
+
+   Four measurements over that mix:
+
+     equality    a lone request served on one stream must reproduce the
+                 solo simulator latency bit-for-bit (the contention model
+                 collapses exactly when there is no contention)
+     saturation  a closed batch of requests at increasing concurrency;
+                 throughput must saturate, and the saturated throughput
+                 must be >= 2x the serial (one-stream) baseline
+     curve       open-loop Poisson arrivals at fractions of the saturated
+                 throughput: the latency/throughput curve
+     policy      FIFO vs shortest-expected-latency tail latency at the
+                 same offered load
+
+   Results land in BENCH_serve.json (full models) or BENCH_serve_smoke.json
+   (tiny models, the @bench-smoke alias).  Equality mismatches and a
+   sub-2x saturation speedup are recorded in the runlog, so --strict-bench
+   fails the run over them. *)
+
+let dev = Tables.dev
+
+type mart = {
+  entry : Zoo.entry;
+  art : Scheduler.artifact;
+  report : Souffle.report;
+  exact : bool;  (* single-stream serving == solo Sim latency *)
+}
+
+(* a lone request on one stream: service time and end-to-end latency must
+   equal the artifact's solo simulated latency exactly *)
+let check_single_stream (a : Scheduler.artifact) (r : Souffle.report) : bool =
+  let reqs =
+    Workload.generate ~seed:1 ~rate_rps:0. ~requests:1
+      [ (a.Scheduler.art_model, 1.) ]
+  in
+  let o =
+    Scheduler.run dev
+      { Scheduler.policy = Scheduler.Fifo; max_streams = 1 }
+      ~artifacts:[ a ] reqs
+  in
+  match o.Scheduler.o_completed with
+  | [ c ] ->
+      c.Scheduler.c_service_us = r.Souffle.sim.Sim.total.Counters.time_us
+      && Scheduler.latency_us c = r.Souffle.sim.Sim.total.Counters.time_us
+  | _ -> false
+
+let mart_of ~(souffle_of : Zoo.entry -> Souffle.report) (e : Zoo.entry) : mart =
+  let r = souffle_of e in
+  let art =
+    Scheduler.artifact_of_prog dev ~model:e.Zoo.name
+      ~degraded:(List.length r.Souffle.degraded)
+      r.Souffle.prog
+  in
+  let exact = check_single_stream art r in
+  if not exact then begin
+    Fmt.epr "  !! %s: single-stream serving latency differs from solo Sim@."
+      e.Zoo.name;
+    Runlog.record Tables.runlog
+      ~model:(e.Zoo.name ^ "@serve-equality")
+      ~degraded_steps:0 ~errors:1
+  end;
+  { entry = e; art; report = r; exact }
+
+(* requests per model, proportional — cheap models serve most queries *)
+let mix_weight (e : Zoo.entry) : float =
+  match String.lowercase_ascii e.Zoo.name with
+  | "mmoe" -> 16.
+  | "lstm" -> 8.
+  | "efficientnet" -> 4.
+  | "resnext" -> 1.
+  | _ -> 2. (* BERT, SwinTransformer *)
+
+let num n v = (n, Jsonlite.Num v)
+
+let point_json extra (s : Serve_report.summary) : Jsonlite.t =
+  Jsonlite.Obj (extra @ [ ("summary", Serve_report.summary_json s) ])
+
+let run_with ~label ~souffle_of ~requests ~out () =
+  Tables.section
+    (Fmt.str "Serving — multi-stream engine vs serial execution (%s)" label);
+  let marts = List.map (mart_of ~souffle_of) Zoo.all in
+  List.iter
+    (fun m ->
+      Fmt.pr "  %-14s solo %12.2f us  %2d kernel(s)  %s@." m.entry.Zoo.name
+        m.art.Scheduler.art_solo_us
+        (List.length m.report.Souffle.prog.Kernel_ir.kernels)
+        (if m.exact then "single-stream exact" else "MISMATCH"))
+    marts;
+  let artifacts = List.map (fun m -> m.art) marts in
+  let mix = List.map (fun m -> (m.entry.Zoo.name, mix_weight m.entry)) marts in
+  let batch = Workload.generate ~seed:11 ~rate_rps:0. ~requests mix in
+  let run_at ?(policy = Scheduler.Fifo) c reqs =
+    Scheduler.run dev { Scheduler.policy; max_streams = c } ~artifacts reqs
+  in
+  (* saturation: a closed batch at increasing concurrency *)
+  let serial = Serve_report.summarize (run_at 1 batch) in
+  let sweep =
+    List.map (fun c -> (c, Serve_report.summarize (run_at c batch))) [ 2; 4; 8; 16 ]
+  in
+  Fmt.pr "@.  closed batch of %d requests:@." requests;
+  Fmt.pr "  %8s %14s %10s %10s %10s %9s@." "streams" "thr(req/s)" "p50(ms)"
+    "p95(ms)" "slowdown" "resident";
+  let row c (s : Serve_report.summary) =
+    Fmt.pr "  %8d %14.1f %10.3f %10.3f %10.2f %9.2f@." c s.Serve_report.s_throughput_rps
+      s.Serve_report.s_p50_ms s.Serve_report.s_p95_ms
+      s.Serve_report.s_mean_slowdown s.Serve_report.s_avg_resident
+  in
+  row 1 serial;
+  List.iter (fun (c, s) -> row c s) sweep;
+  let sat_streams, sat =
+    List.fold_left
+      (fun (bc, bs) (c, s) ->
+        if
+          s.Serve_report.s_throughput_rps
+          > bs.Serve_report.s_throughput_rps
+        then (c, s)
+        else (bc, bs))
+      (1, serial) sweep
+  in
+  let speedup =
+    if serial.Serve_report.s_throughput_rps > 0. then
+      sat.Serve_report.s_throughput_rps /. serial.Serve_report.s_throughput_rps
+    else 0.
+  in
+  Fmt.pr "  saturation: %.1f req/s at %d streams — %.2fx over serial@."
+    sat.Serve_report.s_throughput_rps sat_streams speedup;
+  if speedup < 2. then begin
+    Fmt.epr
+      "  !! serving speedup %.2fx at saturation is below the 2x target@."
+      speedup;
+    Runlog.record Tables.runlog ~model:("serve-speedup@" ^ label)
+      ~degraded_steps:0 ~errors:1
+  end;
+  (* open-loop latency/throughput curve at the saturating concurrency *)
+  let sat_rps = sat.Serve_report.s_throughput_rps in
+  let curve =
+    List.map
+      (fun frac ->
+        let rate = frac *. sat_rps in
+        let reqs = Workload.generate ~seed:17 ~rate_rps:rate ~requests mix in
+        (frac, rate, Serve_report.summarize (run_at sat_streams reqs)))
+      [ 0.25; 0.5; 0.75; 0.9 ]
+  in
+  Fmt.pr "@.  open-loop Poisson arrivals (%d streams):@." sat_streams;
+  Fmt.pr "  %8s %14s %14s %10s %10s@." "load" "offered" "served" "p50(ms)"
+    "p99(ms)";
+  List.iter
+    (fun (frac, rate, (s : Serve_report.summary)) ->
+      Fmt.pr "  %7.0f%% %14.1f %14.1f %10.3f %10.3f@." (100. *. frac) rate
+        s.Serve_report.s_throughput_rps s.Serve_report.s_p50_ms
+        s.Serve_report.s_p99_ms)
+    curve;
+  (* scheduling policy: tail latency under the same near-saturation load *)
+  let policy_reqs =
+    Workload.generate ~seed:23 ~rate_rps:(0.9 *. sat_rps) ~requests mix
+  in
+  let fifo =
+    Serve_report.summarize (run_at ~policy:Scheduler.Fifo sat_streams policy_reqs)
+  in
+  let sel =
+    Serve_report.summarize (run_at ~policy:Scheduler.Sel sat_streams policy_reqs)
+  in
+  Fmt.pr "@.  policy at 90%% load: fifo p95 %.3f ms, sel p95 %.3f ms@."
+    fifo.Serve_report.s_p95_ms sel.Serve_report.s_p95_ms;
+  let json =
+    Jsonlite.Obj
+      [
+        ("bench", Jsonlite.Str "serve-perf");
+        ("device", Jsonlite.Str dev.Device.name);
+        ("mode", Jsonlite.Str label);
+        num "requests" (float_of_int requests);
+        ( "models",
+          Jsonlite.Arr
+            (List.map
+               (fun m ->
+                 Jsonlite.Obj
+                   [
+                     ("name", Jsonlite.Str m.entry.Zoo.name);
+                     num "mix_weight" (mix_weight m.entry);
+                     num "solo_us" m.art.Scheduler.art_solo_us;
+                     num "kernels"
+                       (float_of_int
+                          (List.length m.report.Souffle.prog.Kernel_ir.kernels));
+                     num "degraded_steps"
+                       (float_of_int m.art.Scheduler.art_degraded);
+                     ("single_stream_exact", Jsonlite.Bool m.exact);
+                   ])
+               marts) );
+        ("serial", Serve_report.summary_json serial);
+        ( "saturation",
+          Jsonlite.Arr
+            (List.map
+               (fun (c, s) -> point_json [ num "streams" (float_of_int c) ] s)
+               sweep) );
+        num "speedup_at_saturation" speedup;
+        num "saturating_streams" (float_of_int sat_streams);
+        ( "curve",
+          Jsonlite.Arr
+            (List.map
+               (fun (frac, rate, s) ->
+                 point_json
+                   [
+                     num "load_frac" frac;
+                     num "rate_rps" rate;
+                     num "streams" (float_of_int sat_streams);
+                   ]
+                   s)
+               curve) );
+        ( "policy_at_90pct",
+          Jsonlite.Obj
+            [
+              ("fifo", Serve_report.summary_json fifo);
+              ("sel", Serve_report.summary_json sel);
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonlite.to_string json));
+  Fmt.pr "  wrote %s@." out
+
+(* full-size models: the measurement run, reusing the artifacts the tables
+   compiled (each model compiles once per bench process) *)
+let run () =
+  run_with ~label:"full" ~souffle_of:Tables.souffle_of ~requests:48
+    ~out:"BENCH_serve.json" ()
+
+(* tiny models: the @bench-smoke alias — seconds, not minutes *)
+let smoke () =
+  let cache : (string, Souffle.report) Hashtbl.t = Hashtbl.create 8 in
+  let souffle_of (e : Zoo.entry) =
+    match Hashtbl.find_opt cache e.Zoo.name with
+    | Some r -> r
+    | None ->
+        let r =
+          Tables.compile_recorded
+            ~name:(e.Zoo.name ^ "@serve-smoke")
+            (Lower.run (e.Zoo.tiny ()))
+        in
+        Hashtbl.replace cache e.Zoo.name r;
+        r
+  in
+  run_with ~label:"smoke" ~souffle_of ~requests:24
+    ~out:"BENCH_serve_smoke.json" ()

@@ -53,15 +53,24 @@ let compile_recorded ?cfg ~name (p : Program.t) : Souffle.report =
         (Fmt.str "%s failed to compile: %s" name
            (String.concat "; " (List.map Diag.to_string ds)))
 
-let souffle_cache : (string, Souffle.report) Hashtbl.t = Hashtbl.create 8
+(* compile-once artifact store shared by every section: each (model, level)
+   pair is compiled exactly once per bench run and the report is reused
+   across table3, table4, table5, overhead, and the serving benchmark *)
+let artifacts = Souffle.Artifacts.create ()
 
-let souffle_of (e : Zoo.entry) =
-  match Hashtbl.find_opt souffle_cache e.Zoo.name with
+let souffle_at ?name level (e : Zoo.entry) : Souffle.report =
+  match Souffle.Artifacts.find artifacts ~name:e.Zoo.name ~level with
   | Some r -> r
   | None ->
-      let r = compile_recorded ~name:e.Zoo.name (program_of e) in
-      Hashtbl.replace souffle_cache e.Zoo.name r;
+      let r =
+        compile_recorded
+          ~name:(Option.value name ~default:e.Zoo.name)
+          ~cfg:(Souffle.config ~level ()) (program_of e)
+      in
+      Souffle.Artifacts.add artifacts ~name:e.Zoo.name ~level r;
       r
+
+let souffle_of (e : Zoo.entry) = souffle_at Souffle.V4 e
 
 let baseline_cache : (string * string, (Baseline.success, string) result) Hashtbl.t =
   Hashtbl.create 32
@@ -213,14 +222,13 @@ let table4 () =
   Fmt.pr "  %-14s %8s %8s %8s %8s %8s@." "" "V0" "V1" "V2" "V3" "V4";
   List.iter
     (fun (e : Zoo.entry) ->
-      let p = program_of e in
       Fmt.pr "  %-14s" e.Zoo.name;
       List.iter
         (fun level ->
           let r =
-            compile_recorded
+            souffle_at
               ~name:(Fmt.str "%s@V%d" e.Zoo.name (Souffle.level_rank level))
-              ~cfg:(Souffle.config ~level ()) p
+              level e
           in
           Fmt.pr " %8.3f" (Souffle.time_ms r))
         [ Souffle.V0; V1; V2; V3; V4 ];
@@ -414,7 +422,7 @@ let overhead () =
   List.iter
     (fun (e : Zoo.entry) ->
       let p = program_of e in
-      let r = compile_recorded ~name:(e.Zoo.name ^ "@overhead") p in
+      let r = souffle_at ~name:(e.Zoo.name ^ "@overhead") Souffle.V4 e in
       total := !total +. r.Souffle.compile_s;
       Fmt.pr "  %-14s %6.2f s  (%d TEs -> %d kernels)@." e.Zoo.name
         r.Souffle.compile_s

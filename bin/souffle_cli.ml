@@ -6,6 +6,9 @@
                       [--verify-dataflow] [--strict] [--inject FAULT]
      souffle compare  --model bert [--tiny]
      souffle analyze  --model mmoe [--tiny]
+     souffle serve    --mix bert=2,mmoe --rate 50000 --requests 64
+                      --streams 4 [--policy fifo|sel] [--seed N] [--tiny]
+                      [--json FILE] [--trace FILE] [--strict]
 *)
 
 open Cmdliner
@@ -308,6 +311,158 @@ let analyze_cmd =
        ~doc:"Print the Sec. 5 global analysis of a model's TE program")
     Term.(const analyze_run $ model_arg $ tiny_arg)
 
+(* ---- serve: multi-stream serving on the simulated device ---- *)
+
+let mix_arg =
+  let doc =
+    "Weighted model mix, e.g. $(b,bert=2,mmoe): comma-separated model \
+     names, each optionally weighted with =W (default 1)."
+  in
+  Arg.(required & opt (some string) None & info [ "mix" ] ~docv:"MIX" ~doc)
+
+let rate_arg =
+  let doc =
+    "Offered load in requests per second of simulated time (open-loop \
+     Poisson arrivals).  0 means a closed batch: every request arrives at \
+     time zero."
+  in
+  Arg.(value & opt float 0. & info [ "rate" ] ~docv:"RPS" ~doc)
+
+let requests_arg =
+  let doc = "Number of requests to serve." in
+  Arg.(value & opt int 32 & info [ "n"; "requests" ] ~docv:"N" ~doc)
+
+let streams_arg =
+  let doc = "Concurrency bound: how many requests may share the device." in
+  Arg.(value & opt int 4 & info [ "streams" ] ~docv:"N" ~doc)
+
+let policy_arg =
+  let doc = "Dispatch policy: fifo (arrival order) or sel (shortest expected latency)." in
+  Arg.(value & opt string "fifo" & info [ "policy" ] ~docv:"POLICY" ~doc)
+
+let seed_arg =
+  let doc = "Workload seed; the same seed reproduces the run exactly." in
+  Arg.(value & opt int 42 & info [ "seed" ] ~docv:"SEED" ~doc)
+
+let serve_json_arg =
+  let doc = "Write the full outcome (summary + per-request records) as JSON to $(docv)." in
+  Arg.(value & opt (some string) None & info [ "json" ] ~docv:"FILE" ~doc)
+
+let serve_trace_arg =
+  let doc =
+    "Write a Chrome-trace timeline of the serving run to $(docv): one \
+     swimlane per concurrency slot, one span per request with its \
+     contended kernel slices as children."
+  in
+  Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
+
+let serve_run mix rate requests streams policy seed tiny level strict
+    json_out trace_out =
+  protect Diag.Simulate @@ fun () ->
+  let mix_spec = mix in
+  let fail m =
+    Fmt.epr "error: %s@." m;
+    1
+  in
+  match
+    ( Workload.parse_mix mix,
+      Scheduler.policy_of_string (String.lowercase_ascii policy),
+      level_of_string (String.lowercase_ascii level) )
+  with
+  | Error m, _, _ -> fail m
+  | _, None, _ -> fail (Fmt.str "unknown policy %S (fifo or sel)" policy)
+  | _, _, Error m -> fail m
+  | Ok mix, Some policy, Ok level ->
+      if streams < 1 then fail "--streams must be >= 1"
+      else if requests < 1 then fail "--requests must be >= 1"
+      else begin
+        let dev = Souffle.default_config.Souffle.device in
+        let cfg = Souffle.config ~level () in
+        (* canonicalize mix names and compile each distinct model once *)
+        let rec build canon arts = function
+          | [] -> Ok (List.rev canon, List.rev arts)
+          | (name, w) :: rest -> (
+              match lookup_model name with
+              | Error m -> Error m
+              | Ok e ->
+                  let canon = (e.Zoo.name, w) :: canon in
+                  if
+                    List.exists
+                      (fun (a : Scheduler.artifact) ->
+                        a.Scheduler.art_model = e.Zoo.name)
+                      arts
+                  then build canon arts rest
+                  else (
+                    match
+                      Souffle.compile_result ~cfg ~strict (program_of e tiny)
+                    with
+                    | Error ds ->
+                        Error
+                          (Fmt.str "%s: %s" e.Zoo.name
+                             (String.concat "; "
+                                (List.map Diag.to_string ds)))
+                    | Ok r ->
+                        let a =
+                          Scheduler.artifact_of_prog dev ~model:e.Zoo.name
+                            ~degraded:(List.length r.Souffle.degraded)
+                            r.Souffle.prog
+                        in
+                        Fmt.pr
+                          "compiled %-14s %2d kernel(s), solo %10.2f us%s@."
+                          e.Zoo.name
+                          (List.length r.Souffle.prog.Kernel_ir.kernels)
+                          a.Scheduler.art_solo_us
+                          (if r.Souffle.degraded = [] then ""
+                           else
+                             Fmt.str " (%d degradation step(s))"
+                               (List.length r.Souffle.degraded));
+                        build canon (a :: arts) rest))
+        in
+        match build [] [] mix with
+        | Error m -> fail m
+        | Ok (mix, artifacts) ->
+            let reqs = Workload.generate ~seed ~rate_rps:rate ~requests mix in
+            let outcome =
+              Scheduler.run dev
+                { Scheduler.policy; max_streams = streams }
+                ~artifacts reqs
+            in
+            Fmt.pr "@.%a@."
+              Serve_report.pp_summary
+              (Serve_report.summarize outcome);
+            (match trace_out with
+            | None -> ()
+            | Some path ->
+                let t = Serve_report.chrome_trace outcome in
+                Obs.to_chrome_file t path;
+                Fmt.pr "trace: wrote %s (%d spans)@." path (Obs.span_count t));
+            (match json_out with
+            | None -> ()
+            | Some path ->
+                let oc = open_out path in
+                Fun.protect
+                  ~finally:(fun () -> close_out oc)
+                  (fun () ->
+                    output_string oc
+                      (Jsonlite.to_string
+                         (Serve_report.outcome_json
+                            ~label:(Fmt.str "souffle serve --mix %s" mix_spec)
+                            outcome)));
+                Fmt.pr "json: wrote %s@." path);
+            0
+      end
+
+let serve_cmd =
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:
+         "Serve a stream of inference requests concurrently on the \
+          simulated device")
+    Term.(
+      const serve_run $ mix_arg $ rate_arg $ requests_arg $ streams_arg
+      $ policy_arg $ seed_arg $ tiny_arg $ level_arg $ strict_arg
+      $ serve_json_arg $ serve_trace_arg)
+
 let dump_run model tiny output =
   protect Diag.Validate @@ fun () ->
   match lookup_model model with
@@ -339,6 +494,6 @@ let main_cmd =
   let doc = "Souffle: DNN inference optimization via global analysis and tensor expressions" in
   Cmd.group
     (Cmd.info "souffle" ~version:"1.0" ~doc)
-    [ list_cmd; compile_cmd; compare_cmd; analyze_cmd; dump_cmd ]
+    [ list_cmd; compile_cmd; compare_cmd; analyze_cmd; serve_cmd; dump_cmd ]
 
 let () = exit (Cmd.eval' main_cmd)

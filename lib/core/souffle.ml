@@ -306,10 +306,53 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
     | Ok () -> Ok k
     | Error ds -> Error (List.hd ds)
   in
+  (* One kernel of a split cooperative subprogram, with its own mini-ladder.
+     [subranks] (keyed by the subgroup's head TE, shared across every
+     re-emission of the owning group) remembers where each subgroup settled:
+     when Verify_ir rejects one sub-kernel, only that kernel's TEs drop a
+     level — at rank 0, to one kernel per TE — while sibling subgroups keep
+     the rank the whole group runs at. *)
+  let rec emit_subgroup ~p2 ~an ~scheds ~subranks ~index r (sg : Emit.group) :
+      (Kernel_ir.kernel list, Diag.t) result =
+    let subject =
+      match sg.Emit.g_tes with n :: _ -> n | [] -> "<empty group>"
+    in
+    let r =
+      match Hashtbl.find_opt subranks subject with
+      | Some settled -> min settled r
+      | None -> r
+    in
+    let attempt =
+      if r >= 1 then
+        Result.map (fun k -> [ k ]) (emit_and_verify ~p2 ~an ~scheds ~index r sg)
+      else begin
+        let tes = List.map (Program.find_te_exn p2) sg.Emit.g_tes in
+        let rec go i acc = function
+          | [] -> Ok (List.rev acc)
+          | g1 :: rest -> (
+              match
+                emit_and_verify ~p2 ~an ~scheds ~index:(index + i) 0 g1
+              with
+              | Ok k -> go (i + 1) (k :: acc) rest
+              | Error _ as e -> e)
+        in
+        go 0 [] (singleton_groups tes)
+      end
+    in
+    match attempt with
+    | Ok ks -> Ok ks
+    | Error d when r > 0 ->
+        note d;
+        record ~subject ~pass:d.Diag.pass ~from_rank:r ~to_rank:(r - 1)
+          d.Diag.message;
+        Hashtbl.replace subranks subject (r - 1);
+        emit_subgroup ~p2 ~an ~scheds ~subranks ~index (r - 1) sg
+    | Error _ as e -> e
+  in
   (* Returns the emitted kernels together with the rank the group settled
      at, so a later cross-kernel check can re-emit it from that rung
      without replaying (and re-recording) the degradations. *)
-  let rec emit_group ~p2 ~an ~scheds ~index r (g : Emit.group) :
+  let rec emit_group ~p2 ~an ~scheds ~subranks ~index r (g : Emit.group) :
       (Kernel_ir.kernel list * int, Diag.t) result =
     let subject =
       match g.Emit.g_tes with n :: _ -> n | [] -> "<empty group>"
@@ -323,19 +366,20 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
           (emit_and_verify ~p2 ~an ~scheds ~index r g')
       else begin
         (* below V3 a cooperative subprogram falls back to Ansor-style
-           separate kernels; at V0, to one kernel per TE *)
+           separate kernels (at V0, one kernel per TE), each with its own
+           {!emit_subgroup} ladder *)
         let tes = List.map (Program.find_te_exn p2) g.Emit.g_tes in
         let subgroups =
           if r >= 1 then ansor_groups_of_tes tes else singleton_groups tes
         in
-        let rec go i acc = function
-          | [] -> Ok (List.rev acc)
+        let rec go idx acc = function
+          | [] -> Ok (List.concat (List.rev acc))
           | sg :: rest -> (
-              match emit_and_verify ~p2 ~an ~scheds ~index:(index + i) r sg with
-              | Ok k -> go (i + 1) (k :: acc) rest
+              match emit_subgroup ~p2 ~an ~scheds ~subranks ~index:idx r sg with
+              | Ok ks -> go (idx + List.length ks) (ks :: acc) rest
               | Error _ as e -> e)
         in
-        go 0 [] subgroups
+        go index [] subgroups
       end
     in
     match attempt with
@@ -344,7 +388,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
         note d;
         record ~subject ~pass:d.Diag.pass ~from_rank:r ~to_rank:(r - 1)
           d.Diag.message;
-        emit_group ~p2 ~an ~scheds ~index (r - 1) g
+        emit_group ~p2 ~an ~scheds ~subranks ~index (r - 1) g
     | Error _ as e -> e
   in
   (* ---- the program-level ladder ---- *)
@@ -360,12 +404,13 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
          can be attributed back to its owning subprogram. *)
       let garr = Array.of_list groups in
       let ranks = Array.make (Array.length garr) r in
+      let subranks = Hashtbl.create 8 in
       let emit_all () =
         let rec go i idx acc =
           if i >= Array.length garr then Ok (List.rev acc)
           else
             match
-              emit_group ~p2 ~an ~scheds ~index:idx ranks.(i) garr.(i)
+              emit_group ~p2 ~an ~scheds ~subranks ~index:idx ranks.(i) garr.(i)
             with
             | Ok (ks, settled) ->
                 ranks.(i) <- settled;
@@ -556,3 +601,26 @@ let te_loop_nests ?(limit = 4) (r : report) : string =
            (Tir.of_te r.transformed te (Hashtbl.find r.scheds te.Te.name)))
   |> String.concat "\n"
 
+
+(* ---- compile-once artifact store ---- *)
+
+module Artifacts = struct
+  type t = (string * int, report) Hashtbl.t
+
+  let create () : t = Hashtbl.create 16
+  let key ~name ~level = (String.lowercase_ascii name, level_rank level)
+  let find (t : t) ~name ~level = Hashtbl.find_opt t (key ~name ~level)
+  let add (t : t) ~name ~level r = Hashtbl.replace t (key ~name ~level) r
+  let size : t -> int = Hashtbl.length
+
+  let get (t : t) ?(cfg = default_config) ?strict ~name
+      (gen : unit -> Program.t) : (report, Diag.t list) result =
+    match find t ~name ~level:cfg.level with
+    | Some r -> Ok r
+    | None -> (
+        match compile_result ~cfg ?strict (gen ()) with
+        | Ok r ->
+            add t ~name ~level:cfg.level r;
+            Ok r
+        | Error _ as e -> e)
+end

@@ -144,3 +144,28 @@ val cuda_source : report -> string
 val te_loop_nests : ?limit:int -> report -> string
 (** Per-TE TensorIR loop nests (tile loops bound to blockIdx/threadIdx,
     reduction splits, shared-memory staging) for the first [limit] TEs. *)
+
+(** Compile-once artifact store: reports memoized by (model name,
+    optimization level), shared across benchmark tables and serving
+    requests so each model is compiled exactly once per level. *)
+module Artifacts : sig
+  type t
+
+  val create : unit -> t
+  val find : t -> name:string -> level:level -> report option
+  val add : t -> name:string -> level:level -> report -> unit
+
+  val size : t -> int
+  (** Number of distinct (name, level) entries compiled so far. *)
+
+  val get :
+    t ->
+    ?cfg:config ->
+    ?strict:bool ->
+    name:string ->
+    (unit -> Program.t) ->
+    (report, Diag.t list) result
+  (** Cached compile: the stored report for (name, [cfg.level]) if present,
+      otherwise {!compile_result} on [gen ()], storing the result.  Model
+      names are case-insensitive, matching {!Zoo.find}. *)
+end

@@ -53,6 +53,10 @@ let mma_utilization t = if t.time_us <= 0. then 0. else t.mma_busy_us /. t.time_
 
 let mb bytes = float_of_int bytes /. 1.0e6
 
+(** A fresh, independent snapshot — lets per-request accounting reuse one
+    compiled artifact's counters without aliasing its mutable state. *)
+let copy t = { t with kernel_launches = t.kernel_launches }
+
 let add ~into b =
   into.kernel_launches <- into.kernel_launches + b.kernel_launches;
   into.grid_syncs <- into.grid_syncs + b.grid_syncs;

@@ -9,6 +9,7 @@
 type row = {
   r_kernel : string;       (** kernel name, [k<subprogram-index>_<head TE>] *)
   r_index : int;           (** position in launch order *)
+  r_stream : int option;   (** serving stream id when run multi-stream *)
   r_tes : string list;     (** TE names from the kernel's stage labels *)
   r_grid : int;
   r_threads : int;
@@ -26,13 +27,14 @@ let stage_tes (k : Kernel_ir.kernel) : string list =
       if List.mem s.Kernel_ir.label acc then acc else acc @ [ s.Kernel_ir.label ])
     [] k.Kernel_ir.stages
 
-let of_sim (sim : Sim.result) : row list =
+let of_sim ?stream (sim : Sim.result) : row list =
   List.mapi
     (fun i (kr : Sim.kernel_result) ->
       let k = kr.Sim.kernel in
       {
         r_kernel = k.Kernel_ir.kname;
         r_index = i;
+        r_stream = stream;
         r_tes = stage_tes k;
         r_grid = k.Kernel_ir.grid_blocks;
         r_threads = k.Kernel_ir.threads_per_block;
@@ -73,9 +75,14 @@ let row_to_json (r : row) : Jsonlite.t =
   let num f = Jsonlite.Num f in
   let int i = Jsonlite.Num (float_of_int i) in
   Jsonlite.Obj
-    [
-      ("kernel", Jsonlite.Str r.r_kernel);
-      ("index", int r.r_index);
+    ([
+       ("kernel", Jsonlite.Str r.r_kernel);
+       ("index", int r.r_index);
+     ]
+    @ (match r.r_stream with
+      | None -> []
+      | Some s -> [ ("stream", int s) ])
+    @ [
       ("tes", Jsonlite.Arr (List.map (fun t -> Jsonlite.Str t) r.r_tes));
       ("grid_blocks", int r.r_grid);
       ("threads_per_block", int r.r_threads);
@@ -96,7 +103,7 @@ let row_to_json (r : row) : Jsonlite.t =
       ("lsu_utilization", num (Counters.lsu_utilization c));
       ("fma_utilization", num (Counters.fma_utilization c));
       ("mma_utilization", num (Counters.mma_utilization c));
-    ]
+    ])
 
 (** The whole report as JSON: [meta] carries compile-level identity
     (model, optimization level, device) the rows themselves don't know. *)

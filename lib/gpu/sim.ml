@@ -30,9 +30,20 @@ let smem_bw_gbps (dev : Device.t) = dev.Device.dram_bw_gbps *. 10.
    serialization. *)
 let stage_floor_us = 0.30
 
+(* Everything one stage evaluation produces beyond its counters: the solo
+   time, whether compute or memory dominated, and the DRAM-facing pieces the
+   multi-stream contention model needs (bytes on the bus, time attributable
+   to the bus). *)
+type stage_eval = {
+  se_us : float;
+  se_kind : [ `Compute | `Memory ];
+  se_dram_bytes : int;  (** global read + write + atomic traffic *)
+  se_dram_us : float;   (** portion of [se_us]'s body limited by DRAM *)
+}
+
 let run_stage (dev : Device.t) ~(waves : int) ~(kernel_grid : int)
     ~(library_call : bool) (s : Kernel_ir.stage) (c : Counters.t) :
-    float * [ `Compute | `Memory ] =
+    stage_eval =
   (* Under-occupancy: a stage whose grid leaves SMs idle cannot reach peak
      arithmetic throughput (one block per SM minimum) nor full DRAM
      bandwidth (memory parallelism saturates at roughly a quarter of the
@@ -113,7 +124,12 @@ let run_stage (dev : Device.t) ~(waves : int) ~(kernel_grid : int)
   c.Counters.fma_busy_us <- c.Counters.fma_busy_us +. fma_us +. sfu_us;
   c.Counters.mma_busy_us <- c.Counters.mma_busy_us +. mma_us;
   let kind = if mma_us +. fma_us > mem_us then `Compute else `Memory in
-  (stage_us, kind)
+  {
+    se_us = stage_us;
+    se_kind = kind;
+    se_dram_bytes = !ldg + !stg + !atomic;
+    se_dram_us = dram_us +. atomic_us;
+  }
 
 let run_kernel (dev : Device.t) (k : Kernel_ir.kernel) : kernel_result =
   let c = Counters.create () in
@@ -126,13 +142,13 @@ let run_kernel (dev : Device.t) (k : Kernel_ir.kernel) : kernel_result =
   let compute_us = ref 0. and memory_us = ref 0. in
   List.iter
     (fun s ->
-      let us, kind =
+      let ev =
         run_stage dev ~waves ~kernel_grid:k.Kernel_ir.grid_blocks
           ~library_call:k.Kernel_ir.library_call s c
       in
-      match kind with
-      | `Compute -> compute_us := !compute_us +. us
-      | `Memory -> memory_us := !memory_us +. us)
+      match ev.se_kind with
+      | `Compute -> compute_us := !compute_us +. ev.se_us
+      | `Memory -> memory_us := !memory_us +. ev.se_us)
     k.Kernel_ir.stages;
   { kernel = k; kcounters = c; compute_us = !compute_us; memory_us = !memory_us }
 
@@ -183,3 +199,365 @@ let run_result (dev : Device.t) (p : Kernel_ir.prog) :
   Diag.guard ~subject:p.Kernel_ir.pname Diag.Simulate (fun () ->
       Faultinject.trip ~subject:p.Kernel_ir.pname Diag.Simulate;
       run dev p)
+
+(* ------------------------------------------------------------------ *)
+(* Multi-stream execution: time-sharing the device between programs    *)
+(* ------------------------------------------------------------------ *)
+
+(** One stage of a kernel as the multi-stream scheduler sees it: its solo
+    execution time (exactly what {!run_stage} computes for a lone program)
+    plus its standing resource claims — how many SMs its resident blocks
+    occupy and what fraction of peak DRAM bandwidth it consumes when it has
+    the device to itself. *)
+type stage_profile = {
+  sp_label : string;
+  sp_us : float;       (** solo stage time, grid syncs included *)
+  sp_demand : int;     (** SMs occupied by the resident grid *)
+  sp_bw_frac : float;  (** solo DRAM bandwidth as a fraction of device peak *)
+  sp_mem_frac : float; (** fraction of [sp_us] attributable to DRAM traffic *)
+}
+
+type kernel_profile = {
+  kp_name : string;
+  kp_launch_us : float;
+  kp_cooperative : bool;  (** grid-synchronizing: whole grid stays resident *)
+  kp_stages : stage_profile list;
+  kp_solo_us : float;     (** launch + stages, {!run_kernel}'s association *)
+}
+
+let profile_kernel (dev : Device.t) (k : Kernel_ir.kernel) : kernel_profile =
+  let u = Kernel_ir.usage k in
+  let grid = k.Kernel_ir.grid_blocks in
+  let waves = Occupancy.waves dev u ~grid_blocks:grid in
+  let bps = Occupancy.blocks_per_sm dev u in
+  (* SMs hosting the kernel's resident blocks: a grid larger than one wave
+     keeps the whole device busy cycling waves; a small grid (or a
+     cooperative launch, whose entire grid must stay resident between
+     grid.syncs) pins down only the SMs it actually needs.  Vendor library
+     calls pick their own device-wide parallelization. *)
+  let demand =
+    if k.Kernel_ir.library_call || bps <= 0 then dev.Device.num_sms
+    else min dev.Device.num_sms ((max 1 grid + bps - 1) / bps)
+  in
+  let stages =
+    List.map
+      (fun (s : Kernel_ir.stage) ->
+        let ev =
+          run_stage dev ~waves ~kernel_grid:grid
+            ~library_call:k.Kernel_ir.library_call s (Counters.create ())
+        in
+        {
+          sp_label = s.Kernel_ir.label;
+          sp_us = ev.se_us;
+          sp_demand = demand;
+          sp_bw_frac =
+            (if ev.se_us <= 0. then 0.
+             else
+               float_of_int ev.se_dram_bytes
+               /. (dev.Device.dram_bw_gbps *. 1e3 *. ev.se_us));
+          sp_mem_frac =
+            (if ev.se_us <= 0. then 0.
+             else Float.min 1. (ev.se_dram_us /. ev.se_us));
+        })
+      k.Kernel_ir.stages
+  in
+  {
+    kp_name = k.Kernel_ir.kname;
+    kp_launch_us = dev.Device.kernel_launch_us;
+    kp_cooperative = Kernel_ir.num_grid_syncs k > 0;
+    kp_stages = stages;
+    kp_solo_us =
+      List.fold_left
+        (fun a sp -> a +. sp.sp_us)
+        dev.Device.kernel_launch_us stages;
+  }
+
+let profile_prog (dev : Device.t) (p : Kernel_ir.prog) : kernel_profile list =
+  List.map (profile_kernel dev) p.Kernel_ir.kernels
+
+(** Solo end-to-end latency of a profiled program — bit-identical to
+    [({!run} dev prog).total.time_us] because both accumulate the same
+    per-stage floats in the same order. *)
+let solo_time_us (profs : kernel_profile list) : float =
+  List.fold_left (fun a kp -> a +. kp.kp_solo_us) 0. profs
+
+(** Event-driven multi-stream scheduler.  A stream is one compiled
+    program's kernel launch queue; the engine advances every active stream
+    from event to event (kernel launched, stage finished, kernel retired),
+    stretching each resident stage by the contention of the moment:
+
+    - SM pressure: with [D = Σ demand] SMs asked for by resident kernels,
+      every stage runs [max 1 (D / num_sms)] times slower — time-sliced
+      proportional sharing, which also models two cooperative kernels
+      gang-scheduled past each other.
+    - DRAM pressure: with [B = Σ bw_frac] of peak bandwidth demanded solo,
+      the residual demand after SM time-slicing is [B / sm_slow]; the
+      memory-bound fraction of each stage stretches by [max 1 (B / sm_slow)].
+
+    A stage's remaining work is tracked in solo-microseconds and only
+    re-segmented when its stretch actually changes, so an uncontended
+    stream accumulates exactly its solo per-stage floats: one stream in
+    the engine reproduces {!solo_time_us} bit for bit.  Cooperative
+    kernels never yield SMs mid-kernel (their grid stays resident), which
+    makes them barriers on their own stream only — other streams keep
+    executing against them. *)
+module Multi = struct
+  (* one constant-stretch segment of the current launch/stage phase *)
+  type seg = {
+    mutable g_left : float;     (* solo-us remaining at segment start *)
+    mutable g_stretch : float;
+    mutable g_start : float;    (* absolute time the segment started *)
+    mutable g_deadline : float; (* g_start + g_left * g_stretch *)
+    mutable g_acc : float;      (* actual us spent in earlier segments *)
+  }
+
+  let mkseg ~now ~left =
+    {
+      g_left = left;
+      g_stretch = 1.0;
+      g_start = now;
+      g_deadline = now +. left;
+      g_acc = 0.;
+    }
+
+  (* actual wall time of the whole phase, evaluated at its deadline *)
+  let seg_total g = g.g_acc +. (g.g_left *. g.g_stretch)
+
+  type phase =
+    | Launching of { prof : kernel_profile; seg : seg }
+    | Executing of {
+        prof : kernel_profile;
+        mutable todo : stage_profile list;  (* head = current stage *)
+        seg : seg;
+      }
+    | Drained
+
+  type stream = {
+    st_id : int;
+    st_label : string;
+    st_start_us : float;
+    mutable st_queue : kernel_profile list;
+    mutable st_phase : phase;
+    mutable st_kelapsed : float;  (* wall us inside the current kernel *)
+    mutable st_kstart : float;
+    mutable st_service_us : float;
+    mutable st_slices : (string * float * float) list;  (* reverse order *)
+    mutable st_finish_us : float option;
+  }
+
+  (** One slice of the occupancy timeline: between two scheduler events,
+      [sa_resident] streams had a kernel on the device asking for
+      [sa_sm_demand] SMs and [sa_bw_demand] of peak DRAM bandwidth. *)
+  type sample = {
+    sa_start_us : float;
+    sa_dur_us : float;
+    sa_resident : int;
+    sa_sm_demand : int;
+    sa_bw_demand : float;
+  }
+
+  type t = {
+    mdev : Device.t;
+    mutable mnow : float;
+    mutable mnext : int;
+    mutable mstreams : stream list;  (* reverse launch order *)
+    mutable msamples : sample list;  (* reverse time order *)
+  }
+
+  let create (dev : Device.t) : t =
+    { mdev = dev; mnow = 0.; mnext = 0; mstreams = []; msamples = [] }
+
+  let now_us t = t.mnow
+  let streams t = List.rev t.mstreams
+  let samples t = List.rev t.msamples
+  let kernel_slices (s : stream) = List.rev s.st_slices
+
+  let active t = List.filter (fun s -> s.st_finish_us = None) (streams t)
+
+  let current_stage (s : stream) : stage_profile option =
+    match s.st_phase with
+    | Executing { todo = sp :: _; _ } -> Some sp
+    | _ -> None
+
+  (* standing claims of every resident (executing) kernel *)
+  let demands (ss : stream list) : int * float =
+    List.fold_left
+      (fun (d, b) s ->
+        match current_stage s with
+        | Some sp -> (d + sp.sp_demand, b +. sp.sp_bw_frac)
+        | None -> (d, b))
+      (0, 0.) ss
+
+  let deadline_of (s : stream) : float =
+    match s.st_phase with
+    | Launching { seg; _ } | Executing { seg; _ } -> seg.g_deadline
+    | Drained -> infinity
+
+  (* fold the segment's progress up to [now], then continue at [stretch];
+     a no-op when the stretch is unchanged, so uncontended phases keep
+     their exact solo floats *)
+  let reseg ~now (g : seg) ~stretch =
+    if stretch <> g.g_stretch then begin
+      let ran = now -. g.g_start in
+      g.g_acc <- g.g_acc +. ran;
+      g.g_left <- Float.max 0. (g.g_left -. (ran /. g.g_stretch));
+      g.g_stretch <- stretch;
+      g.g_start <- now;
+      g.g_deadline <- now +. (g.g_left *. stretch)
+    end
+
+  (* recompute every executing stream's stretch from the resident set *)
+  let restretch t =
+    let ss = active t in
+    let d, b = demands ss in
+    let sms = float_of_int t.mdev.Device.num_sms in
+    let sm_slow = Float.max 1. (float_of_int d /. sms) in
+    (* a stream already time-sliced [sm_slow]x issues its memory traffic
+       that much slower, so DRAM pressure is the *residual* demand after
+       SM sharing — compounding the solo demands would double-count and
+       make the device non-work-conserving (N identical streams slower
+       than serial) *)
+    let bw_over = Float.max 1. (b /. sm_slow) in
+    List.iter
+      (fun s ->
+        match s.st_phase with
+        | Executing ({ todo = sp :: _; _ } as e) ->
+            reseg ~now:t.mnow e.seg
+              ~stretch:(sm_slow *. (1. +. (sp.sp_mem_frac *. (bw_over -. 1.))))
+        | _ -> ())
+      ss
+
+  let next_kernel t (s : stream) =
+    match s.st_queue with
+    | [] ->
+        s.st_phase <- Drained;
+        (* dispatch + on-device time, not the engine clock: the global
+           clock is a flat running sum whose float association differs
+           from {!solo_time_us}'s per-kernel grouping, while
+           [st_service_us] accumulates in exactly that grouping — this
+           keeps an uncontended stream's finish bit-identical to solo *)
+        s.st_finish_us <- Some (s.st_start_us +. s.st_service_us)
+    | kp :: rest ->
+        s.st_queue <- rest;
+        s.st_kelapsed <- 0.;
+        s.st_kstart <- t.mnow;
+        s.st_phase <-
+          Launching { prof = kp; seg = mkseg ~now:t.mnow ~left:kp.kp_launch_us }
+
+  let retire_kernel t (s : stream) (prof : kernel_profile) =
+    s.st_slices <- (prof.kp_name, s.st_kstart, t.mnow) :: s.st_slices;
+    s.st_service_us <- s.st_service_us +. s.st_kelapsed;
+    next_kernel t s
+
+  (* the stream's deadline was reached: cross into the next phase *)
+  let cross t (s : stream) =
+    match s.st_phase with
+    | Launching { prof; seg } -> (
+        s.st_kelapsed <- s.st_kelapsed +. seg_total seg;
+        match prof.kp_stages with
+        | [] -> retire_kernel t s prof
+        | sp :: _ as stages ->
+            s.st_phase <-
+              Executing { prof; todo = stages; seg = mkseg ~now:t.mnow ~left:sp.sp_us })
+    | Executing ({ prof; seg; _ } as e) -> (
+        s.st_kelapsed <- s.st_kelapsed +. seg_total seg;
+        match e.todo with
+        | _ :: (sp :: _ as rest) ->
+            e.todo <- rest;
+            seg.g_left <- sp.sp_us;
+            seg.g_stretch <- 1.0;
+            seg.g_start <- t.mnow;
+            seg.g_deadline <- t.mnow +. sp.sp_us;
+            seg.g_acc <- 0.
+        | _ -> retire_kernel t s prof)
+    | Drained -> ()
+
+  let launch t ?(label = "") (profs : kernel_profile list) : stream =
+    let s =
+      {
+        st_id = t.mnext;
+        st_label = label;
+        st_start_us = t.mnow;
+        st_queue = profs;
+        st_phase = Drained;
+        st_kelapsed = 0.;
+        st_kstart = t.mnow;
+        st_service_us = 0.;
+        st_slices = [];
+        st_finish_us = None;
+      }
+    in
+    t.mnext <- t.mnext + 1;
+    t.mstreams <- s :: t.mstreams;
+    next_kernel t s;
+    s
+
+  let record_sample t (ss : stream list) ~til =
+    let dt = til -. t.mnow in
+    if dt > 0. then begin
+      let d, b = demands ss in
+      let resident =
+        List.length
+          (List.filter (fun s -> Option.is_some (current_stage s)) ss)
+      in
+      t.msamples <-
+        {
+          sa_start_us = t.mnow;
+          sa_dur_us = dt;
+          sa_resident = resident;
+          sa_sm_demand = d;
+          sa_bw_demand = b;
+        }
+        :: t.msamples
+    end
+
+  (* one scheduler event: advance to the earliest phase deadline (or to
+     [until], whichever is first) and process every boundary reached *)
+  let step t ~until =
+    match active t with
+    | [] ->
+        if until = infinity then `Idle
+        else begin
+          if until > t.mnow then t.mnow <- until;
+          `Reached
+        end
+    | ss ->
+        let next =
+          List.fold_left (fun a s -> Float.min a (deadline_of s)) infinity ss
+        in
+        if until < next then begin
+          record_sample t ss ~til:until;
+          if until > t.mnow then t.mnow <- until;
+          `Reached
+        end
+        else begin
+          record_sample t ss ~til:next;
+          if next > t.mnow then t.mnow <- next;
+          let crossing = List.filter (fun s -> deadline_of s <= t.mnow) ss in
+          List.iter (cross t) crossing;
+          restretch t;
+          `Crossed (List.filter (fun s -> s.st_finish_us <> None) crossing)
+        end
+
+  (** Advance simulated time.  Returns when the first stream completes
+      ([`Completed], possibly several at the same instant), when [until]
+      is reached with streams still running ([`Reached]), or — only with
+      [until = infinity] — when no stream is active ([`Idle]). *)
+  let advance t ~until =
+    let rec go () =
+      if t.mnow >= until then `Reached
+      else
+        match step t ~until with
+        | `Idle -> `Idle
+        | `Reached -> `Reached
+        | `Crossed [] -> go ()
+        | `Crossed done_ -> `Completed done_
+    in
+    go ()
+
+  (** Run every launched stream to completion. *)
+  let rec drain t =
+    match advance t ~until:infinity with
+    | `Idle | `Reached -> ()
+    | `Completed _ -> drain t
+end

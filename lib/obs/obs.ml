@@ -94,6 +94,28 @@ let record_result (f : unit -> ('a, 'e) result) :
   | Ok v, t -> Ok (v, t)
   | Error e, _ -> Error e
 
+(* ---- synthetic traces ---- *)
+
+(** A span from already-known timing — for traces assembled out of
+    *simulated* time rather than the recorded wall clock (the serving
+    layer's per-stream timelines).  A ["tid"] metadata entry places the
+    span on that numbered row of the Chrome-trace export. *)
+let make_span ?(meta = []) ?(children = []) ~start_us ~dur_us (name : string)
+    : span =
+  { sname = name; start_us; dur_us; meta; children }
+
+(** Package synthetic spans as a trace; [wall_us] defaults to the latest
+    span end. *)
+let trace_of ?wall_us (spans : span list) : trace =
+  let wall =
+    match wall_us with
+    | Some w -> w
+    | None ->
+        List.fold_left (fun a s -> Float.max a (s.start_us +. s.dur_us)) 0.
+          spans
+  in
+  { spans; wall_us = wall }
+
 (* ---- queries ---- *)
 
 let rec span_count_of (s : span) =
@@ -143,14 +165,24 @@ let pp_tree ppf (t : trace) =
 
 (** The trace as Chrome's JSON Array Format wrapped in the standard
     [{"traceEvents": [...]}] object: one complete ("ph":"X") event per
-    span, microsecond timestamps, span metadata under ["args"].  Load the
-    file in [chrome://tracing] or {{:https://ui.perfetto.dev}Perfetto}. *)
+    span, microsecond timestamps, span metadata under ["args"].  A span
+    whose metadata carries a numeric ["tid"] is emitted on that thread row
+    (how the serving layer gives each concurrency lane its own swimlane);
+    everything else lands on row 1.  Load the file in [chrome://tracing]
+    or {{:https://ui.perfetto.dev}Perfetto}. *)
 let to_chrome_json (t : trace) : string =
   let events = ref [] in
   iter
     (fun s ~depth:_ ->
+      let tid =
+        match List.assoc_opt "tid" s.meta with
+        | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 1.)
+        | None -> 1.
+      in
       let args =
-        List.map (fun (k, v) -> (k, Jsonlite.Str v)) s.meta
+        List.filter_map
+          (fun (k, v) -> if k = "tid" then None else Some (k, Jsonlite.Str v))
+          s.meta
       in
       events :=
         Jsonlite.Obj
@@ -161,7 +193,7 @@ let to_chrome_json (t : trace) : string =
             ("ts", Jsonlite.Num s.start_us);
             ("dur", Jsonlite.Num s.dur_us);
             ("pid", Jsonlite.Num 1.);
-            ("tid", Jsonlite.Num 1.);
+            ("tid", Jsonlite.Num tid);
             ("args", Jsonlite.Obj args);
           ]
         :: !events)

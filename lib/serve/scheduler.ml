@@ -1,0 +1,203 @@
+(** Admission and dispatch on top of {!Sim.Multi}.
+
+    The scheduler owns the request queue: arrivals enter a pending queue,
+    and whenever a concurrency slot is free the configured policy picks the
+    next request and launches its compiled artifact as a stream on the
+    multi-stream engine.  Policies:
+
+    - [Fifo]: strict arrival order.
+    - [Sel]: shortest expected latency first — the estimate is the
+      artifact's simulated *solo* latency, which the compiler already
+      produced for free; ties keep arrival order.
+
+    [max_streams] bounds how many requests may share the device at once
+    (the serving concurrency knob); everything else queues. *)
+
+type policy = Fifo | Sel
+
+let policy_to_string = function Fifo -> "fifo" | Sel -> "sel"
+
+let policy_of_string = function
+  | "fifo" -> Some Fifo
+  | "sel" | "shortest" -> Some Sel
+  | _ -> None
+
+type cfg = {
+  policy : policy;
+  max_streams : int;  (** concurrency bound, >= 1 *)
+}
+
+(** One compiled, reusable inference program: the unit the serving layer
+    shares across every request for the same model. *)
+type artifact = {
+  art_model : string;
+  art_profiles : Sim.kernel_profile list;
+  art_solo_us : float;     (** simulated solo latency (the SEL estimate) *)
+  art_counters : Counters.t;  (** solo per-request traffic *)
+  art_degraded : int;      (** degradation steps its compile took *)
+}
+
+(** Build an artifact straight from a compiled kernel program (runs the
+    solo simulation once for the counters). *)
+let artifact_of_prog (dev : Device.t) ~model ?(degraded = 0)
+    (prog : Kernel_ir.prog) : artifact =
+  let profiles = Sim.profile_prog dev prog in
+  let sim = Sim.run dev prog in
+  {
+    art_model = model;
+    art_profiles = profiles;
+    art_solo_us = Sim.solo_time_us profiles;
+    art_counters = Counters.copy sim.Sim.total;
+    art_degraded = degraded;
+  }
+
+type completed = {
+  c_req : Workload.request;
+  c_model : string;
+  c_stream : int;        (** engine stream id (unique per request) *)
+  c_slot : int;          (** concurrency lane, [0 .. max_streams-1] *)
+  c_dispatch_us : float;
+  c_finish_us : float;
+  c_service_us : float;  (** on-device time, queueing excluded *)
+  c_solo_us : float;
+  c_bytes : int;         (** solo global-memory traffic of the request *)
+  c_slices : (string * float * float) list;
+      (** per-kernel (name, start, end) under contention *)
+}
+
+(** Latency including queueing: finish minus arrival. *)
+let latency_us (c : completed) = c.c_finish_us -. c.c_req.Workload.rq_arrival_us
+
+type outcome = {
+  o_policy : policy;
+  o_max_streams : int;
+  o_completed : completed list;        (** completion order *)
+  o_samples : Sim.Multi.sample list;   (** SM/bandwidth occupancy timeline *)
+  o_makespan_us : float;               (** time of the last completion *)
+}
+
+let rec insert_sorted x = function
+  | [] -> [ x ]
+  | y :: _ as l when x <= y -> x :: l
+  | y :: rest -> y :: insert_sorted x rest
+
+(** Serve [reqs] against [artifacts] on a fresh engine.  Deterministic:
+    identical inputs produce identical outcomes.
+    @raise Invalid_argument on an unknown model or [max_streams < 1]. *)
+let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
+    (reqs : Workload.request list) : outcome =
+  if cfg.max_streams < 1 then invalid_arg "Scheduler.run: max_streams < 1";
+  let tbl = Hashtbl.create 8 in
+  List.iter
+    (fun a -> Hashtbl.replace tbl (String.lowercase_ascii a.art_model) a)
+    artifacts;
+  let art_of (model : string) =
+    match Hashtbl.find_opt tbl (String.lowercase_ascii model) with
+    | Some a -> a
+    | None -> invalid_arg (Fmt.str "Scheduler.run: no artifact for model %s" model)
+  in
+  (* fail on unknown models before any simulated time passes *)
+  List.iter (fun (r : Workload.request) -> ignore (art_of r.Workload.rq_model)) reqs;
+  let upcoming =
+    ref
+      (List.stable_sort
+         (fun (a : Workload.request) b ->
+           compare a.Workload.rq_arrival_us b.Workload.rq_arrival_us)
+         reqs)
+  in
+  let queue = ref [] (* arrived, undispatched; arrival order *) in
+  let m = Sim.Multi.create dev in
+  let inflight : (int, Workload.request * artifact * int * float) Hashtbl.t =
+    Hashtbl.create 16
+  in
+  let free_slots = ref (List.init cfg.max_streams Fun.id) in
+  let completed = ref [] in
+  let absorb () =
+    let rec go () =
+      match !upcoming with
+      | (r : Workload.request) :: rest
+        when r.Workload.rq_arrival_us <= Sim.Multi.now_us m ->
+          queue := !queue @ [ r ];
+          upcoming := rest;
+          go ()
+      | _ -> ()
+    in
+    go ()
+  in
+  let pick () =
+    match cfg.policy with
+    | Fifo -> List.hd !queue
+    | Sel ->
+        List.fold_left
+          (fun (best : Workload.request) (r : Workload.request) ->
+            if
+              (art_of r.Workload.rq_model).art_solo_us
+              < (art_of best.Workload.rq_model).art_solo_us
+            then r
+            else best)
+          (List.hd !queue) (List.tl !queue)
+  in
+  let dispatch () =
+    while !queue <> [] && !free_slots <> [] do
+      let rq = pick () in
+      queue :=
+        List.filter
+          (fun (r : Workload.request) -> r.Workload.rq_id <> rq.Workload.rq_id)
+          !queue;
+      let slot = List.hd !free_slots in
+      free_slots := List.tl !free_slots;
+      let art = art_of rq.Workload.rq_model in
+      let st =
+        Sim.Multi.launch m
+          ~label:(Fmt.str "%s#%d" art.art_model rq.Workload.rq_id)
+          art.art_profiles
+      in
+      Hashtbl.replace inflight st.Sim.Multi.st_id
+        (rq, art, slot, Sim.Multi.now_us m)
+    done
+  in
+  let on_complete (st : Sim.Multi.stream) =
+    let rq, art, slot, disp = Hashtbl.find inflight st.Sim.Multi.st_id in
+    Hashtbl.remove inflight st.Sim.Multi.st_id;
+    free_slots := insert_sorted slot !free_slots;
+    completed :=
+      {
+        c_req = rq;
+        c_model = art.art_model;
+        c_stream = st.Sim.Multi.st_id;
+        c_slot = slot;
+        c_dispatch_us = disp;
+        c_finish_us = Option.get st.Sim.Multi.st_finish_us;
+        c_service_us = st.Sim.Multi.st_service_us;
+        c_solo_us = art.art_solo_us;
+        c_bytes = Counters.global_transfer_bytes art.art_counters;
+        c_slices = Sim.Multi.kernel_slices st;
+      }
+      :: !completed
+  in
+  let rec loop () =
+    absorb ();
+    dispatch ();
+    if Hashtbl.length inflight = 0 && !queue = [] && !upcoming = [] then ()
+    else begin
+      let until =
+        match !upcoming with
+        | [] -> infinity
+        | (r : Workload.request) :: _ -> r.Workload.rq_arrival_us
+      in
+      match Sim.Multi.advance m ~until with
+      | `Reached -> loop ()
+      | `Idle -> () (* unreachable: nothing active implies nothing pending *)
+      | `Completed ss ->
+          List.iter on_complete ss;
+          loop ()
+    end
+  in
+  loop ();
+  {
+    o_policy = cfg.policy;
+    o_max_streams = cfg.max_streams;
+    o_completed = List.rev !completed;
+    o_samples = Sim.Multi.samples m;
+    o_makespan_us = Sim.Multi.now_us m;
+  }

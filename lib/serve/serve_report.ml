@@ -1,0 +1,201 @@
+(** Per-request latency accounting over a {!Scheduler.outcome}: tail
+    percentiles, throughput, slowdown versus solo execution, the
+    time-weighted SM/bandwidth occupancy, plus machine-readable JSON and a
+    stream-aware Chrome trace (one swimlane per concurrency slot). *)
+
+type summary = {
+  s_requests : int;
+  s_offered_rps : float;     (** arrival rate over the arrival window *)
+  s_throughput_rps : float;  (** completions over [first arrival, last finish] *)
+  s_p50_ms : float;
+  s_p95_ms : float;
+  s_p99_ms : float;
+  s_mean_ms : float;
+  s_max_ms : float;          (** all latencies include queueing *)
+  s_mean_service_ms : float; (** on-device time only *)
+  s_mean_slowdown : float;   (** service / solo, 1.0 = no contention *)
+  s_makespan_ms : float;
+  s_avg_sm_demand : float;   (** time-weighted SMs demanded over the window *)
+  s_avg_resident : float;    (** time-weighted co-resident streams *)
+  s_peak_resident : int;
+  s_dram_gb : float;         (** solo global-memory traffic served *)
+}
+
+(** Nearest-rank percentile; [nan] on an empty list. *)
+let percentile (xs : float list) (p : float) : float =
+  match List.sort compare xs with
+  | [] -> nan
+  | sorted ->
+      let n = List.length sorted in
+      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+
+let summarize (o : Scheduler.outcome) : summary =
+  let cs = o.Scheduler.o_completed in
+  let n = List.length cs in
+  let lat_ms =
+    List.map (fun c -> Scheduler.latency_us c /. 1e3) cs
+  in
+  let sum = List.fold_left ( +. ) 0. in
+  let arrivals =
+    List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_arrival_us) cs
+  in
+  let first_arrival = List.fold_left Float.min infinity arrivals in
+  let last_arrival = List.fold_left Float.max 0. arrivals in
+  let last_finish =
+    List.fold_left
+      (fun a (c : Scheduler.completed) -> Float.max a c.Scheduler.c_finish_us)
+      0. cs
+  in
+  let window_us = last_finish -. Float.min first_arrival last_finish in
+  let arrival_window_us = last_arrival -. Float.min first_arrival last_arrival in
+  let fn = float_of_int n in
+  let wsum f =
+    List.fold_left
+      (fun a (s : Sim.Multi.sample) -> a +. (s.Sim.Multi.sa_dur_us *. f s))
+      0. o.Scheduler.o_samples
+  in
+  {
+    s_requests = n;
+    s_offered_rps =
+      (if arrival_window_us > 0. then (fn -. 1.) /. (arrival_window_us /. 1e6)
+       else 0.);
+    s_throughput_rps =
+      (if window_us > 0. then fn /. (window_us /. 1e6) else 0.);
+    s_p50_ms = percentile lat_ms 50.;
+    s_p95_ms = percentile lat_ms 95.;
+    s_p99_ms = percentile lat_ms 99.;
+    s_mean_ms = (if n = 0 then nan else sum lat_ms /. fn);
+    s_max_ms = List.fold_left Float.max 0. lat_ms;
+    s_mean_service_ms =
+      (if n = 0 then nan
+       else
+         sum (List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_service_us) cs)
+         /. fn /. 1e3);
+    s_mean_slowdown =
+      (if n = 0 then nan
+       else
+         sum
+           (List.map
+              (fun (c : Scheduler.completed) ->
+                if c.Scheduler.c_solo_us > 0. then
+                  c.Scheduler.c_service_us /. c.Scheduler.c_solo_us
+                else 1.)
+              cs)
+         /. fn);
+    s_makespan_ms = o.Scheduler.o_makespan_us /. 1e3;
+    s_avg_sm_demand =
+      (if window_us > 0. then
+         wsum (fun s -> float_of_int s.Sim.Multi.sa_sm_demand) /. window_us
+       else 0.);
+    s_avg_resident =
+      (if window_us > 0. then
+         wsum (fun s -> float_of_int s.Sim.Multi.sa_resident) /. window_us
+       else 0.);
+    s_peak_resident =
+      List.fold_left
+        (fun a (s : Sim.Multi.sample) -> max a s.Sim.Multi.sa_resident)
+        0 o.Scheduler.o_samples;
+    s_dram_gb =
+      float_of_int
+        (List.fold_left
+           (fun a (c : Scheduler.completed) -> a + c.Scheduler.c_bytes)
+           0 cs)
+      /. 1e9;
+  }
+
+let pp_summary ppf (s : summary) =
+  Fmt.pf ppf
+    "@[<v>requests: %d  (offered %.1f rps, served %.1f rps)@,\
+     latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f@,\
+     service: mean %.3f ms, slowdown x%.2f vs solo@,\
+     makespan: %.3f ms, DRAM served: %.3f GB@,\
+     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)@]"
+    s.s_requests s.s_offered_rps s.s_throughput_rps s.s_p50_ms s.s_p95_ms
+    s.s_p99_ms s.s_mean_ms s.s_max_ms s.s_mean_service_ms s.s_mean_slowdown
+    s.s_makespan_ms s.s_dram_gb s.s_avg_sm_demand s.s_avg_resident
+    s.s_peak_resident
+
+let summary_json (s : summary) : Jsonlite.t =
+  let num n v = (n, Jsonlite.Num v) in
+  Jsonlite.Obj
+    [
+      num "requests" (float_of_int s.s_requests);
+      num "offered_rps" s.s_offered_rps;
+      num "throughput_rps" s.s_throughput_rps;
+      num "p50_ms" s.s_p50_ms;
+      num "p95_ms" s.s_p95_ms;
+      num "p99_ms" s.s_p99_ms;
+      num "mean_ms" s.s_mean_ms;
+      num "max_ms" s.s_max_ms;
+      num "mean_service_ms" s.s_mean_service_ms;
+      num "mean_slowdown" s.s_mean_slowdown;
+      num "makespan_ms" s.s_makespan_ms;
+      num "avg_sm_demand" s.s_avg_sm_demand;
+      num "avg_resident" s.s_avg_resident;
+      num "peak_resident" (float_of_int s.s_peak_resident);
+      num "dram_gb" s.s_dram_gb;
+    ]
+
+let completed_json (c : Scheduler.completed) : Jsonlite.t =
+  let num n v = (n, Jsonlite.Num v) in
+  Jsonlite.Obj
+    [
+      num "id" (float_of_int c.Scheduler.c_req.Workload.rq_id);
+      ("model", Jsonlite.Str c.Scheduler.c_model);
+      num "stream" (float_of_int c.Scheduler.c_stream);
+      num "slot" (float_of_int c.Scheduler.c_slot);
+      num "arrival_us" c.Scheduler.c_req.Workload.rq_arrival_us;
+      num "dispatch_us" c.Scheduler.c_dispatch_us;
+      num "finish_us" c.Scheduler.c_finish_us;
+      num "latency_us" (Scheduler.latency_us c);
+      num "service_us" c.Scheduler.c_service_us;
+      num "solo_us" c.Scheduler.c_solo_us;
+    ]
+
+(** The whole outcome as JSON: configuration, summary, and one record per
+    completed request (the latency sample set behind the percentiles). *)
+let outcome_json ?(label = "") (o : Scheduler.outcome) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("label", Jsonlite.Str label);
+      ("policy", Jsonlite.Str (Scheduler.policy_to_string o.Scheduler.o_policy));
+      ("max_streams", Jsonlite.Num (float_of_int o.Scheduler.o_max_streams));
+      ("summary", summary_json (summarize o));
+      ( "requests",
+        Jsonlite.Arr (List.map completed_json o.Scheduler.o_completed) );
+    ]
+
+(** Stream-aware Chrome trace: one swimlane (thread row) per concurrency
+    slot; each request is a complete-event span from arrival to finish with
+    its contended kernel slices as children on the same lane. *)
+let chrome_trace (o : Scheduler.outcome) : Obs.trace =
+  let spans =
+    List.map
+      (fun (c : Scheduler.completed) ->
+        let tid = string_of_int (c.Scheduler.c_slot + 1) in
+        let children =
+          List.map
+            (fun (kname, a, b) ->
+              Obs.make_span ~meta:[ ("tid", tid) ] ~start_us:a
+                ~dur_us:(b -. a) kname)
+            c.Scheduler.c_slices
+        in
+        Obs.make_span
+          ~meta:
+            [
+              ("tid", tid);
+              ("model", c.Scheduler.c_model);
+              ("stream", string_of_int c.Scheduler.c_stream);
+              ( "queued_us",
+                Fmt.str "%.3f"
+                  (c.Scheduler.c_dispatch_us
+                  -. c.Scheduler.c_req.Workload.rq_arrival_us) );
+            ]
+          ~children
+          ~start_us:c.Scheduler.c_req.Workload.rq_arrival_us
+          ~dur_us:(Scheduler.latency_us c)
+          (Fmt.str "%s#%d" c.Scheduler.c_model c.Scheduler.c_req.Workload.rq_id))
+      o.Scheduler.o_completed
+  in
+  Obs.trace_of ~wall_us:o.Scheduler.o_makespan_us spans

@@ -1,0 +1,69 @@
+(** Deterministic open-loop workload generator for the serving layer.
+
+    Requests arrive by a Poisson process (exponential inter-arrival gaps at
+    the offered rate) and draw their model from a weighted mix.  Everything
+    is derived from one splitmix64 {!Rng} seed, so the same
+    (seed, rate, mix) triple always produces byte-identical workloads —
+    the determinism contract the serving tests and benchmarks rely on. *)
+
+type request = {
+  rq_id : int;            (** arrival order, dense from 0 *)
+  rq_model : string;
+  rq_arrival_us : float;  (** simulated arrival time *)
+}
+
+(** Weighted model mix; weights need not be normalized. *)
+type mix = (string * float) list
+
+(** Parse ["bert=2,mmoe"]-style mix specs: comma-separated model names,
+    each optionally weighted with [=w] (default weight 1). *)
+let parse_mix (s : string) : (mix, string) result =
+  let parts =
+    String.split_on_char ',' s
+    |> List.map String.trim
+    |> List.filter (fun x -> x <> "")
+  in
+  if parts = [] then Error "empty model mix"
+  else
+    let rec go acc = function
+      | [] -> Ok (List.rev acc)
+      | p :: rest -> (
+          match String.index_opt p '=' with
+          | None -> go ((p, 1.) :: acc) rest
+          | Some i -> (
+              let name = String.trim (String.sub p 0 i) in
+              let w =
+                String.trim (String.sub p (i + 1) (String.length p - i - 1))
+              in
+              match float_of_string_opt w with
+              | Some w when w > 0. && name <> "" -> go ((name, w) :: acc) rest
+              | _ -> Error (Fmt.str "bad mix entry %S (want model=weight)" p)))
+    in
+    go [] parts
+
+let pick_model (rng : Rng.t) (mix : mix) : string =
+  let total = List.fold_left (fun a (_, w) -> a +. w) 0. mix in
+  let x = Rng.float rng *. total in
+  let rec go acc = function
+    | [] -> invalid_arg "Workload.pick_model: empty mix"
+    | [ (m, _) ] -> m
+    | (m, w) :: rest -> if x < acc +. w then m else go (acc +. w) rest
+  in
+  go 0. mix
+
+(** [generate ~seed ~rate_rps ~requests mix] draws [requests] arrivals.
+    A non-positive [rate_rps] means a closed batch: everything arrives at
+    time zero (the saturation workload). *)
+let generate ~seed ~rate_rps ~requests (mix : mix) : request list =
+  if requests < 0 then invalid_arg "Workload.generate: negative request count";
+  if mix = [] then invalid_arg "Workload.generate: empty mix";
+  let rng = Rng.create seed in
+  let mean_gap_us = if rate_rps > 0. then 1e6 /. rate_rps else 0. in
+  let now = ref 0. in
+  List.init requests (fun i ->
+      let gap =
+        if mean_gap_us <= 0. then 0.
+        else -.log (1. -. Rng.float rng) *. mean_gap_us
+      in
+      now := !now +. gap;
+      { rq_id = i; rq_model = pick_model rng mix; rq_arrival_us = !now })

@@ -20,5 +20,6 @@ let () =
       ("serialize", Test_serialize.suite);
       ("tir", Test_tir.suite);
       ("obs", Test_obs.suite);
+      ("serve", Test_serve.suite);
       ("perf", Test_perf.suite);
     ]

@@ -248,6 +248,80 @@ let test_compile_raises_on_exhausted_ladder () =
   Faultinject.disarm ();
   Alcotest.(check bool) "compile raises Invalid_argument" true raised
 
+(* ---- per-TE (subgroup-level) degradation ---- *)
+
+(* A diamond chain whose vertical transformation leaves four TEs
+   (a, d, e, out) in one cooperative subprogram, which below V3 splits
+   into two Ansor subgroups: [a; d] and [e; out]. *)
+let diamond_chain () =
+  let b = Dgraph.B.create () in
+  let x = Dgraph.B.input b "x" (Shape.of_list [ 128; 128 ]) in
+  let w1 = Dgraph.B.input b "w1" (Shape.of_list [ 128; 128 ]) in
+  let w2 = Dgraph.B.input b "w2" (Shape.of_list [ 128; 128 ]) in
+  let a = Dgraph.B.add b ~name:"a" Op.Matmul [ x; w1 ] in
+  let r1 = Dgraph.B.add b ~name:"b" (Op.Unary Expr.Relu) [ a ] in
+  let s1 = Dgraph.B.add b ~name:"c" (Op.Unary Expr.Sigmoid) [ a ] in
+  let d = Dgraph.B.add b ~name:"d" (Op.Binary Expr.Add) [ r1; s1 ] in
+  let e = Dgraph.B.add b ~name:"e" Op.Matmul [ d; w2 ] in
+  let f = Dgraph.B.add b ~name:"f" (Op.Unary Expr.Relu) [ e ] in
+  let g = Dgraph.B.add b ~name:"g" (Op.Unary Expr.Sigmoid) [ e ] in
+  let out = Dgraph.B.add b ~name:"out" (Op.Binary Expr.Add) [ f; g ] in
+  Dgraph.B.finish b ~outputs:[ out ]
+
+(* Four persistent smem corruptions walk the ladder: the first two reject
+   the whole-subprogram cooperative kernel (V4, V3 — program-wide by
+   construction), the next two hit the first subgroup after the split.
+   Only that subgroup's TEs may drop further: it ends as one kernel per TE
+   while its sibling subgroup still emits fused at the rank the group
+   settled at — 3 kernels total.  The pre-fix behavior re-emitted the
+   whole group one level lower on every rejection, ending at V0 with one
+   kernel per TE across the board (4 kernels). *)
+let test_subgroup_degradation_is_local () =
+  let p = Lower.run (diamond_chain ()) in
+  let result, trips =
+    Faultinject.with_fault ~times:4 (Faultinject.Corrupt_smem 64) (fun () ->
+        compile_result_at Souffle.V4 p)
+  in
+  Alcotest.(check int) "all four corruptions applied" 4 trips;
+  let r = ok_or_fail "subgroup degradation" result in
+  Alcotest.(check int) "sibling subgroup still emits fused" 3
+    (Souffle.num_kernels r);
+  Alcotest.(check int) "four degradation steps" 4
+    (List.length r.Souffle.degraded);
+  (* every step is verifier-triggered and names the subgroup's head TE *)
+  List.iter
+    (fun (d : Souffle.degradation) ->
+      Alcotest.(check string) "degradation pass" "verify-ir"
+        (Diag.pass_name d.Souffle.d_pass);
+      Alcotest.(check string) "degradation subject" "a" d.Souffle.d_subject)
+    r.Souffle.degraded;
+  Alcotest.(check bool) "ladder reaches V0 for the failing subgroup" true
+    (List.exists
+       (fun (d : Souffle.degradation) -> d.Souffle.d_to = Souffle.V0)
+       r.Souffle.degraded);
+  (match Verify_ir.check_prog Device.a100 r.Souffle.prog with
+  | Ok () -> ()
+  | Error ds ->
+      Alcotest.failf "final program rejected: %s"
+        (String.concat "; " (List.map Diag.to_string ds)));
+  match Souffle.verify ~rtol:1e-3 r with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "not preserved: %s" m
+
+(* One fewer corruption: the failing subgroup stops at V1 and still emits
+   as a single fused kernel, so the program stays at two kernels — the
+   split never cascades past the kernel that actually failed. *)
+let test_subgroup_degradation_partial () =
+  let p = Lower.run (diamond_chain ()) in
+  let result, _ =
+    Faultinject.with_fault ~times:3 (Faultinject.Corrupt_smem 64) (fun () ->
+        compile_result_at Souffle.V4 p)
+  in
+  let r = ok_or_fail "partial subgroup degradation" result in
+  Alcotest.(check int) "both subgroups fused" 2 (Souffle.num_kernels r);
+  Alcotest.(check int) "three degradation steps" 3
+    (List.length r.Souffle.degraded)
+
 let test_fault_parse () =
   let roundtrip s = Result.map Faultinject.spec_to_string (Faultinject.parse s) in
   Alcotest.(check (result string string)) "pass fault" (Ok "emit")
@@ -295,5 +369,9 @@ let suite =
       test_seeded_faults_deterministic;
     Alcotest.test_case "compile raises after ladder" `Quick
       test_compile_raises_on_exhausted_ladder;
+    Alcotest.test_case "subgroup degradation stays local" `Quick
+      test_subgroup_degradation_is_local;
+    Alcotest.test_case "subgroup degradation stops at failing kernel" `Quick
+      test_subgroup_degradation_partial;
     Alcotest.test_case "fault spec parsing" `Quick test_fault_parse;
   ]

@@ -1,0 +1,233 @@
+(* Serving-layer tests: workload determinism, scheduler policies, and the
+   multi-stream contention model's sanity contracts (fixed seeds
+   throughout):
+
+   - one stream reproduces the solo simulated latency exactly,
+   - per-request service time is monotonically non-decreasing in the
+     concurrency bound,
+   - throughput saturates once the device's SMs are covered instead of
+     growing without bound,
+   - two identical runs produce byte-identical outcomes. *)
+
+let dev = Device.a100
+
+let ok_or_fail what = function
+  | Ok r -> r
+  | Error ds ->
+      Alcotest.failf "%s: %s" what
+        (String.concat "; " (List.map Diag.to_string ds))
+
+let tiny_report (e : Zoo.entry) : Souffle.report =
+  ok_or_fail e.Zoo.name (Souffle.compile_result (Lower.run (e.Zoo.tiny ())))
+
+let artifact_of ~model (r : Souffle.report) : Scheduler.artifact =
+  Scheduler.artifact_of_prog dev ~model
+    ~degraded:(List.length r.Souffle.degraded)
+    r.Souffle.prog
+
+let run_batch ?(policy = Scheduler.Fifo) ~streams artifacts reqs =
+  Scheduler.run dev
+    { Scheduler.policy; max_streams = streams }
+    ~artifacts reqs
+
+(* n identical zero-time arrivals of one model *)
+let batch_of model n =
+  Workload.generate ~seed:3 ~rate_rps:0. ~requests:n [ (model, 1.) ]
+
+(* one busy compute kernel that demands half the device's SMs (216 blocks
+   at 4 blocks/SM residency = 54 SMs) with a stage that dwarfs the launch
+   latency, so two streams cover the machine and further concurrency only
+   stretches execution *)
+let synthetic_artifact () : Scheduler.artifact =
+  let k =
+    Kernel_ir.kernel ~name:"busy" ~grid_blocks:216 ~threads_per_block:256
+      ~smem_per_block:(40 * 1024)
+      [ Kernel_ir.stage ~label:"s0" [ Kernel_ir.Fma { flops = 500_000_000 } ] ]
+  in
+  Scheduler.artifact_of_prog dev ~model:"busy"
+    { Kernel_ir.pname = "busy"; kernels = [ k ] }
+
+(* ---- contention-model sanity ---- *)
+
+let test_single_stream_equals_solo () =
+  List.iter
+    (fun (e : Zoo.entry) ->
+      let r = tiny_report e in
+      let solo = r.Souffle.sim.Sim.total.Counters.time_us in
+      let a = artifact_of ~model:e.Zoo.name r in
+      Alcotest.(check bool)
+        (e.Zoo.name ^ ": artifact solo latency is the Sim latency")
+        true
+        (a.Scheduler.art_solo_us = solo);
+      let o = run_batch ~streams:1 [ a ] (batch_of e.Zoo.name 1) in
+      match o.Scheduler.o_completed with
+      | [ c ] ->
+          Alcotest.(check bool)
+            (e.Zoo.name ^ ": served service time is the solo Sim latency")
+            true
+            (c.Scheduler.c_service_us = solo);
+          Alcotest.(check bool)
+            (e.Zoo.name ^ ": end-to-end latency is the solo Sim latency")
+            true
+            (Scheduler.latency_us c = solo)
+      | cs -> Alcotest.failf "expected 1 completion, got %d" (List.length cs))
+    Zoo.all
+
+let test_service_monotone_in_concurrency () =
+  let a = synthetic_artifact () in
+  let reqs = batch_of "busy" 16 in
+  let mean_service streams =
+    (Serve_report.summarize (run_batch ~streams [ a ] reqs))
+      .Serve_report.s_mean_service_ms
+  in
+  let rec check prev = function
+    | [] -> ()
+    | c :: rest ->
+        let m = mean_service c in
+        Alcotest.(check bool)
+          (Fmt.str "mean service at %d streams >= at fewer" c)
+          true
+          (m >= prev -. 1e-9);
+        check m rest
+  in
+  check (mean_service 1) [ 2; 4; 8; 16 ]
+
+let test_throughput_saturates () =
+  let a = synthetic_artifact () in
+  let reqs = batch_of "busy" 32 in
+  let thr streams =
+    (Serve_report.summarize (run_batch ~streams [ a ] reqs))
+      .Serve_report.s_throughput_rps
+  in
+  let t1 = thr 1 and t4 = thr 4 and t8 = thr 8 and t16 = thr 16 in
+  Alcotest.(check bool) "4 streams at least double serial throughput" true
+    (t4 >= 2. *. t1);
+  Alcotest.(check bool) "throughput saturates past full SM coverage" true
+    (t16 <= 1.05 *. t8);
+  Alcotest.(check bool) "saturated throughput still beats serial 2x" true
+    (t8 >= 2. *. t1)
+
+let test_identical_runs_byte_identical () =
+  let outcome () =
+    let arts =
+      List.map
+        (fun name ->
+          artifact_of ~model:name (tiny_report (Option.get (Zoo.find name))))
+        [ "bert"; "mmoe"; "lstm" ]
+    in
+    let reqs =
+      Workload.generate ~seed:9 ~rate_rps:120000. ~requests:24
+        [ ("BERT", 2.); ("MMoE", 1.); ("LSTM", 1.) ]
+    in
+    Jsonlite.to_string
+      (Serve_report.outcome_json ~label:"determinism"
+         (run_batch ~policy:Scheduler.Sel ~streams:4 arts reqs))
+  in
+  Alcotest.(check string) "byte-identical outcomes" (outcome ()) (outcome ())
+
+(* ---- scheduler policies ---- *)
+
+let test_sel_prefers_shortest () =
+  let bert = artifact_of ~model:"BERT" (tiny_report (Option.get (Zoo.find "bert"))) in
+  let mmoe = artifact_of ~model:"MMoE" (tiny_report (Option.get (Zoo.find "mmoe"))) in
+  Alcotest.(check bool) "mmoe is the shorter model" true
+    (mmoe.Scheduler.art_solo_us < bert.Scheduler.art_solo_us);
+  let reqs =
+    [
+      { Workload.rq_id = 0; rq_model = "BERT"; rq_arrival_us = 0. };
+      { Workload.rq_id = 1; rq_model = "MMoE"; rq_arrival_us = 0. };
+    ]
+  in
+  let first policy =
+    match
+      (run_batch ~policy ~streams:1 [ bert; mmoe ] reqs).Scheduler.o_completed
+    with
+    | c :: _ -> c.Scheduler.c_model
+    | [] -> Alcotest.fail "no completions"
+  in
+  Alcotest.(check string) "fifo serves arrival order" "BERT"
+    (first Scheduler.Fifo);
+  Alcotest.(check string) "sel serves the shortest first" "MMoE"
+    (first Scheduler.Sel)
+
+let test_unknown_model_rejected () =
+  let bert = artifact_of ~model:"BERT" (tiny_report (Option.get (Zoo.find "bert"))) in
+  let reqs = [ { Workload.rq_id = 0; rq_model = "nope"; rq_arrival_us = 0. } ] in
+  Alcotest.check_raises "unknown model"
+    (Invalid_argument "Scheduler.run: no artifact for model nope") (fun () ->
+      ignore (run_batch ~streams:1 [ bert ] reqs))
+
+(* ---- workload generator ---- *)
+
+let test_parse_mix () =
+  (match Workload.parse_mix "bert=2, mmoe" with
+  | Ok [ ("bert", 2.); ("mmoe", 1.) ] -> ()
+  | Ok m ->
+      Alcotest.failf "unexpected mix (%d entries)" (List.length m)
+  | Error m -> Alcotest.failf "parse failed: %s" m);
+  Alcotest.(check bool) "bad weight rejected" true
+    (Result.is_error (Workload.parse_mix "bert=-1"));
+  Alcotest.(check bool) "empty mix rejected" true
+    (Result.is_error (Workload.parse_mix "  "))
+
+let test_workload_deterministic_and_sorted () =
+  let gen () =
+    Workload.generate ~seed:5 ~rate_rps:1000. ~requests:64
+      [ ("a", 1.); ("b", 3.) ]
+  in
+  let w1 = gen () and w2 = gen () in
+  Alcotest.(check bool) "same seed, same workload" true (w1 = w2);
+  let rec sorted = function
+    | a :: (b : Workload.request) :: rest ->
+        a.Workload.rq_arrival_us <= b.Workload.rq_arrival_us && sorted (b :: rest)
+    | _ -> true
+  in
+  Alcotest.(check bool) "arrivals non-decreasing" true (sorted w1);
+  let batch = Workload.generate ~seed:5 ~rate_rps:0. ~requests:8 [ ("a", 1.) ] in
+  Alcotest.(check bool) "zero rate means a closed batch at t=0" true
+    (List.for_all (fun (r : Workload.request) -> r.Workload.rq_arrival_us = 0.) batch)
+
+(* ---- compile-once artifact store ---- *)
+
+let test_artifacts_compile_once () =
+  let store = Souffle.Artifacts.create () in
+  let compiles = ref 0 in
+  let gen () =
+    incr compiles;
+    Lower.run (Mmoe.create ~cfg:Mmoe.tiny ())
+  in
+  let r1 = ok_or_fail "first get" (Souffle.Artifacts.get store ~name:"MMoE" gen) in
+  let r2 = ok_or_fail "second get" (Souffle.Artifacts.get store ~name:"mmoe" gen) in
+  Alcotest.(check int) "compiled exactly once" 1 !compiles;
+  Alcotest.(check bool) "same report returned" true (r1 == r2);
+  Alcotest.(check int) "one entry stored" 1 (Souffle.Artifacts.size store);
+  (* a different level is a different artifact *)
+  let r3 =
+    ok_or_fail "v0 get"
+      (Souffle.Artifacts.get store
+         ~cfg:(Souffle.config ~level:Souffle.V0 ())
+         ~name:"mmoe" gen)
+  in
+  Alcotest.(check int) "second level compiles again" 2 !compiles;
+  Alcotest.(check bool) "distinct reports per level" true (not (r1 == r3));
+  Alcotest.(check int) "two entries stored" 2 (Souffle.Artifacts.size store)
+
+let suite =
+  [
+    Alcotest.test_case "single stream equals solo Sim" `Quick
+      test_single_stream_equals_solo;
+    Alcotest.test_case "service monotone in concurrency" `Quick
+      test_service_monotone_in_concurrency;
+    Alcotest.test_case "throughput saturates" `Quick test_throughput_saturates;
+    Alcotest.test_case "identical runs byte-identical" `Quick
+      test_identical_runs_byte_identical;
+    Alcotest.test_case "sel picks shortest, fifo picks first" `Quick
+      test_sel_prefers_shortest;
+    Alcotest.test_case "unknown model rejected" `Quick
+      test_unknown_model_rejected;
+    Alcotest.test_case "mix parsing" `Quick test_parse_mix;
+    Alcotest.test_case "workload deterministic and sorted" `Quick
+      test_workload_deterministic_and_sorted;
+    Alcotest.test_case "artifact store compiles once" `Quick
+      test_artifacts_compile_once;
+  ]
