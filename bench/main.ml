@@ -81,6 +81,8 @@ let sections : (string * (unit -> unit)) list =
     ("compile-perf-smoke", Compile_perf.smoke);
     ("serve-perf", Serve_perf.run);
     ("serve-perf-smoke", Serve_perf.smoke);
+    ("serve-chaos", Serve_chaos.run);
+    ("serve-chaos-smoke", Serve_chaos.smoke);
     ("bechamel", run_bechamel);
   ]
 

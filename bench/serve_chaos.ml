@@ -1,0 +1,259 @@
+(* Chaos benchmark: the serving stack under injected runtime faults,
+   deadlines, and overload.
+
+   Three measurements over the zoo's traffic-weighted mix:
+
+     invariant   a zero-fault chaos run must be byte-identical to the same
+                 run with no chaos armed at all — the fault machinery costs
+                 nothing when nothing faults
+     faults      a fault-rate sweep with bounded retries: goodput, p99,
+                 failed terminals, and the fraction of fault-struck
+                 requests the retry path recovers (must be >= 90% of
+                 single-fault requests at a 5% fault rate)
+     overload    offered load at 1x and 2x the saturation throughput,
+                 once with admission control (bounded queue, deadline-aware
+                 shedding, per-request SLO) and once unbounded: the capped
+                 configuration must degrade gracefully (admitted-request
+                 p99 at 2x within 3x of the 1x p99) while the unbounded
+                 queue's p99 grows with the batch size
+
+   Results land in BENCH_chaos.json (full models) or BENCH_chaos_smoke.json
+   (tiny models, part of the @bench-smoke alias).  Invariant violations,
+   sub-90% retry recovery, failed terminals at the 5% point, and
+   ungraceful capped degradation are recorded in the runlog, so
+   --strict-bench fails the run over them. *)
+
+let dev = Tables.dev
+
+let num n v = (n, Jsonlite.Num v)
+
+let fail_check ~model msg =
+  Fmt.epr "  !! %s@." msg;
+  Runlog.record Tables.runlog ~model ~degraded_steps:0 ~errors:1
+
+let mix_weight (e : Zoo.entry) : float =
+  match String.lowercase_ascii e.Zoo.name with
+  | "mmoe" -> 16.
+  | "lstm" -> 8.
+  | "efficientnet" -> 4.
+  | "resnext" -> 1.
+  | _ -> 2.
+
+(* requests whose attempt 0 faulted or hung, and how many of those the
+   retry path carried to completion anyway *)
+let recovery (o : Scheduler.outcome) : int * int =
+  let struck =
+    List.sort_uniq compare
+      (List.filter_map
+         (fun (a : Scheduler.aborted) ->
+           if a.Scheduler.a_try = 0 && a.Scheduler.a_reason <> Scheduler.Deadline
+           then Some a.Scheduler.a_req.Workload.rq_id
+           else None)
+         o.Scheduler.o_aborted)
+  in
+  let completed_ids =
+    List.map
+      (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_id)
+      o.Scheduler.o_completed
+  in
+  ( List.length struck,
+    List.length (List.filter (fun id -> List.mem id completed_ids) struck) )
+
+let run_with ~label ~souffle_of ~requests ~out () =
+  Tables.section
+    (Fmt.str "Serving under chaos — faults, deadlines, overload (%s)" label);
+  let artifacts =
+    List.map
+      (fun (e : Zoo.entry) ->
+        let r = souffle_of e in
+        Scheduler.artifact_of_prog dev ~model:e.Zoo.name
+          ~degraded:(List.length r.Souffle.degraded)
+          r.Souffle.prog)
+      Zoo.all
+  in
+  let mix = List.map (fun (e : Zoo.entry) -> (e.Zoo.name, mix_weight e)) Zoo.all in
+  let run cfg reqs = Scheduler.run dev cfg ~artifacts reqs in
+  let bytes o = Jsonlite.to_string (Serve_report.outcome_json o) in
+  let streams = 4 in
+  let plain = Scheduler.cfg ~policy:Scheduler.Fifo ~max_streams:streams () in
+
+  (* invariant: zero-fault chaos is byte-identical to no chaos at all *)
+  let batch = Workload.generate ~seed:11 ~rate_rps:0. ~requests mix in
+  let base = run plain batch in
+  let zero =
+    run
+      (Scheduler.cfg ~chaos:Faultinject.chaos_zero ~policy:Scheduler.Fifo
+         ~max_streams:streams ())
+      batch
+  in
+  let invariant_ok = bytes base = bytes zero in
+  Fmt.pr "  zero-fault chaos vs baseline: %s@."
+    (if invariant_ok then "byte-identical" else "DIFFERS");
+  if not invariant_ok then
+    fail_check ~model:("chaos-invariant@" ^ label)
+      "zero-fault chaos run differs from the chaos-free baseline";
+
+  (* fault-rate sweep: bounded retries absorb injected kernel faults *)
+  let retries = 3 in
+  let fault_points =
+    List.map
+      (fun rate ->
+        let chaos =
+          { Faultinject.chaos_zero with
+            Faultinject.ch_seed = 29;
+            ch_fault_rate = rate }
+        in
+        let o =
+          run
+            (Scheduler.cfg ~retries ~backoff_us:5. ~chaos
+               ~policy:Scheduler.Fifo ~max_streams:streams ())
+            batch
+        in
+        let s = Serve_report.summarize o in
+        let struck, recovered = recovery o in
+        (rate, o, s, struck, recovered))
+      [ 0.02; 0.05; 0.1; 0.2 ]
+  in
+  Fmt.pr "@.  fault sweep (closed batch of %d, %d retries):@." requests retries;
+  Fmt.pr "  %8s %9s %8s %8s %11s %10s@." "rate" "goodput" "faults" "failed"
+    "recovered" "p99(ms)";
+  List.iter
+    (fun (rate, o, (s : Serve_report.summary), struck, recovered) ->
+      Fmt.pr "  %8.2f %5d/%-3d %8d %8d %7d/%-3d %10.3f@." rate
+        s.Serve_report.s_requests requests s.Serve_report.s_faults
+        (List.length o.Scheduler.o_failed)
+        recovered struck s.Serve_report.s_p99_ms)
+    fault_points;
+  (match
+     List.find_opt (fun (rate, _, _, _, _) -> rate = 0.05) fault_points
+   with
+  | Some (_, o, _, struck, recovered) ->
+      if struck > 0 && float_of_int recovered < 0.9 *. float_of_int struck then
+        fail_check ~model:("chaos-recovery@" ^ label)
+          (Fmt.str "retries recovered %d of %d fault-struck requests (< 90%%)"
+             recovered struck);
+      if o.Scheduler.o_failed <> [] then
+        fail_check ~model:("chaos-failed@" ^ label)
+          (Fmt.str
+             "%d request(s) failed at a 5%%%% fault rate despite %d retries"
+             (List.length o.Scheduler.o_failed)
+             retries)
+  | None -> ());
+
+  (* overload: 2x the saturation rate, shedding vs an unbounded queue *)
+  let sat = Serve_report.summarize base in
+  let sat_rps = sat.Serve_report.s_throughput_rps in
+  let deadline_us = 20. *. sat.Serve_report.s_p50_ms *. 1e3 in
+  let capped_cfg =
+    Scheduler.cfg ~queue_cap:streams ~drop:Scheduler.Shed
+      ~deadline_us ~policy:Scheduler.Fifo ~max_streams:streams ()
+  in
+  let load frac n =
+    Workload.generate ~seed:31 ~rate_rps:(frac *. sat_rps) ~requests:n mix
+  in
+  let capped_1x = Serve_report.summarize (run capped_cfg (load 1.0 requests)) in
+  let capped_2x_o = run capped_cfg (load 2.0 requests) in
+  let capped_2x = Serve_report.summarize capped_2x_o in
+  let unbounded_2x = Serve_report.summarize (run plain (load 2.0 requests)) in
+  let unbounded_2x_big =
+    Serve_report.summarize (run plain (load 2.0 (2 * requests)))
+  in
+  Fmt.pr "@.  overload at 2x saturation (%d streams, deadline %.2f ms):@."
+    streams (deadline_us /. 1e3);
+  let row name (s : Serve_report.summary) =
+    Fmt.pr "  %14s %5d served %5d shed %10.3f p99(ms)@." name
+      s.Serve_report.s_requests
+      (s.Serve_report.s_rejected + s.Serve_report.s_timed_out)
+      s.Serve_report.s_p99_ms
+  in
+  row "capped 1x" capped_1x;
+  row "capped 2x" capped_2x;
+  row "unbounded 2x" unbounded_2x;
+  Fmt.pr "  %14s %5d served %5d shed %10.3f p99(ms)  (batch doubled)@."
+    "unbounded 2x" unbounded_2x_big.Serve_report.s_requests 0
+    unbounded_2x_big.Serve_report.s_p99_ms;
+  if
+    capped_1x.Serve_report.s_p99_ms > 0.
+    && capped_2x.Serve_report.s_p99_ms > 3. *. capped_1x.Serve_report.s_p99_ms
+  then
+    fail_check ~model:("chaos-overload@" ^ label)
+      (Fmt.str "capped p99 at 2x overload is %.3f ms, over 3x the 1x %.3f ms"
+         capped_2x.Serve_report.s_p99_ms capped_1x.Serve_report.s_p99_ms);
+  let shed_rate (s : Serve_report.summary) n =
+    float_of_int (s.Serve_report.s_rejected + s.Serve_report.s_timed_out)
+    /. float_of_int n
+  in
+  let point_json extra (s : Serve_report.summary) =
+    Jsonlite.Obj (extra @ [ ("summary", Serve_report.summary_json s) ])
+  in
+  let json =
+    Jsonlite.Obj
+      [
+        ("bench", Jsonlite.Str "serve-chaos");
+        ("device", Jsonlite.Str dev.Device.name);
+        ("mode", Jsonlite.Str label);
+        num "requests" (float_of_int requests);
+        num "streams" (float_of_int streams);
+        ("zero_fault_chaos_identical", Jsonlite.Bool invariant_ok);
+        ( "fault_sweep",
+          Jsonlite.Arr
+            (List.map
+               (fun (rate, o, s, struck, recovered) ->
+                 point_json
+                   [
+                     num "fault_rate" rate;
+                     num "retries" (float_of_int retries);
+                     num "goodput"
+                       (float_of_int s.Serve_report.s_requests
+                       /. float_of_int requests);
+                     num "failed"
+                       (float_of_int (List.length o.Scheduler.o_failed));
+                     num "fault_struck" (float_of_int struck);
+                     num "retry_recovered" (float_of_int recovered);
+                   ]
+                   s)
+               fault_points) );
+        ( "overload",
+          Jsonlite.Obj
+            [
+              num "sat_rps" sat_rps;
+              num "deadline_us" deadline_us;
+              ( "capped_1x",
+                point_json [ num "shed_rate" (shed_rate capped_1x requests) ]
+                  capped_1x );
+              ( "capped_2x",
+                point_json [ num "shed_rate" (shed_rate capped_2x requests) ]
+                  capped_2x );
+              ("unbounded_2x", point_json [] unbounded_2x);
+              ("unbounded_2x_double_batch", point_json [] unbounded_2x_big);
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonlite.to_string json));
+  Fmt.pr "  wrote %s@." out
+
+(* full-size models: reuses the artifacts the tables compiled *)
+let run () =
+  run_with ~label:"full" ~souffle_of:Tables.souffle_of ~requests:48
+    ~out:"BENCH_chaos.json" ()
+
+(* tiny models: part of the @bench-smoke alias *)
+let smoke () =
+  let cache : (string, Souffle.report) Hashtbl.t = Hashtbl.create 8 in
+  let souffle_of (e : Zoo.entry) =
+    match Hashtbl.find_opt cache e.Zoo.name with
+    | Some r -> r
+    | None ->
+        let r =
+          Tables.compile_recorded
+            ~name:(e.Zoo.name ^ "@chaos-smoke")
+            (Lower.run (e.Zoo.tiny ()))
+        in
+        Hashtbl.replace cache e.Zoo.name r;
+        r
+  in
+  run_with ~label:"smoke" ~souffle_of ~requests:24 ~out:"BENCH_chaos_smoke.json"
+    ()

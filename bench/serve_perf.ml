@@ -43,7 +43,7 @@ let check_single_stream (a : Scheduler.artifact) (r : Souffle.report) : bool =
   in
   let o =
     Scheduler.run dev
-      { Scheduler.policy = Scheduler.Fifo; max_streams = 1 }
+      (Scheduler.cfg ~policy:Scheduler.Fifo ~max_streams:1 ())
       ~artifacts:[ a ] reqs
   in
   match o.Scheduler.o_completed with
@@ -98,7 +98,7 @@ let run_with ~label ~souffle_of ~requests ~out () =
   let mix = List.map (fun m -> (m.entry.Zoo.name, mix_weight m.entry)) marts in
   let batch = Workload.generate ~seed:11 ~rate_rps:0. ~requests mix in
   let run_at ?(policy = Scheduler.Fifo) c reqs =
-    Scheduler.run dev { Scheduler.policy; max_streams = c } ~artifacts reqs
+    Scheduler.run dev (Scheduler.cfg ~policy ~max_streams:c ()) ~artifacts reqs
   in
   (* saturation: a closed batch at increasing concurrency *)
   let serial = Serve_report.summarize (run_at 1 batch) in

@@ -9,6 +9,8 @@
      souffle serve    --mix bert=2,mmoe --rate 50000 --requests 64
                       --streams 4 [--policy fifo|sel] [--seed N] [--tiny]
                       [--json FILE] [--trace FILE] [--strict]
+                      [--chaos SPEC] [--deadline-ms N] [--retries K]
+                      [--backoff-us US] [--queue-cap M] [--drop reject|shed]
 *)
 
 open Cmdliner
@@ -356,8 +358,73 @@ let serve_trace_arg =
   in
   Arg.(value & opt (some string) None & info [ "trace" ] ~docv:"FILE" ~doc)
 
+let chaos_arg =
+  let doc =
+    "Arm the runtime fault model: comma-separated clauses \
+     $(b,kfault=P) (per-attempt kernel-fault probability), \
+     $(b,khang=P), $(b,khang=PxF) or $(b,khang=Pxinf) (kernel-hang \
+     probability with stretch factor F), \
+     $(b,throttle=C\\@S+D) (capacity C in (0,1] from S ms for D ms), and \
+     $(b,seed=N).  $(b,none) arms a zero-fault spec (byte-identical to \
+     not arming chaos at all)."
+  in
+  Arg.(value & opt (some string) None & info [ "chaos" ] ~docv:"SPEC" ~doc)
+
+let deadline_ms_arg =
+  let doc =
+    "Per-request latency SLO in milliseconds: requests not finished this \
+     long after arrival are cancelled (in flight) or expired (queued)."
+  in
+  Arg.(value & opt (some float) None & info [ "deadline-ms" ] ~docv:"MS" ~doc)
+
+let retries_arg =
+  let doc =
+    "How many times a request struck by a runtime fault is re-dispatched \
+     on a fresh stream (deterministic linear backoff) before it is failed."
+  in
+  Arg.(value & opt int 0 & info [ "retries" ] ~docv:"K" ~doc)
+
+let backoff_us_arg =
+  let doc = "Retry backoff step in microseconds (attempt k waits k times this)." in
+  Arg.(value & opt float 50. & info [ "backoff-us" ] ~docv:"US" ~doc)
+
+let queue_cap_arg =
+  let doc =
+    "Bound the pending queue at $(docv) requests; arrivals beyond it are \
+     dropped per --drop (admission control / load shedding)."
+  in
+  Arg.(value & opt (some int) None & info [ "queue-cap" ] ~docv:"M" ~doc)
+
+let drop_arg =
+  let doc =
+    "Overflow drop policy: $(b,reject) (drop the newest arrival) or \
+     $(b,shed) (first shed queued requests that can no longer meet their \
+     SLO given the solo-latency estimate)."
+  in
+  Arg.(value & opt string "reject" & info [ "drop" ] ~docv:"POLICY" ~doc)
+
+(* Validate every model name in the mix against the zoo before compiling
+   anything: a typo in the third model must not cost two compiles first. *)
+let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
+  let rec go = function
+    | [] -> Ok ()
+    | (name, _) :: rest -> (
+        match Zoo.find name with
+        | Some _ -> go rest
+        | None ->
+            Error
+              (Diag.error ~subject:name Diag.Validate
+                 ~hint:
+                   (Fmt.str "available models: %s"
+                      (String.concat ", "
+                         (List.map String.lowercase_ascii Zoo.names)))
+                 (Fmt.str "unknown model %S in --mix" name)))
+  in
+  go mix
+
 let serve_run mix rate requests streams policy seed tiny level strict
-    json_out trace_out =
+    json_out trace_out chaos_spec deadline_ms retries backoff_us queue_cap
+    drop =
   protect Diag.Simulate @@ fun () ->
   let mix_spec = mix in
   let fail m =
@@ -418,38 +485,83 @@ let serve_run mix rate requests streams policy seed tiny level strict
                                (List.length r.Souffle.degraded));
                         build canon (a :: arts) rest))
         in
-        match build [] [] mix with
+        let lifecycle_opts =
+          Result.bind
+            (match Scheduler.drop_of_string (String.lowercase_ascii drop) with
+            | Some d -> Ok d
+            | None -> Error (Fmt.str "unknown drop policy %S (reject or shed)" drop))
+          @@ fun drop ->
+          Result.bind
+            (match chaos_spec with
+            | None -> Ok None
+            | Some s ->
+                Result.map Option.some (Faultinject.parse_chaos s)
+                |> Result.map_error (fun m -> Fmt.str "--chaos: %s" m))
+          @@ fun chaos ->
+          if retries < 0 then Error "--retries must be >= 0"
+          else if backoff_us < 0. then Error "--backoff-us must be >= 0"
+          else
+            match (deadline_ms, queue_cap) with
+            | Some d, _ when d <= 0. -> Error "--deadline-ms must be > 0"
+            | _, Some c when c < 1 -> Error "--queue-cap must be >= 1"
+            | _ -> Ok (drop, chaos)
+        in
+        match lifecycle_opts with
         | Error m -> fail m
-        | Ok (mix, artifacts) ->
-            let reqs = Workload.generate ~seed ~rate_rps:rate ~requests mix in
-            let outcome =
-              Scheduler.run dev
-                { Scheduler.policy; max_streams = streams }
-                ~artifacts reqs
-            in
-            Fmt.pr "@.%a@."
-              Serve_report.pp_summary
-              (Serve_report.summarize outcome);
-            (match trace_out with
-            | None -> ()
-            | Some path ->
-                let t = Serve_report.chrome_trace outcome in
-                Obs.to_chrome_file t path;
-                Fmt.pr "trace: wrote %s (%d spans)@." path (Obs.span_count t));
-            (match json_out with
-            | None -> ()
-            | Some path ->
-                let oc = open_out path in
-                Fun.protect
-                  ~finally:(fun () -> close_out oc)
-                  (fun () ->
-                    output_string oc
-                      (Jsonlite.to_string
-                         (Serve_report.outcome_json
-                            ~label:(Fmt.str "souffle serve --mix %s" mix_spec)
-                            outcome)));
-                Fmt.pr "json: wrote %s@." path);
-            0
+        | Ok (drop, chaos) -> (
+            match validate_mix mix with
+            | Error d ->
+                Fmt.epr "%a@." Diag.pp d;
+                1
+            | Ok () -> (
+                match build [] [] mix with
+                | Error m -> fail m
+                | Ok (mix, artifacts) ->
+                    let slo_us = Option.map (fun ms -> ms *. 1e3) deadline_ms in
+                    let reqs =
+                      Workload.generate ~seed ~rate_rps:rate ~requests ?slo_us
+                        mix
+                    in
+                    let cfg =
+                      Scheduler.cfg ?queue_cap ~drop ~retries ~backoff_us
+                        ?deadline_us:slo_us ?chaos ~policy ~max_streams:streams
+                        ()
+                    in
+                    (if chaos <> None then
+                       Fmt.pr "chaos: %s@."
+                         (Faultinject.chaos_to_string (Option.get chaos)));
+                    let outcome = Scheduler.run dev cfg ~artifacts reqs in
+                    List.iter
+                      (fun (d : Diag.t) ->
+                        if d.Diag.severity = Diag.Error then
+                          Fmt.epr "%a@." Diag.pp d)
+                      outcome.Scheduler.o_diags;
+                    Fmt.pr "@.%a@."
+                      Serve_report.pp_summary
+                      (Serve_report.summarize outcome);
+                    (match trace_out with
+                    | None -> ()
+                    | Some path ->
+                        let t = Serve_report.chrome_trace outcome in
+                        Obs.to_chrome_file t path;
+                        Fmt.pr "trace: wrote %s (%d spans)@." path
+                          (Obs.span_count t));
+                    (match json_out with
+                    | None -> ()
+                    | Some path ->
+                        let oc = open_out path in
+                        Fun.protect
+                          ~finally:(fun () -> close_out oc)
+                          (fun () ->
+                            output_string oc
+                              (Jsonlite.to_string
+                                 (Serve_report.outcome_json
+                                    ~label:
+                                      (Fmt.str "souffle serve --mix %s"
+                                         mix_spec)
+                                    outcome)));
+                        Fmt.pr "json: wrote %s@." path);
+                    if strict && outcome.Scheduler.o_failed <> [] then 1 else 0))
       end
 
 let serve_cmd =
@@ -461,7 +573,8 @@ let serve_cmd =
     Term.(
       const serve_run $ mix_arg $ rate_arg $ requests_arg $ streams_arg
       $ policy_arg $ seed_arg $ tiny_arg $ level_arg $ strict_arg
-      $ serve_json_arg $ serve_trace_arg)
+      $ serve_json_arg $ serve_trace_arg $ chaos_arg $ deadline_ms_arg
+      $ retries_arg $ backoff_us_arg $ queue_cap_arg $ drop_arg)
 
 let dump_run model tiny output =
   protect Diag.Validate @@ fun () ->

@@ -19,6 +19,7 @@ type pass =
   | Verify_ir   (** static kernel-IR verification (pre-launch checks) *)
   | Dataflow    (** cross-kernel dataflow verification (tensor provenance) *)
   | Simulate    (** analytical device simulation *)
+  | Serve       (** serving-time request lifecycle (faults, deadlines, shedding) *)
 
 let pass_name = function
   | Validate -> "validate"
@@ -31,6 +32,7 @@ let pass_name = function
   | Verify_ir -> "verify-ir"
   | Dataflow -> "dataflow"
   | Simulate -> "simulate"
+  | Serve -> "serve"
 
 let pass_of_string = function
   | "validate" -> Some Validate
@@ -43,6 +45,7 @@ let pass_of_string = function
   | "verify-ir" | "verify_ir" -> Some Verify_ir
   | "dataflow" -> Some Dataflow
   | "simulate" | "sim" -> Some Simulate
+  | "serve" -> Some Serve
   | _ -> None
 
 type severity = Info | Warning | Error

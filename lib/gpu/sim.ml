@@ -332,18 +332,59 @@ module Multi = struct
       }
     | Drained
 
+  (** How a stream reached its terminal state: ran its whole queue
+      ([Finished]), was struck by an armed {!Faultinject.Kernel_fault}
+      ([Faulted]), or was cancelled from outside — a serving watchdog
+      killing a stream past its deadline ([Cancelled]). *)
+  type stream_outcome = Finished | Faulted | Cancelled
+
+  let outcome_to_string = function
+    | Finished -> "finished"
+    | Faulted -> "faulted"
+    | Cancelled -> "cancelled"
+
   type stream = {
     st_id : int;
     st_label : string;
     st_start_us : float;
+    st_faults : Faultinject.runtime_fault list;  (* armed runtime faults *)
     mutable st_queue : kernel_profile list;
     mutable st_phase : phase;
+    mutable st_kidx : int;        (* 0-based index of the current kernel *)
+    mutable st_sidx : int;        (* 0-based index of the current stage *)
     mutable st_kelapsed : float;  (* wall us inside the current kernel *)
     mutable st_kstart : float;
     mutable st_service_us : float;
     mutable st_slices : (string * float * float) list;  (* reverse order *)
     mutable st_finish_us : float option;
+    mutable st_outcome : stream_outcome;  (* meaningful once finished *)
   }
+
+  (* armed hang for the stream's (kernel, stage) site, if any *)
+  let hang_at (s : stream) ~kernel ~stage : float option =
+    let rec go = function
+      | [] -> None
+      | Faultinject.Kernel_hang { kernel = k; stage = st; factor } :: _
+        when k = kernel && st = stage ->
+          Some factor
+      | _ :: rest -> go rest
+    in
+    if s.st_faults = [] then None else go s.st_faults
+
+  let fault_at (s : stream) ~kernel ~stage : bool =
+    s.st_faults <> []
+    && List.exists
+         (function
+           | Faultinject.Kernel_fault { kernel = k; stage = st } ->
+               k = kernel && st = stage
+           | _ -> false)
+         s.st_faults
+
+  (* solo-us a stage will take on this stream once armed hangs are applied *)
+  let stage_left (s : stream) ~stage (sp : stage_profile) : float =
+    match hang_at s ~kernel:s.st_kidx ~stage with
+    | Some f -> sp.sp_us *. f
+    | None -> sp.sp_us
 
   (** One slice of the occupancy timeline: between two scheduler events,
       [sa_resident] streams had a kernel on the device asking for
@@ -356,16 +397,54 @@ module Multi = struct
     sa_bw_demand : float;
   }
 
+  (** One device-throttle window: between [w_start] and [w_end] the device
+      retains only [w_cap] of its SM and DRAM capacity (a partial outage —
+      thermal throttling, a sibling tenant, a failing HBM stack). *)
+  type window = { w_start : float; w_end : float; w_cap : float }
+
   type t = {
     mdev : Device.t;
     mutable mnow : float;
     mutable mnext : int;
     mutable mstreams : stream list;  (* reverse launch order *)
     mutable msamples : sample list;  (* reverse time order *)
+    mutable mwindows : window list;  (* device-throttle windows *)
   }
 
   let create (dev : Device.t) : t =
-    { mdev = dev; mnow = 0.; mnext = 0; mstreams = []; msamples = [] }
+    {
+      mdev = dev;
+      mnow = 0.;
+      mnext = 0;
+      mstreams = [];
+      msamples = [];
+      mwindows = [];
+    }
+
+  (** Arm a capacity cut: from [start_us] for [dur_us], the device keeps
+      only [capacity] (0 < c <= 1) of its SMs and DRAM bandwidth. *)
+  let throttle t ~start_us ~dur_us ~capacity =
+    if capacity <= 0. || capacity > 1. then
+      invalid_arg "Sim.Multi.throttle: capacity must be in (0, 1]";
+    if dur_us <= 0. then invalid_arg "Sim.Multi.throttle: dur_us must be > 0";
+    t.mwindows <-
+      t.mwindows @ [ { w_start = start_us; w_end = start_us +. dur_us; w_cap = capacity } ]
+
+  (* effective capacity fraction at [now]; overlapping windows compound to
+     the most restrictive *)
+  let capacity_at t now =
+    List.fold_left
+      (fun c w -> if now >= w.w_start && now < w.w_end then Float.min c w.w_cap else c)
+      1. t.mwindows
+
+  (* earliest window boundary strictly after [now]: capacity changes are
+     scheduler events of their own *)
+  let next_window_boundary t now =
+    List.fold_left
+      (fun a w ->
+        let a = if w.w_start > now then Float.min a w.w_start else a in
+        if w.w_end > now then Float.min a w.w_end else a)
+      infinity t.mwindows
 
   let now_us t = t.mnow
   let streams t = List.rev t.mstreams
@@ -411,13 +490,21 @@ module Multi = struct
     let ss = active t in
     let d, b = demands ss in
     let sms = float_of_int t.mdev.Device.num_sms in
-    let sm_slow = Float.max 1. (float_of_int d /. sms) in
     (* a stream already time-sliced [sm_slow]x issues its memory traffic
        that much slower, so DRAM pressure is the *residual* demand after
        SM sharing — compounding the solo demands would double-count and
        make the device non-work-conserving (N identical streams slower
-       than serial) *)
-    let bw_over = Float.max 1. (b /. sm_slow) in
+       than serial).  An active throttle window scales both capacities;
+       the un-throttled path keeps the exact PR 5 float expressions. *)
+    let sm_slow, bw_over =
+      if t.mwindows = [] then
+        let sm_slow = Float.max 1. (float_of_int d /. sms) in
+        (sm_slow, Float.max 1. (b /. sm_slow))
+      else
+        let cap = capacity_at t t.mnow in
+        let sm_slow = Float.max 1. (float_of_int d /. (sms *. cap)) in
+        (sm_slow, Float.max 1. (b /. (sm_slow *. cap)))
+    in
     List.iter
       (fun s ->
         match s.st_phase with
@@ -439,6 +526,7 @@ module Multi = struct
         s.st_finish_us <- Some (s.st_start_us +. s.st_service_us)
     | kp :: rest ->
         s.st_queue <- rest;
+        s.st_kidx <- s.st_kidx + 1;
         s.st_kelapsed <- 0.;
         s.st_kstart <- t.mnow;
         s.st_phase <-
@@ -449,6 +537,17 @@ module Multi = struct
     s.st_service_us <- s.st_service_us +. s.st_kelapsed;
     next_kernel t s
 
+  (* an armed Kernel_fault struck: the kernel's work so far is spent, the
+     stream terminates Faulted at the engine clock *)
+  let abort_faulted t (s : stream) (prof : kernel_profile) =
+    s.st_slices <- (prof.kp_name, s.st_kstart, t.mnow) :: s.st_slices;
+    s.st_service_us <- s.st_service_us +. s.st_kelapsed;
+    s.st_queue <- [];
+    s.st_phase <- Drained;
+    s.st_outcome <- Faulted;
+    s.st_finish_us <- Some t.mnow;
+    Faultinject.Runtime.record_trip ~stream:s.st_id
+
   (* the stream's deadline was reached: cross into the next phase *)
   let cross t (s : stream) =
     match s.st_phase with
@@ -457,40 +556,76 @@ module Multi = struct
         match prof.kp_stages with
         | [] -> retire_kernel t s prof
         | sp :: _ as stages ->
+            s.st_sidx <- 0;
             s.st_phase <-
-              Executing { prof; todo = stages; seg = mkseg ~now:t.mnow ~left:sp.sp_us })
+              Executing
+                {
+                  prof;
+                  todo = stages;
+                  seg = mkseg ~now:t.mnow ~left:(stage_left s ~stage:0 sp);
+                })
     | Executing ({ prof; seg; _ } as e) -> (
         s.st_kelapsed <- s.st_kelapsed +. seg_total seg;
-        match e.todo with
-        | _ :: (sp :: _ as rest) ->
-            e.todo <- rest;
-            seg.g_left <- sp.sp_us;
-            seg.g_stretch <- 1.0;
-            seg.g_start <- t.mnow;
-            seg.g_deadline <- t.mnow +. sp.sp_us;
-            seg.g_acc <- 0.
-        | _ -> retire_kernel t s prof)
+        if fault_at s ~kernel:s.st_kidx ~stage:s.st_sidx then
+          abort_faulted t s prof
+        else
+          match e.todo with
+          | _ :: (sp :: _ as rest) ->
+              e.todo <- rest;
+              s.st_sidx <- s.st_sidx + 1;
+              seg.g_left <- stage_left s ~stage:s.st_sidx sp;
+              seg.g_stretch <- 1.0;
+              seg.g_start <- t.mnow;
+              seg.g_deadline <- t.mnow +. seg.g_left;
+              seg.g_acc <- 0.
+          | _ -> retire_kernel t s prof)
     | Drained -> ()
 
-  let launch t ?(label = "") (profs : kernel_profile list) : stream =
+  let launch t ?(label = "") ?(faults = []) (profs : kernel_profile list) :
+      stream =
     let s =
       {
         st_id = t.mnext;
         st_label = label;
         st_start_us = t.mnow;
+        st_faults = faults;
         st_queue = profs;
         st_phase = Drained;
+        st_kidx = -1;
+        st_sidx = 0;
         st_kelapsed = 0.;
         st_kstart = t.mnow;
         st_service_us = 0.;
         st_slices = [];
         st_finish_us = None;
+        st_outcome = Finished;
       }
     in
     t.mnext <- t.mnext + 1;
     t.mstreams <- s :: t.mstreams;
+    if faults <> [] then Faultinject.Runtime.arm ~stream:s.st_id faults;
     next_kernel t s;
     s
+
+  (** Cancel a running stream at the current engine clock (the serving
+      watchdog's lever): partial work is folded into the service time and a
+      partial kernel slice is recorded, the stream terminates [Cancelled],
+      and the remaining streams re-stretch to the freed capacity.  A no-op
+      on streams that already finished. *)
+  let cancel t (s : stream) : unit =
+    match s.st_phase with
+    | Drained -> ()
+    | Launching { prof; seg } | Executing { prof; seg; _ } ->
+        let ran = Float.max 0. (t.mnow -. seg.g_start) in
+        s.st_service_us <-
+          s.st_service_us +. s.st_kelapsed +. seg.g_acc +. ran;
+        if t.mnow > s.st_kstart then
+          s.st_slices <- (prof.kp_name, s.st_kstart, t.mnow) :: s.st_slices;
+        s.st_queue <- [];
+        s.st_phase <- Drained;
+        s.st_outcome <- Cancelled;
+        s.st_finish_us <- Some t.mnow;
+        restretch t
 
   let record_sample t (ss : stream list) ~til =
     let dt = til -. t.mnow in
@@ -511,8 +646,9 @@ module Multi = struct
         :: t.msamples
     end
 
-  (* one scheduler event: advance to the earliest phase deadline (or to
-     [until], whichever is first) and process every boundary reached *)
+  (* one scheduler event: advance to the earliest phase deadline, throttle
+     window boundary, or [until], whichever is first, and process every
+     boundary reached *)
   let step t ~until =
     match active t with
     | [] ->
@@ -525,7 +661,19 @@ module Multi = struct
         let next =
           List.fold_left (fun a s -> Float.min a (deadline_of s)) infinity ss
         in
-        if until < next then begin
+        (* a capacity change mid-stage is an event too: streams must
+           re-segment at the window edge *)
+        let next =
+          if t.mwindows = [] then next
+          else Float.min next (next_window_boundary t t.mnow)
+        in
+        if next = infinity && until = infinity then
+          (* every active stream is hung indefinitely (an armed
+             [Kernel_hang] with factor infinity) and nothing external is
+             coming: no event will ever fire.  Surface it instead of
+             spinning — the caller's watchdog must cancel. *)
+          `Stalled ss
+        else if until < next then begin
           record_sample t ss ~til:until;
           if until > t.mnow then t.mnow <- until;
           `Reached
@@ -541,8 +689,10 @@ module Multi = struct
 
   (** Advance simulated time.  Returns when the first stream completes
       ([`Completed], possibly several at the same instant), when [until]
-      is reached with streams still running ([`Reached]), or — only with
-      [until = infinity] — when no stream is active ([`Idle]). *)
+      is reached with streams still running ([`Reached]), when every
+      active stream is hung indefinitely with nothing else pending
+      ([`Stalled], carrying the hung streams — cancel or give up), or —
+      only with [until = infinity] — when no stream is active ([`Idle]). *)
   let advance t ~until =
     let rec go () =
       if t.mnow >= until then `Reached
@@ -550,14 +700,19 @@ module Multi = struct
         match step t ~until with
         | `Idle -> `Idle
         | `Reached -> `Reached
+        | `Stalled ss -> `Stalled ss
         | `Crossed [] -> go ()
         | `Crossed done_ -> `Completed done_
     in
     go ()
 
-  (** Run every launched stream to completion. *)
+  (** Run every launched stream to completion.  Indefinitely hung streams
+      ([`Stalled]) are cancelled — drain must terminate. *)
   let rec drain t =
     match advance t ~until:infinity with
     | `Idle | `Reached -> ()
+    | `Stalled ss ->
+        List.iter (cancel t) ss;
+        drain t
     | `Completed _ -> drain t
 end

@@ -168,8 +168,11 @@ let pp_tree ppf (t : trace) =
     span, microsecond timestamps, span metadata under ["args"].  A span
     whose metadata carries a numeric ["tid"] is emitted on that thread row
     (how the serving layer gives each concurrency lane its own swimlane);
-    everything else lands on row 1.  Load the file in [chrome://tracing]
-    or {{:https://ui.perfetto.dev}Perfetto}. *)
+    everything else lands on row 1.  A ["cname"] metadata entry becomes the
+    event's top-level [cname] (one of Chrome's reserved color names), which
+    is how faulted and retried serving spans get their distinct colors.
+    Load the file in [chrome://tracing] or
+    {{:https://ui.perfetto.dev}Perfetto}. *)
 let to_chrome_json (t : trace) : string =
   let events = ref [] in
   iter
@@ -179,23 +182,28 @@ let to_chrome_json (t : trace) : string =
         | Some v -> ( match float_of_string_opt v with Some f -> f | None -> 1.)
         | None -> 1.
       in
+      let cname = List.assoc_opt "cname" s.meta in
       let args =
         List.filter_map
-          (fun (k, v) -> if k = "tid" then None else Some (k, Jsonlite.Str v))
+          (fun (k, v) ->
+            if k = "tid" || k = "cname" then None else Some (k, Jsonlite.Str v))
           s.meta
       in
       events :=
         Jsonlite.Obj
-          [
-            ("name", Jsonlite.Str s.sname);
-            ("cat", Jsonlite.Str "souffle");
-            ("ph", Jsonlite.Str "X");
-            ("ts", Jsonlite.Num s.start_us);
-            ("dur", Jsonlite.Num s.dur_us);
-            ("pid", Jsonlite.Num 1.);
-            ("tid", Jsonlite.Num tid);
-            ("args", Jsonlite.Obj args);
-          ]
+          ([
+             ("name", Jsonlite.Str s.sname);
+             ("cat", Jsonlite.Str "souffle");
+             ("ph", Jsonlite.Str "X");
+             ("ts", Jsonlite.Num s.start_us);
+             ("dur", Jsonlite.Num s.dur_us);
+             ("pid", Jsonlite.Num 1.);
+             ("tid", Jsonlite.Num tid);
+           ]
+          @ (match cname with
+            | Some c -> [ ("cname", Jsonlite.Str c) ]
+            | None -> [])
+          @ [ ("args", Jsonlite.Obj args) ])
         :: !events)
     t;
   Jsonlite.to_string

@@ -1,4 +1,5 @@
-(** Admission and dispatch on top of {!Sim.Multi}.
+(** Admission and dispatch on top of {!Sim.Multi}, with a full request
+    lifecycle.
 
     The scheduler owns the request queue: arrivals enter a pending queue,
     and whenever a concurrency slot is free the configured policy picks the
@@ -11,7 +12,32 @@
       produced for free; ties keep arrival order.
 
     [max_streams] bounds how many requests may share the device at once
-    (the serving concurrency knob); everything else queues. *)
+    (the serving concurrency knob); everything else queues.
+
+    On top of the PR 5 happy path, requests now have a lifecycle:
+
+    - {b Deadlines.}  A request carrying an SLO (its own
+      [Workload.rq_slo_us], or the scheduler-wide [deadline_us] default)
+      must finish within that budget of its arrival.  A watchdog cancels
+      in-flight streams at their deadline (freeing the slot for the next
+      queued request) and expires queued requests whose deadline passed —
+      terminal outcome [timed_out].
+    - {b Retries.}  A stream struck by a runtime kernel fault (or hung
+      forever) terminates [Faulted]; the request re-enters the queue after
+      a deterministic linear backoff ([backoff_us * attempt]) on a fresh
+      stream, at most [retries] times.  Retries exhausted is the terminal
+      outcome [failed].
+    - {b Admission control.}  A bounded pending queue ([queue_cap]) with a
+      drop policy: [Reject] drops the newest arrival on overflow;
+      [Shed] first sheds queued requests that can no longer meet their SLO
+      given the solo-latency estimate (terminal outcome [rejected]).
+    - {b Chaos.}  An armed {!Faultinject.chaos} spec derives a
+      deterministic per-attempt fault plan (seeded by request id and
+      attempt number) and an optional device-throttle window, so the same
+      (seed, chaos, workload) triple reproduces byte-identical outcomes.
+
+    With none of those features configured the scheduler is byte-identical
+    to the PR 5 baseline — the fault machinery costs nothing when off. *)
 
 type policy = Fifo | Sel
 
@@ -22,10 +48,34 @@ let policy_of_string = function
   | "sel" | "shortest" -> Some Sel
   | _ -> None
 
+(** What to do when an arrival finds the pending queue full. *)
+type drop_policy = Reject | Shed
+
+let drop_to_string = function Reject -> "reject" | Shed -> "shed"
+
+let drop_of_string = function
+  | "reject" | "reject-newest" -> Some Reject
+  | "shed" | "shed-expired" -> Some Shed
+  | _ -> None
+
 type cfg = {
   policy : policy;
   max_streams : int;  (** concurrency bound, >= 1 *)
+  queue_cap : int option;  (** bounded pending queue ([None] = unbounded) *)
+  drop : drop_policy;
+  retries : int;  (** max re-dispatches after a runtime fault *)
+  backoff_us : float;  (** linear retry backoff: attempt [k] waits [k *] this *)
+  deadline_us : float option;
+      (** default SLO for requests that carry none ([Workload.rq_slo_us]
+          wins when present) *)
+  chaos : Faultinject.chaos option;  (** armed runtime-fault model *)
 }
+
+(** Build a scheduler configuration; every lifecycle feature defaults off,
+    which reproduces the PR 5 scheduler exactly. *)
+let cfg ?queue_cap ?(drop = Reject) ?(retries = 0) ?(backoff_us = 50.)
+    ?deadline_us ?chaos ~policy ~max_streams () : cfg =
+  { policy; max_streams; queue_cap; drop; retries; backoff_us; deadline_us; chaos }
 
 (** One compiled, reusable inference program: the unit the serving layer
     shares across every request for the same model. *)
@@ -54,7 +104,7 @@ let artifact_of_prog (dev : Device.t) ~model ?(degraded = 0)
 type completed = {
   c_req : Workload.request;
   c_model : string;
-  c_stream : int;        (** engine stream id (unique per request) *)
+  c_stream : int;        (** engine stream id (unique per attempt) *)
   c_slot : int;          (** concurrency lane, [0 .. max_streams-1] *)
   c_dispatch_us : float;
   c_finish_us : float;
@@ -63,15 +113,64 @@ type completed = {
   c_bytes : int;         (** solo global-memory traffic of the request *)
   c_slices : (string * float * float) list;
       (** per-kernel (name, start, end) under contention *)
+  c_retries : int;       (** faulted attempts absorbed before this one *)
+  c_deadline_us : float option;  (** absolute deadline, when one applied *)
 }
 
 (** Latency including queueing: finish minus arrival. *)
 let latency_us (c : completed) = c.c_finish_us -. c.c_req.Workload.rq_arrival_us
 
+(** Why a dispatched attempt died on the device. *)
+type abort_reason = Fault | Deadline | Hung
+
+let abort_reason_to_string = function
+  | Fault -> "fault"
+  | Deadline -> "deadline"
+  | Hung -> "hung"
+
+(** One dispatched attempt that did not complete: a faulted, hung, or
+    deadline-cancelled stream.  The request itself may still have completed
+    on a later attempt. *)
+type aborted = {
+  a_req : Workload.request;
+  a_model : string;
+  a_try : int;           (** 0 = first dispatch of the request *)
+  a_stream : int;
+  a_slot : int;
+  a_dispatch_us : float;
+  a_end_us : float;
+  a_service_us : float;  (** device time wasted on the attempt *)
+  a_reason : abort_reason;
+  a_slices : (string * float * float) list;
+}
+
+(** Why a request was dropped without (another) dispatch. *)
+type drop_reason =
+  | Queue_full  (** rejected on arrival: bounded queue at capacity *)
+  | Shed_slo    (** shed: could no longer meet its SLO per the estimate *)
+  | Expired     (** timed out while still queued *)
+
+let drop_reason_to_string = function
+  | Queue_full -> "queue-full"
+  | Shed_slo -> "shed-slo"
+  | Expired -> "expired"
+
+type dropped = {
+  d_req : Workload.request;
+  d_time_us : float;
+  d_reason : drop_reason;
+}
+
 type outcome = {
   o_policy : policy;
   o_max_streams : int;
   o_completed : completed list;        (** completion order *)
+  o_aborted : aborted list;            (** event order; [] without chaos *)
+  o_dropped : dropped list;            (** event order; [] without caps/SLOs *)
+  o_failed : (Workload.request * float * int) list;
+      (** requests whose retry budget a fault exhausted: (request,
+          terminal time, attempts made) *)
+  o_diags : Diag.t list;               (** lifecycle events as diagnostics *)
   o_samples : Sim.Multi.sample list;   (** SM/bandwidth occupancy timeline *)
   o_makespan_us : float;               (** time of the last completion *)
 }
@@ -81,12 +180,24 @@ let rec insert_sorted x = function
   | y :: _ as l when x <= y -> x :: l
   | y :: rest -> y :: insert_sorted x rest
 
+(* retry queue entries ordered by (ready time, request id) *)
+let rec insert_retry ((t, (r : Workload.request), _) as x) = function
+  | [] -> [ x ]
+  | ((t', (r' : Workload.request), _) :: _) as l
+    when t < t' || (t = t' && r.Workload.rq_id < r'.Workload.rq_id) ->
+      x :: l
+  | y :: rest -> y :: insert_retry x rest
+
 (** Serve [reqs] against [artifacts] on a fresh engine.  Deterministic:
     identical inputs produce identical outcomes.
     @raise Invalid_argument on an unknown model or [max_streams < 1]. *)
 let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
     (reqs : Workload.request list) : outcome =
   if cfg.max_streams < 1 then invalid_arg "Scheduler.run: max_streams < 1";
+  if cfg.retries < 0 then invalid_arg "Scheduler.run: retries < 0";
+  (match cfg.queue_cap with
+  | Some c when c < 1 -> invalid_arg "Scheduler.run: queue_cap < 1"
+  | _ -> ());
   let tbl = Hashtbl.create 8 in
   List.iter
     (fun a -> Hashtbl.replace tbl (String.lowercase_ascii a.art_model) a)
@@ -98,6 +209,32 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
   in
   (* fail on unknown models before any simulated time passes *)
   List.iter (fun (r : Workload.request) -> ignore (art_of r.Workload.rq_model)) reqs;
+  (* kernel-stage shape of each artifact, for chaos plan derivation *)
+  let stages_tbl : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+  let stages_of (a : artifact) : int array =
+    let key = String.lowercase_ascii a.art_model in
+    match Hashtbl.find_opt stages_tbl key with
+    | Some s -> s
+    | None ->
+        let s =
+          Array.of_list
+            (List.map
+               (fun (kp : Sim.kernel_profile) -> List.length kp.Sim.kp_stages)
+               a.art_profiles)
+        in
+        Hashtbl.replace stages_tbl key s;
+        s
+  in
+  let deadline_of_req (r : Workload.request) : float option =
+    match (r.Workload.rq_slo_us, cfg.deadline_us) with
+    | Some s, _ | None, Some s -> Some (r.Workload.rq_arrival_us +. s)
+    | None, None -> None
+  in
+  let deadlines_possible =
+    cfg.deadline_us <> None
+    || List.exists (fun (r : Workload.request) -> r.Workload.rq_slo_us <> None) reqs
+  in
+  if cfg.chaos <> None then Faultinject.Runtime.reset ();
   let upcoming =
     ref
       (List.stable_sort
@@ -105,91 +242,311 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
            compare a.Workload.rq_arrival_us b.Workload.rq_arrival_us)
          reqs)
   in
-  let queue = ref [] (* arrived, undispatched; arrival order *) in
+  let queue = ref [] (* (request, attempt) — arrived, undispatched *) in
+  let retry_at = ref [] (* (ready_us, request, attempt), sorted *) in
   let m = Sim.Multi.create dev in
-  let inflight : (int, Workload.request * artifact * int * float) Hashtbl.t =
+  (match cfg.chaos with
+  | Some { Faultinject.ch_throttle = Some th; _ } ->
+      Sim.Multi.throttle m ~start_us:th.Faultinject.th_start_us
+        ~dur_us:th.Faultinject.th_dur_us ~capacity:th.Faultinject.th_capacity
+  | _ -> ());
+  let inflight :
+      ( int,
+        Workload.request * artifact * int * float * int * Sim.Multi.stream )
+      Hashtbl.t =
     Hashtbl.create 16
   in
   let free_slots = ref (List.init cfg.max_streams Fun.id) in
   let completed = ref [] in
+  let aborted = ref [] in
+  let dropped = ref [] in
+  let failed = ref [] in
+  let diags = ref [] in
+  let diag d = diags := d :: !diags in
+  let drop (r : Workload.request) reason =
+    let now = Sim.Multi.now_us m in
+    dropped := { d_req = r; d_time_us = now; d_reason = reason } :: !dropped;
+    diag
+      (Diag.warning ~subject:r.Workload.rq_model Diag.Serve
+         (Fmt.str "request %d dropped (%s) at %.1f us" r.Workload.rq_id
+            (drop_reason_to_string reason)
+            now))
+  in
+  let hopeless now (r : Workload.request) =
+    match deadline_of_req r with
+    | Some d -> now +. (art_of r.Workload.rq_model).art_solo_us > d
+    | None -> false
+  in
+  (* bounded-queue admission for fresh arrivals (retries re-enter without
+     re-admission: they were already admitted once) *)
+  let admit (r : Workload.request) =
+    let enqueue () = queue := !queue @ [ (r, 0) ] in
+    match cfg.queue_cap with
+    | None -> enqueue ()
+    | Some cap ->
+        if List.length !queue < cap then enqueue ()
+        else begin
+          let now = Sim.Multi.now_us m in
+          (match cfg.drop with
+          | Shed ->
+              (* deadline-aware: first shed queued requests that can no
+                 longer meet their SLO given the solo-latency estimate *)
+              let keep, shed =
+                List.partition (fun (q, _) -> not (hopeless now q)) !queue
+              in
+              if shed <> [] then begin
+                queue := keep;
+                List.iter (fun (q, _) -> drop q Shed_slo) shed
+              end
+          | Reject -> ());
+          if List.length !queue < Option.get cfg.queue_cap then enqueue ()
+          else
+            drop r
+              (if cfg.drop = Shed && hopeless (Sim.Multi.now_us m) r then
+                 Shed_slo
+               else Queue_full)
+        end
+  in
   let absorb () =
-    let rec go () =
+    let rec arrivals () =
       match !upcoming with
       | (r : Workload.request) :: rest
         when r.Workload.rq_arrival_us <= Sim.Multi.now_us m ->
-          queue := !queue @ [ r ];
+          (match cfg.queue_cap with
+          | None -> queue := !queue @ [ (r, 0) ]
+          | Some _ -> admit r);
           upcoming := rest;
-          go ()
+          arrivals ()
       | _ -> ()
     in
-    go ()
+    arrivals ();
+    let rec retries () =
+      match !retry_at with
+      | (ready, r, attempt) :: rest when ready <= Sim.Multi.now_us m ->
+          queue := !queue @ [ (r, attempt) ];
+          retry_at := rest;
+          retries ()
+      | _ -> ()
+    in
+    if !retry_at <> [] then retries ()
+  in
+  (* queued requests whose deadline passed time out without a dispatch *)
+  let expire_queue () =
+    if deadlines_possible && !queue <> [] then begin
+      let now = Sim.Multi.now_us m in
+      let live, dead =
+        List.partition
+          (fun ((q : Workload.request), _) ->
+            match deadline_of_req q with Some d -> d > now | None -> true)
+          !queue
+      in
+      if dead <> [] then begin
+        queue := live;
+        List.iter (fun (q, _) -> drop q Expired) dead
+      end
+    end
+  in
+  let record_abort (rq : Workload.request) (art : artifact) slot disp attempt
+      (st : Sim.Multi.stream) reason =
+    aborted :=
+      {
+        a_req = rq;
+        a_model = art.art_model;
+        a_try = attempt;
+        a_stream = st.Sim.Multi.st_id;
+        a_slot = slot;
+        a_dispatch_us = disp;
+        a_end_us = Option.value ~default:(Sim.Multi.now_us m) st.Sim.Multi.st_finish_us;
+        a_service_us = st.Sim.Multi.st_service_us;
+        a_reason = reason;
+        a_slices = Sim.Multi.kernel_slices st;
+      }
+      :: !aborted
+  in
+  let retry_or_fail (rq : Workload.request) attempt =
+    let now = Sim.Multi.now_us m in
+    if attempt < cfg.retries then begin
+      let ready = now +. (cfg.backoff_us *. float_of_int (attempt + 1)) in
+      retry_at := insert_retry (ready, rq, attempt + 1) !retry_at;
+      diag
+        (Diag.warning ~subject:rq.Workload.rq_model Diag.Serve
+           ~hint:"fresh stream after deterministic backoff"
+           (Fmt.str "request %d attempt %d faulted; retry %d at %.1f us"
+              rq.Workload.rq_id attempt (attempt + 1) ready))
+    end
+    else begin
+      failed := (rq, now, attempt + 1) :: !failed;
+      diag
+        (Diag.error ~subject:rq.Workload.rq_model Diag.Serve
+           ~hint:"raise --retries or lower the fault rate"
+           (Fmt.str "request %d failed: fault exhausted %d attempt(s)"
+              rq.Workload.rq_id (attempt + 1)))
+    end
+  in
+  (* watchdog: cancel in-flight streams past their request's deadline and
+     free their slot for the next queued request *)
+  let expire_inflight () =
+    if deadlines_possible && Hashtbl.length inflight > 0 then begin
+      let now = Sim.Multi.now_us m in
+      let expired =
+        Hashtbl.fold
+          (fun _ ((rq, _, _, _, _, _) as entry) acc ->
+            match deadline_of_req rq with
+            | Some d when d <= now -> entry :: acc
+            | _ -> acc)
+          inflight []
+        |> List.sort
+             (fun (_, _, _, _, _, (s1 : Sim.Multi.stream))
+                  (_, _, _, _, _, (s2 : Sim.Multi.stream)) ->
+               compare s1.Sim.Multi.st_id s2.Sim.Multi.st_id)
+      in
+      List.iter
+        (fun (rq, art, slot, disp, attempt, st) ->
+          Sim.Multi.cancel m st;
+          Hashtbl.remove inflight st.Sim.Multi.st_id;
+          free_slots := insert_sorted slot !free_slots;
+          record_abort rq art slot disp attempt st Deadline;
+          diag
+            (Diag.warning ~subject:art.art_model Diag.Serve
+               (Fmt.str "request %d timed out at %.1f us (attempt %d cancelled)"
+                  rq.Workload.rq_id now attempt)))
+        expired
+    end
   in
   let pick () =
     match cfg.policy with
     | Fifo -> List.hd !queue
     | Sel ->
         List.fold_left
-          (fun (best : Workload.request) (r : Workload.request) ->
+          (fun ((best : Workload.request), _ as b) ((r : Workload.request), _ as c) ->
             if
               (art_of r.Workload.rq_model).art_solo_us
               < (art_of best.Workload.rq_model).art_solo_us
-            then r
-            else best)
+            then c
+            else b)
           (List.hd !queue) (List.tl !queue)
   in
   let dispatch () =
     while !queue <> [] && !free_slots <> [] do
-      let rq = pick () in
+      let rq, attempt = pick () in
       queue :=
         List.filter
-          (fun (r : Workload.request) -> r.Workload.rq_id <> rq.Workload.rq_id)
+          (fun ((r : Workload.request), _) ->
+            r.Workload.rq_id <> rq.Workload.rq_id)
           !queue;
       let slot = List.hd !free_slots in
       free_slots := List.tl !free_slots;
       let art = art_of rq.Workload.rq_model in
+      let faults =
+        match cfg.chaos with
+        | None -> []
+        | Some c ->
+            Faultinject.chaos_plan c ~rq_id:rq.Workload.rq_id ~attempt
+              ~stages:(stages_of art)
+      in
       let st =
         Sim.Multi.launch m
           ~label:(Fmt.str "%s#%d" art.art_model rq.Workload.rq_id)
-          art.art_profiles
+          ~faults art.art_profiles
       in
       Hashtbl.replace inflight st.Sim.Multi.st_id
-        (rq, art, slot, Sim.Multi.now_us m)
+        (rq, art, slot, Sim.Multi.now_us m, attempt, st)
     done
   in
-  let on_complete (st : Sim.Multi.stream) =
-    let rq, art, slot, disp = Hashtbl.find inflight st.Sim.Multi.st_id in
+  let on_stream_end (st : Sim.Multi.stream) =
+    let rq, art, slot, disp, attempt, _ = Hashtbl.find inflight st.Sim.Multi.st_id in
     Hashtbl.remove inflight st.Sim.Multi.st_id;
     free_slots := insert_sorted slot !free_slots;
-    completed :=
-      {
-        c_req = rq;
-        c_model = art.art_model;
-        c_stream = st.Sim.Multi.st_id;
-        c_slot = slot;
-        c_dispatch_us = disp;
-        c_finish_us = Option.get st.Sim.Multi.st_finish_us;
-        c_service_us = st.Sim.Multi.st_service_us;
-        c_solo_us = art.art_solo_us;
-        c_bytes = Counters.global_transfer_bytes art.art_counters;
-        c_slices = Sim.Multi.kernel_slices st;
-      }
-      :: !completed
+    match st.Sim.Multi.st_outcome with
+    | Sim.Multi.Finished ->
+        completed :=
+          {
+            c_req = rq;
+            c_model = art.art_model;
+            c_stream = st.Sim.Multi.st_id;
+            c_slot = slot;
+            c_dispatch_us = disp;
+            c_finish_us = Option.get st.Sim.Multi.st_finish_us;
+            c_service_us = st.Sim.Multi.st_service_us;
+            c_solo_us = art.art_solo_us;
+            c_bytes = Counters.global_transfer_bytes art.art_counters;
+            c_slices = Sim.Multi.kernel_slices st;
+            c_retries = attempt;
+            c_deadline_us = deadline_of_req rq;
+          }
+          :: !completed
+    | Sim.Multi.Faulted ->
+        record_abort rq art slot disp attempt st Fault;
+        retry_or_fail rq attempt
+    | Sim.Multi.Cancelled ->
+        (* cancellations are recorded where they are issued *)
+        ()
+  in
+  (* a stream hung forever with no deadline to cancel it: cancel here and
+     treat it like a fault (the retry re-rolls its fate) *)
+  let on_stall (ss : Sim.Multi.stream list) =
+    let ss =
+      List.sort
+        (fun (a : Sim.Multi.stream) b -> compare a.Sim.Multi.st_id b.Sim.Multi.st_id)
+        ss
+    in
+    List.iter
+      (fun (st : Sim.Multi.stream) ->
+        match Hashtbl.find_opt inflight st.Sim.Multi.st_id with
+        | None -> Sim.Multi.cancel m st
+        | Some (rq, art, slot, disp, attempt, _) ->
+            Sim.Multi.cancel m st;
+            Hashtbl.remove inflight st.Sim.Multi.st_id;
+            free_slots := insert_sorted slot !free_slots;
+            record_abort rq art slot disp attempt st Hung;
+            diag
+              (Diag.warning ~subject:art.art_model Diag.Serve
+                 (Fmt.str "request %d attempt %d hung indefinitely; cancelled"
+                    rq.Workload.rq_id attempt));
+            retry_or_fail rq attempt)
+      ss
   in
   let rec loop () =
     absorb ();
+    expire_queue ();
     dispatch ();
-    if Hashtbl.length inflight = 0 && !queue = [] && !upcoming = [] then ()
+    if
+      Hashtbl.length inflight = 0
+      && !queue = [] && !upcoming = [] && !retry_at = []
+    then ()
     else begin
       let until =
-        match !upcoming with
-        | [] -> infinity
-        | (r : Workload.request) :: _ -> r.Workload.rq_arrival_us
+        let a =
+          match !upcoming with
+          | [] -> infinity
+          | (r : Workload.request) :: _ -> r.Workload.rq_arrival_us
+        in
+        let d =
+          if deadlines_possible then
+            Hashtbl.fold
+              (fun _ (rq, _, _, _, _, _) acc ->
+                match deadline_of_req rq with
+                | Some dd -> Float.min acc dd
+                | None -> acc)
+              inflight infinity
+          else infinity
+        in
+        let rt =
+          match !retry_at with [] -> infinity | (t, _, _) :: _ -> t
+        in
+        Float.min a (Float.min d rt)
       in
       match Sim.Multi.advance m ~until with
-      | `Reached -> loop ()
+      | `Reached ->
+          expire_inflight ();
+          loop ()
       | `Idle -> () (* unreachable: nothing active implies nothing pending *)
+      | `Stalled ss ->
+          on_stall ss;
+          loop ()
       | `Completed ss ->
-          List.iter on_complete ss;
+          List.iter on_stream_end ss;
+          expire_inflight ();
           loop ()
     end
   in
@@ -198,6 +555,10 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
     o_policy = cfg.policy;
     o_max_streams = cfg.max_streams;
     o_completed = List.rev !completed;
+    o_aborted = List.rev !aborted;
+    o_dropped = List.rev !dropped;
+    o_failed = List.rev !failed;
+    o_diags = List.rev !diags;
     o_samples = Sim.Multi.samples m;
     o_makespan_us = Sim.Multi.now_us m;
   }

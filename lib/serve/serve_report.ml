@@ -19,7 +19,20 @@ type summary = {
   s_avg_resident : float;    (** time-weighted co-resident streams *)
   s_peak_resident : int;
   s_dram_gb : float;         (** solo global-memory traffic served *)
+  (* request-lifecycle counts; all zero unless deadlines/retries/caps or a
+     chaos fault actually fired, so baseline reports are unchanged *)
+  s_retried : int;    (** requests completed after >= 1 faulted attempt *)
+  s_timed_out : int;  (** deadline-cancelled in flight or expired queued *)
+  s_rejected : int;   (** shed or rejected by admission control *)
+  s_failed : int;     (** faults exhausted the retry budget *)
+  s_faults : int;     (** faulted or hung dispatched attempts *)
+  s_retries : int;    (** retry dispatches scheduled *)
 }
+
+(** Any lifecycle event at all?  False on every fault-free run. *)
+let lifecycle_active (s : summary) =
+  s.s_retried > 0 || s.s_timed_out > 0 || s.s_rejected > 0 || s.s_failed > 0
+  || s.s_faults > 0 || s.s_retries > 0
 
 (** Nearest-rank percentile; [nan] on an empty list. *)
 let percentile (xs : float list) (p : float) : float =
@@ -102,7 +115,45 @@ let summarize (o : Scheduler.outcome) : summary =
            (fun a (c : Scheduler.completed) -> a + c.Scheduler.c_bytes)
            0 cs)
       /. 1e9;
+    s_retried =
+      List.length
+        (List.filter (fun (c : Scheduler.completed) -> c.Scheduler.c_retries > 0) cs);
+    s_timed_out =
+      List.length
+        (List.filter
+           (fun (a : Scheduler.aborted) -> a.Scheduler.a_reason = Scheduler.Deadline)
+           o.Scheduler.o_aborted)
+      + List.length
+          (List.filter
+             (fun (d : Scheduler.dropped) -> d.Scheduler.d_reason = Scheduler.Expired)
+             o.Scheduler.o_dropped);
+    s_rejected =
+      List.length
+        (List.filter
+           (fun (d : Scheduler.dropped) -> d.Scheduler.d_reason <> Scheduler.Expired)
+           o.Scheduler.o_dropped);
+    s_failed = List.length o.Scheduler.o_failed;
+    s_faults =
+      List.length
+        (List.filter
+           (fun (a : Scheduler.aborted) -> a.Scheduler.a_reason <> Scheduler.Deadline)
+           o.Scheduler.o_aborted);
+    s_retries =
+      List.length
+        (List.filter
+           (fun (a : Scheduler.aborted) -> a.Scheduler.a_reason <> Scheduler.Deadline)
+           o.Scheduler.o_aborted)
+      - List.length o.Scheduler.o_failed;
   }
+
+(* printed inside pp_summary's vbox; silent unless a lifecycle event fired,
+   which keeps fault-free output byte-identical to the pre-lifecycle layout *)
+let pp_lifecycle ppf (s : summary) =
+  if lifecycle_active s then
+    Fmt.pf ppf
+      "@,lifecycle: retried %d  timed-out %d  rejected %d  failed %d  \
+       (faults %d, retries %d)"
+      s.s_retried s.s_timed_out s.s_rejected s.s_failed s.s_faults s.s_retries
 
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
@@ -110,16 +161,16 @@ let pp_summary ppf (s : summary) =
      latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f@,\
      service: mean %.3f ms, slowdown x%.2f vs solo@,\
      makespan: %.3f ms, DRAM served: %.3f GB@,\
-     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)@]"
+     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a@]"
     s.s_requests s.s_offered_rps s.s_throughput_rps s.s_p50_ms s.s_p95_ms
     s.s_p99_ms s.s_mean_ms s.s_max_ms s.s_mean_service_ms s.s_mean_slowdown
     s.s_makespan_ms s.s_dram_gb s.s_avg_sm_demand s.s_avg_resident
-    s.s_peak_resident
+    s.s_peak_resident pp_lifecycle s
 
 let summary_json (s : summary) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
   Jsonlite.Obj
-    [
+    ([
       num "requests" (float_of_int s.s_requests);
       num "offered_rps" s.s_offered_rps;
       num "throughput_rps" s.s_throughput_rps;
@@ -136,11 +187,24 @@ let summary_json (s : summary) : Jsonlite.t =
       num "peak_resident" (float_of_int s.s_peak_resident);
       num "dram_gb" s.s_dram_gb;
     ]
+    @
+    (* lifecycle counters appear only once a lifecycle event has fired, so
+       fault-free JSON stays byte-identical to the baseline *)
+    (if lifecycle_active s then
+       [
+         num "retried" (float_of_int s.s_retried);
+         num "timed_out" (float_of_int s.s_timed_out);
+         num "rejected" (float_of_int s.s_rejected);
+         num "failed" (float_of_int s.s_failed);
+         num "faults" (float_of_int s.s_faults);
+         num "retries" (float_of_int s.s_retries);
+       ]
+     else []))
 
 let completed_json (c : Scheduler.completed) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
   Jsonlite.Obj
-    [
+    ([
       num "id" (float_of_int c.Scheduler.c_req.Workload.rq_id);
       ("model", Jsonlite.Str c.Scheduler.c_model);
       num "stream" (float_of_int c.Scheduler.c_stream);
@@ -152,23 +216,69 @@ let completed_json (c : Scheduler.completed) : Jsonlite.t =
       num "service_us" c.Scheduler.c_service_us;
       num "solo_us" c.Scheduler.c_solo_us;
     ]
+    (* only retried requests carry the extra field: first-try completions
+       serialize exactly as before the lifecycle existed *)
+    @ (if c.Scheduler.c_retries > 0 then
+         [ num "retries" (float_of_int c.Scheduler.c_retries) ]
+       else []))
 
-(** The whole outcome as JSON: configuration, summary, and one record per
-    completed request (the latency sample set behind the percentiles). *)
-let outcome_json ?(label = "") (o : Scheduler.outcome) : Jsonlite.t =
+let aborted_json (a : Scheduler.aborted) : Jsonlite.t =
+  let num n v = (n, Jsonlite.Num v) in
   Jsonlite.Obj
     [
-      ("label", Jsonlite.Str label);
-      ("policy", Jsonlite.Str (Scheduler.policy_to_string o.Scheduler.o_policy));
-      ("max_streams", Jsonlite.Num (float_of_int o.Scheduler.o_max_streams));
-      ("summary", summary_json (summarize o));
-      ( "requests",
-        Jsonlite.Arr (List.map completed_json o.Scheduler.o_completed) );
+      num "id" (float_of_int a.Scheduler.a_req.Workload.rq_id);
+      ("model", Jsonlite.Str a.Scheduler.a_model);
+      num "try" (float_of_int a.Scheduler.a_try);
+      num "stream" (float_of_int a.Scheduler.a_stream);
+      num "slot" (float_of_int a.Scheduler.a_slot);
+      num "dispatch_us" a.Scheduler.a_dispatch_us;
+      num "end_us" a.Scheduler.a_end_us;
+      num "service_us" a.Scheduler.a_service_us;
+      ("reason", Jsonlite.Str (Scheduler.abort_reason_to_string a.Scheduler.a_reason));
     ]
+
+let dropped_json (d : Scheduler.dropped) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("id", Jsonlite.Num (float_of_int d.Scheduler.d_req.Workload.rq_id));
+      ("model", Jsonlite.Str d.Scheduler.d_req.Workload.rq_model);
+      ("time_us", Jsonlite.Num d.Scheduler.d_time_us);
+      ("reason", Jsonlite.Str (Scheduler.drop_reason_to_string d.Scheduler.d_reason));
+    ]
+
+let failed_json ((r : Workload.request), t, attempts) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("id", Jsonlite.Num (float_of_int r.Workload.rq_id));
+      ("model", Jsonlite.Str r.Workload.rq_model);
+      ("failed_us", Jsonlite.Num t);
+      ("attempts", Jsonlite.Num (float_of_int attempts));
+    ]
+
+(** The whole outcome as JSON: configuration, summary, and one record per
+    completed request (the latency sample set behind the percentiles).
+    Aborted attempts, drops, and failed requests appear as extra arrays
+    only when present, so fault-free output is unchanged. *)
+let outcome_json ?(label = "") (o : Scheduler.outcome) : Jsonlite.t =
+  let opt name xs f = if xs = [] then [] else [ (name, Jsonlite.Arr (List.map f xs)) ] in
+  Jsonlite.Obj
+    ([
+       ("label", Jsonlite.Str label);
+       ("policy", Jsonlite.Str (Scheduler.policy_to_string o.Scheduler.o_policy));
+       ("max_streams", Jsonlite.Num (float_of_int o.Scheduler.o_max_streams));
+       ("summary", summary_json (summarize o));
+       ( "requests",
+         Jsonlite.Arr (List.map completed_json o.Scheduler.o_completed) );
+     ]
+    @ opt "aborted" o.Scheduler.o_aborted aborted_json
+    @ opt "dropped" o.Scheduler.o_dropped dropped_json
+    @ opt "failed" o.Scheduler.o_failed failed_json)
 
 (** Stream-aware Chrome trace: one swimlane (thread row) per concurrency
     slot; each request is a complete-event span from arrival to finish with
-    its contended kernel slices as children on the same lane. *)
+    its contended kernel slices as children on the same lane.  Faulted,
+    hung, and deadline-cancelled attempts get their own spans, colored
+    distinctly ([cname]); completions that needed a retry are yellow. *)
 let chrome_trace (o : Scheduler.outcome) : Obs.trace =
   let spans =
     List.map
@@ -183,19 +293,59 @@ let chrome_trace (o : Scheduler.outcome) : Obs.trace =
         in
         Obs.make_span
           ~meta:
-            [
-              ("tid", tid);
-              ("model", c.Scheduler.c_model);
-              ("stream", string_of_int c.Scheduler.c_stream);
-              ( "queued_us",
-                Fmt.str "%.3f"
-                  (c.Scheduler.c_dispatch_us
-                  -. c.Scheduler.c_req.Workload.rq_arrival_us) );
-            ]
+            ([
+               ("tid", tid);
+               ("model", c.Scheduler.c_model);
+               ("stream", string_of_int c.Scheduler.c_stream);
+               ( "queued_us",
+                 Fmt.str "%.3f"
+                   (c.Scheduler.c_dispatch_us
+                   -. c.Scheduler.c_req.Workload.rq_arrival_us) );
+             ]
+            @
+            if c.Scheduler.c_retries > 0 then
+              [
+                ("retries", string_of_int c.Scheduler.c_retries);
+                ("cname", "yellow");
+              ]
+            else [])
           ~children
           ~start_us:c.Scheduler.c_req.Workload.rq_arrival_us
           ~dur_us:(Scheduler.latency_us c)
           (Fmt.str "%s#%d" c.Scheduler.c_model c.Scheduler.c_req.Workload.rq_id))
       o.Scheduler.o_completed
   in
-  Obs.trace_of ~wall_us:o.Scheduler.o_makespan_us spans
+  let abort_spans =
+    List.map
+      (fun (a : Scheduler.aborted) ->
+        let tid = string_of_int (a.Scheduler.a_slot + 1) in
+        let outcome, cname =
+          match a.Scheduler.a_reason with
+          | Scheduler.Fault -> ("faulted", "terrible")
+          | Scheduler.Hung -> ("hung", "terrible")
+          | Scheduler.Deadline -> ("timed-out", "bad")
+        in
+        let children =
+          List.map
+            (fun (kname, s, e) ->
+              Obs.make_span ~meta:[ ("tid", tid) ] ~start_us:s ~dur_us:(e -. s)
+                kname)
+            a.Scheduler.a_slices
+        in
+        Obs.make_span
+          ~meta:
+            [
+              ("tid", tid);
+              ("model", a.Scheduler.a_model);
+              ("stream", string_of_int a.Scheduler.a_stream);
+              ("outcome", outcome);
+              ("try", string_of_int a.Scheduler.a_try);
+              ("cname", cname);
+            ]
+          ~children ~start_us:a.Scheduler.a_dispatch_us
+          ~dur_us:(a.Scheduler.a_end_us -. a.Scheduler.a_dispatch_us)
+          (Fmt.str "%s#%d!%s" a.Scheduler.a_model a.Scheduler.a_req.Workload.rq_id
+             outcome))
+      o.Scheduler.o_aborted
+  in
+  Obs.trace_of ~wall_us:o.Scheduler.o_makespan_us (spans @ abort_spans)

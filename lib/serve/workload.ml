@@ -10,6 +10,9 @@ type request = {
   rq_id : int;            (** arrival order, dense from 0 *)
   rq_model : string;
   rq_arrival_us : float;  (** simulated arrival time *)
+  rq_slo_us : float option;
+      (** latency SLO: the request must finish within this many us of its
+          arrival or it is worthless to the client ([None] = no deadline) *)
 }
 
 (** Weighted model mix; weights need not be normalized. *)
@@ -53,10 +56,14 @@ let pick_model (rng : Rng.t) (mix : mix) : string =
 
 (** [generate ~seed ~rate_rps ~requests mix] draws [requests] arrivals.
     A non-positive [rate_rps] means a closed batch: everything arrives at
-    time zero (the saturation workload). *)
-let generate ~seed ~rate_rps ~requests (mix : mix) : request list =
+    time zero (the saturation workload).  [slo_us] stamps every request
+    with that latency SLO (default: none). *)
+let generate ~seed ~rate_rps ~requests ?slo_us (mix : mix) : request list =
   if requests < 0 then invalid_arg "Workload.generate: negative request count";
   if mix = [] then invalid_arg "Workload.generate: empty mix";
+  (match slo_us with
+  | Some s when s <= 0. -> invalid_arg "Workload.generate: non-positive SLO"
+  | _ -> ());
   let rng = Rng.create seed in
   let mean_gap_us = if rate_rps > 0. then 1e6 /. rate_rps else 0. in
   let now = ref 0. in
@@ -66,4 +73,9 @@ let generate ~seed ~rate_rps ~requests (mix : mix) : request list =
         else -.log (1. -. Rng.float rng) *. mean_gap_us
       in
       now := !now +. gap;
-      { rq_id = i; rq_model = pick_model rng mix; rq_arrival_us = !now })
+      {
+        rq_id = i;
+        rq_model = pick_model rng mix;
+        rq_arrival_us = !now;
+        rq_slo_us = slo_us;
+      })

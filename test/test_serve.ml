@@ -25,9 +25,11 @@ let artifact_of ~model (r : Souffle.report) : Scheduler.artifact =
     ~degraded:(List.length r.Souffle.degraded)
     r.Souffle.prog
 
-let run_batch ?(policy = Scheduler.Fifo) ~streams artifacts reqs =
+let run_batch ?(policy = Scheduler.Fifo) ?queue_cap ?drop ?retries ?backoff_us
+    ?deadline_us ?chaos ~streams artifacts reqs =
   Scheduler.run dev
-    { Scheduler.policy; max_streams = streams }
+    (Scheduler.cfg ?queue_cap ?drop ?retries ?backoff_us ?deadline_us ?chaos
+       ~policy ~max_streams:streams ())
     ~artifacts reqs
 
 (* n identical zero-time arrivals of one model *)
@@ -134,8 +136,8 @@ let test_sel_prefers_shortest () =
     (mmoe.Scheduler.art_solo_us < bert.Scheduler.art_solo_us);
   let reqs =
     [
-      { Workload.rq_id = 0; rq_model = "BERT"; rq_arrival_us = 0. };
-      { Workload.rq_id = 1; rq_model = "MMoE"; rq_arrival_us = 0. };
+      { Workload.rq_id = 0; rq_model = "BERT"; rq_arrival_us = 0.; rq_slo_us = None };
+      { Workload.rq_id = 1; rq_model = "MMoE"; rq_arrival_us = 0.; rq_slo_us = None };
     ]
   in
   let first policy =
@@ -152,7 +154,9 @@ let test_sel_prefers_shortest () =
 
 let test_unknown_model_rejected () =
   let bert = artifact_of ~model:"BERT" (tiny_report (Option.get (Zoo.find "bert"))) in
-  let reqs = [ { Workload.rq_id = 0; rq_model = "nope"; rq_arrival_us = 0. } ] in
+  let reqs =
+    [ { Workload.rq_id = 0; rq_model = "nope"; rq_arrival_us = 0.; rq_slo_us = None } ]
+  in
   Alcotest.check_raises "unknown model"
     (Invalid_argument "Scheduler.run: no artifact for model nope") (fun () ->
       ignore (run_batch ~streams:1 [ bert ] reqs))
@@ -212,6 +216,160 @@ let test_artifacts_compile_once () =
   Alcotest.(check bool) "distinct reports per level" true (not (r1 == r3));
   Alcotest.(check int) "two entries stored" 2 (Souffle.Artifacts.size store)
 
+(* ---- fault tolerance: chaos, deadlines, retries, shedding ---- *)
+
+(* a kernel light enough (8 blocks -> 2 SMs) that several streams run
+   entirely uncontended: stretch stays 1, so one stream's fate cannot move
+   another stream's finish time *)
+let light_artifact () : Scheduler.artifact =
+  let k =
+    Kernel_ir.kernel ~name:"light" ~grid_blocks:8 ~threads_per_block:256
+      ~smem_per_block:(4 * 1024)
+      [ Kernel_ir.stage ~label:"s0" [ Kernel_ir.Fma { flops = 50_000_000 } ] ]
+  in
+  Scheduler.artifact_of_prog dev ~model:"light"
+    { Kernel_ir.pname = "light"; kernels = [ k ] }
+
+let outcome_bytes o = Jsonlite.to_string (Serve_report.outcome_json o)
+
+let test_zero_fault_chaos_is_baseline () =
+  let a = synthetic_artifact () in
+  let reqs = batch_of "busy" 12 in
+  let base = run_batch ~streams:4 [ a ] reqs in
+  let chaos = run_batch ~streams:4 ~chaos:Faultinject.chaos_zero [ a ] reqs in
+  Alcotest.(check string) "zero-fault chaos run is byte-identical to baseline"
+    (outcome_bytes base) (outcome_bytes chaos)
+
+let test_fault_retries_without_perturbing_others () =
+  let a = light_artifact () in
+  let stages = [| 1 |] in
+  let n = 4 in
+  (* pick a chaos seed whose plan faults exactly one request's first
+     attempt and leaves every retry clean — derivable without running the
+     engine because plans depend only on (seed, request, attempt) *)
+  let plan c rq attempt = Faultinject.chaos_plan c ~rq_id:rq ~attempt ~stages in
+  let chaos =
+    let rec search seed =
+      if seed > 5000 then Alcotest.fail "no suitable chaos seed found"
+      else
+        let c =
+          { Faultinject.chaos_zero with
+            Faultinject.ch_seed = seed;
+            ch_fault_rate = 0.3 }
+        in
+        let faulted_first =
+          List.filter
+            (fun rq ->
+              List.exists
+                (function Faultinject.Kernel_fault _ -> true | _ -> false)
+                (plan c rq 0))
+            (List.init n Fun.id)
+        in
+        let retry_clean rq = plan c rq 1 = [] in
+        match faulted_first with
+        | [ rq ] when retry_clean rq -> (c, rq)
+        | _ -> search (seed + 1)
+    in
+    search 0
+  in
+  let c, faulted_rq = chaos in
+  let reqs = batch_of "light" n in
+  let base = run_batch ~streams:n [ a ] reqs in
+  let out = run_batch ~streams:n ~retries:1 ~chaos:c [ a ] reqs in
+  Alcotest.(check int) "every request still completes" n
+    (List.length out.Scheduler.o_completed);
+  Alcotest.(check int) "no request failed" 0 (List.length out.Scheduler.o_failed);
+  Alcotest.(check int) "exactly one aborted attempt" 1
+    (List.length out.Scheduler.o_aborted);
+  Alcotest.(check bool) "the fault tripped the runtime registry" true
+    (Faultinject.Runtime.total_trips () >= 1);
+  let finish o rq =
+    match
+      List.find_opt
+        (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_id = rq)
+        o.Scheduler.o_completed
+    with
+    | Some c -> c.Scheduler.c_finish_us
+    | None -> Alcotest.failf "request %d did not complete" rq
+  in
+  List.iter
+    (fun rq ->
+      if rq <> faulted_rq then
+        Alcotest.(check bool)
+          (Fmt.str "request %d finish time unperturbed by the fault" rq)
+          true
+          (finish base rq = finish out rq))
+    (List.init n Fun.id);
+  let retried =
+    List.find
+      (fun (c : Scheduler.completed) ->
+        c.Scheduler.c_req.Workload.rq_id = faulted_rq)
+      out.Scheduler.o_completed
+  in
+  Alcotest.(check int) "the faulted request completed on its retry" 1
+    retried.Scheduler.c_retries
+
+let test_deadline_frees_slot_for_next_request () =
+  let a = synthetic_artifact () in
+  let solo = a.Scheduler.art_solo_us in
+  let reqs =
+    [
+      { Workload.rq_id = 0; rq_model = "busy"; rq_arrival_us = 0.;
+        rq_slo_us = Some (solo /. 2.) };
+      { Workload.rq_id = 1; rq_model = "busy"; rq_arrival_us = 0.;
+        rq_slo_us = None };
+    ]
+  in
+  let o = run_batch ~streams:1 [ a ] reqs in
+  (match o.Scheduler.o_aborted with
+  | [ ab ] ->
+      Alcotest.(check bool) "request 0 cancelled at its deadline" true
+        (ab.Scheduler.a_reason = Scheduler.Deadline
+        && ab.Scheduler.a_req.Workload.rq_id = 0
+        && ab.Scheduler.a_end_us = solo /. 2.)
+  | abs -> Alcotest.failf "expected 1 aborted attempt, got %d" (List.length abs));
+  match o.Scheduler.o_completed with
+  | [ c ] ->
+      Alcotest.(check bool) "request 1 dispatched the moment the slot freed"
+        true
+        (c.Scheduler.c_req.Workload.rq_id = 1
+        && c.Scheduler.c_dispatch_us = solo /. 2.
+        && c.Scheduler.c_finish_us = (solo /. 2.) +. solo)
+  | cs -> Alcotest.failf "expected 1 completion, got %d" (List.length cs)
+
+let test_queue_cap_sheds_deterministically () =
+  let a = synthetic_artifact () in
+  let reqs = batch_of "busy" 16 in
+  let go () = run_batch ~streams:2 ~queue_cap:4 [ a ] reqs in
+  let o = go () in
+  Alcotest.(check int) "cap 4 on 2 streams admits 4 of 16" 4
+    (List.length o.Scheduler.o_completed);
+  Alcotest.(check int) "the overflow is rejected" 12
+    (List.length o.Scheduler.o_dropped);
+  Alcotest.(check bool) "rejects are queue-full" true
+    (List.for_all
+       (fun (d : Scheduler.dropped) -> d.Scheduler.d_reason = Scheduler.Queue_full)
+       o.Scheduler.o_dropped);
+  Alcotest.(check string) "overloaded run reproduces byte-identically"
+    (outcome_bytes o)
+    (outcome_bytes (go ()))
+
+let test_chaos_run_deterministic () =
+  let a = light_artifact () in
+  let chaos =
+    { Faultinject.chaos_zero with
+      Faultinject.ch_seed = 7;
+      ch_fault_rate = 0.2;
+      ch_hang_rate = 0.05 }
+  in
+  let go () =
+    outcome_bytes
+      (run_batch ~streams:3 ~retries:2 ~deadline_us:1e6 ~chaos [ a ]
+         (batch_of "light" 24))
+  in
+  Alcotest.(check string) "same (seed, chaos, workload) triple, same bytes"
+    (go ()) (go ())
+
 let suite =
   [
     Alcotest.test_case "single stream equals solo Sim" `Quick
@@ -230,4 +388,14 @@ let suite =
       test_workload_deterministic_and_sorted;
     Alcotest.test_case "artifact store compiles once" `Quick
       test_artifacts_compile_once;
+    Alcotest.test_case "zero-fault chaos is the baseline" `Quick
+      test_zero_fault_chaos_is_baseline;
+    Alcotest.test_case "fault retries without perturbing others" `Quick
+      test_fault_retries_without_perturbing_others;
+    Alcotest.test_case "deadline frees the slot" `Quick
+      test_deadline_frees_slot_for_next_request;
+    Alcotest.test_case "queue cap sheds deterministically" `Quick
+      test_queue_cap_sheds_deterministically;
+    Alcotest.test_case "chaos runs are deterministic" `Quick
+      test_chaos_run_deterministic;
   ]
