@@ -19,11 +19,16 @@
                  throughput: the latency/throughput curve
      policy      FIFO vs shortest-expected-latency tail latency at the
                  same offered load
+     batching    the same closed batch with continuous batching on
+                 (power-of-two buckets up to 8 lanes, shape-polymorphic
+                 artifacts): batched saturated throughput must strictly
+                 beat the unbatched 8-stream point
 
    Results land in BENCH_serve.json (full models) or BENCH_serve_smoke.json
-   (tiny models, the @bench-smoke alias).  Equality mismatches and a
-   sub-2x saturation speedup are recorded in the runlog, so --strict-bench
-   fails the run over them. *)
+   (tiny models, the @bench-smoke alias).  Equality mismatches, a sub-2x
+   saturation speedup, a batched run that fails to beat the unbatched
+   baseline, and degraded batched compiles are all recorded in the runlog,
+   so --strict-bench fails the run over them. *)
 
 let dev = Tables.dev
 
@@ -83,7 +88,7 @@ let num n v = (n, Jsonlite.Num v)
 let point_json extra (s : Serve_report.summary) : Jsonlite.t =
   Jsonlite.Obj (extra @ [ ("summary", Serve_report.summary_json s) ])
 
-let run_with ~label ~souffle_of ~requests ~out () =
+let run_with ~label ~souffle_of ~souffle_batched ~requests ~out () =
   Tables.section
     (Fmt.str "Serving — multi-stream engine vs serial execution (%s)" label);
   let marts = List.map (mart_of ~souffle_of) Zoo.all in
@@ -170,6 +175,78 @@ let run_with ~label ~souffle_of ~requests ~out () =
   in
   Fmt.pr "@.  policy at 90%% load: fifo p95 %.3f ms, sel p95 %.3f ms@."
     fifo.Serve_report.s_p95_ms sel.Serve_report.s_p95_ms;
+  (* continuous batching: the same closed batch, with shape-polymorphic
+     bucket artifacts (x2/x4/x8) so dispatches can coalesce *)
+  let max_batch = 8 in
+  let batched_arts =
+    List.concat_map
+      (fun m ->
+        List.map
+          (fun b ->
+            let r = souffle_batched m.entry b in
+            Scheduler.artifact_of_prog dev ~model:m.entry.Zoo.name ~batch:b
+              ~degraded:(List.length r.Souffle.degraded)
+              r.Souffle.prog)
+          [ 2; 4; 8 ])
+      marts
+  in
+  let run_batched c reqs =
+    Scheduler.run dev
+      (Scheduler.cfg ~policy:Scheduler.Fifo ~max_streams:c ~max_batch ())
+      ~artifacts:(artifacts @ batched_arts) reqs
+  in
+  let bsweep =
+    List.map
+      (fun c -> (c, Serve_report.summarize (run_batched c batch)))
+      [ 1; 2; 4; 8 ]
+  in
+  Fmt.pr "@.  continuous batching (buckets up to x%d), same closed batch:@."
+    max_batch;
+  Fmt.pr "  %8s %14s %10s %10s %10s %9s@." "streams" "thr(req/s)" "p50(ms)"
+    "p95(ms)" "slowdown" "bucket";
+  List.iter
+    (fun (c, (s : Serve_report.summary)) ->
+      Fmt.pr "  %8d %14.1f %10.3f %10.3f %10.2f %9.2f@." c
+        s.Serve_report.s_throughput_rps s.Serve_report.s_p50_ms
+        s.Serve_report.s_p95_ms s.Serve_report.s_mean_slowdown
+        s.Serve_report.s_mean_batch)
+    bsweep;
+  let bsat_streams, bsat =
+    List.fold_left
+      (fun (bc, bs) (c, s) ->
+        if
+          s.Serve_report.s_throughput_rps > bs.Serve_report.s_throughput_rps
+        then (c, s)
+        else (bc, bs))
+      (List.hd bsweep) (List.tl bsweep)
+  in
+  (* the win the batcher must deliver: beat the unbatched engine at its
+     widest sweep point on the same workload *)
+  let unbatched_8 = List.assoc 8 sweep in
+  let batched_gain =
+    if unbatched_8.Serve_report.s_throughput_rps > 0. then
+      bsat.Serve_report.s_throughput_rps
+      /. unbatched_8.Serve_report.s_throughput_rps
+    else 0.
+  in
+  Fmt.pr
+    "  batched saturation: %.1f req/s at %d streams — %.2fx over unbatched \
+     8-stream (%.1f req/s)@."
+    bsat.Serve_report.s_throughput_rps bsat_streams batched_gain
+    unbatched_8.Serve_report.s_throughput_rps;
+  if
+    bsat.Serve_report.s_throughput_rps
+    <= unbatched_8.Serve_report.s_throughput_rps
+  then begin
+    Fmt.epr
+      "  !! batched throughput %.1f req/s does not beat the unbatched \
+       8-stream baseline %.1f req/s@."
+      bsat.Serve_report.s_throughput_rps
+      unbatched_8.Serve_report.s_throughput_rps;
+    Runlog.record Tables.runlog
+      ~model:("serve-batched@" ^ label)
+      ~degraded_steps:0 ~errors:1
+  end;
   let json =
     Jsonlite.Obj
       [
@@ -220,6 +297,22 @@ let run_with ~label ~souffle_of ~requests ~out () =
               ("fifo", Serve_report.summary_json fifo);
               ("sel", Serve_report.summary_json sel);
             ] );
+        ( "batched",
+          Jsonlite.Obj
+            [
+              num "max_batch" (float_of_int max_batch);
+              ( "sweep",
+                Jsonlite.Arr
+                  (List.map
+                     (fun (c, s) ->
+                       point_json [ num "streams" (float_of_int c) ] s)
+                     bsweep) );
+              num "throughput_rps" bsat.Serve_report.s_throughput_rps;
+              num "saturating_streams" (float_of_int bsat_streams);
+              num "unbatched_8stream_rps"
+                unbatched_8.Serve_report.s_throughput_rps;
+              num "gain_vs_unbatched" batched_gain;
+            ] );
       ]
   in
   let oc = open_out out in
@@ -228,11 +321,31 @@ let run_with ~label ~souffle_of ~requests ~out () =
     (fun () -> output_string oc (Jsonlite.to_string json));
   Fmt.pr "  wrote %s@." out
 
+(* batched compiles are memoized per (model, bucket) and recorded in the
+   runlog like every other bench compile, so a degraded batched compile
+   fails --strict-bench *)
+let batched_memo ~tag ~graph_of : Zoo.entry -> int -> Souffle.report =
+  let cache : (string * int, Souffle.report) Hashtbl.t = Hashtbl.create 32 in
+  fun (e : Zoo.entry) batch ->
+    match Hashtbl.find_opt cache (e.Zoo.name, batch) with
+    | Some r -> r
+    | None ->
+        let r =
+          Tables.compile_recorded
+            ~cfg:(Souffle.config ~batch ())
+            ~name:(Fmt.str "%s@%s-batch%d" e.Zoo.name tag batch)
+            (Lower.run (graph_of e))
+        in
+        Hashtbl.replace cache (e.Zoo.name, batch) r;
+        r
+
 (* full-size models: the measurement run, reusing the artifacts the tables
    compiled (each model compiles once per bench process) *)
 let run () =
-  run_with ~label:"full" ~souffle_of:Tables.souffle_of ~requests:48
-    ~out:"BENCH_serve.json" ()
+  run_with ~label:"full" ~souffle_of:Tables.souffle_of
+    ~souffle_batched:
+      (batched_memo ~tag:"serve" ~graph_of:(fun (e : Zoo.entry) -> e.Zoo.full ()))
+    ~requests:48 ~out:"BENCH_serve.json" ()
 
 (* tiny models: the @bench-smoke alias — seconds, not minutes *)
 let smoke () =
@@ -249,5 +362,8 @@ let smoke () =
         Hashtbl.replace cache e.Zoo.name r;
         r
   in
-  run_with ~label:"smoke" ~souffle_of ~requests:24
-    ~out:"BENCH_serve_smoke.json" ()
+  run_with ~label:"smoke" ~souffle_of
+    ~souffle_batched:
+      (batched_memo ~tag:"serve-smoke"
+         ~graph_of:(fun (e : Zoo.entry) -> e.Zoo.tiny ()))
+    ~requests:24 ~out:"BENCH_serve_smoke.json" ()

@@ -59,7 +59,7 @@ let compile_recorded ?cfg ~name (p : Program.t) : Souffle.report =
 let artifacts = Souffle.Artifacts.create ()
 
 let souffle_at ?name level (e : Zoo.entry) : Souffle.report =
-  match Souffle.Artifacts.find artifacts ~name:e.Zoo.name ~level with
+  match Souffle.Artifacts.find artifacts ~name:e.Zoo.name ~level () with
   | Some r -> r
   | None ->
       let r =

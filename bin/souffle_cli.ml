@@ -11,6 +11,7 @@
                       [--json FILE] [--trace FILE] [--strict]
                       [--chaos SPEC] [--deadline-ms N] [--retries K]
                       [--backoff-us US] [--queue-cap M] [--drop reject|shed]
+                      [--batch-max N] [--schedule-cache FILE]
 *)
 
 open Cmdliner
@@ -364,7 +365,7 @@ let chaos_arg =
      $(b,kfault=P) (per-attempt kernel-fault probability), \
      $(b,khang=P), $(b,khang=PxF) or $(b,khang=Pxinf) (kernel-hang \
      probability with stretch factor F), \
-     $(b,throttle=C\\@S+D) (capacity C in (0,1] from S ms for D ms), and \
+     $(b,throttle=C@S+D) (capacity C in (0,1] from S ms for D ms), and \
      $(b,seed=N).  $(b,none) arms a zero-fault spec (byte-identical to \
      not arming chaos at all)."
   in
@@ -403,6 +404,16 @@ let drop_arg =
   in
   Arg.(value & opt string "reject" & info [ "drop" ] ~docv:"POLICY" ~doc)
 
+let batch_max_arg =
+  let doc =
+    "Continuous batching: coalesce queued first-attempt requests for the \
+     same model into power-of-two buckets of up to $(docv) lanes (1 \
+     disables batching).  Each bucket shape is compiled once up front as \
+     its own shape-polymorphic artifact; pair with --schedule-cache so the \
+     extra compiles hit warm schedules."
+  in
+  Arg.(value & opt int 1 & info [ "batch-max" ] ~docv:"N" ~doc)
+
 (* Validate every model name in the mix against the zoo before compiling
    anything: a typo in the third model must not cost two compiles first. *)
 let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
@@ -424,7 +435,7 @@ let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
 
 let serve_run mix rate requests streams policy seed tiny level strict
     json_out trace_out chaos_spec deadline_ms retries backoff_us queue_cap
-    drop =
+    drop batch_max sched_cache_path =
   protect Diag.Simulate @@ fun () ->
   let mix_spec = mix in
   let fail m =
@@ -442,9 +453,46 @@ let serve_run mix rate requests streams policy seed tiny level strict
   | Ok mix, Some policy, Ok level ->
       if streams < 1 then fail "--streams must be >= 1"
       else if requests < 1 then fail "--requests must be >= 1"
+      else if batch_max < 1 then fail "--batch-max must be >= 1"
       else begin
         let dev = Souffle.default_config.Souffle.device in
-        let cfg = Souffle.config ~level () in
+        let sched_cache = Option.map Scache.load sched_cache_path in
+        let cfg_at batch = Souffle.config ~level ?sched_cache ~batch () in
+        (* compile one model at one batch shape, report, build the artifact *)
+        let compile_one (e : Zoo.entry) batch =
+          match
+            Souffle.compile_result ~cfg:(cfg_at batch) ~strict
+              (program_of e tiny)
+          with
+          | Error ds ->
+              Error
+                (Fmt.str "%s: %s" e.Zoo.name
+                   (String.concat "; " (List.map Diag.to_string ds)))
+          | Ok r ->
+              let a =
+                Scheduler.artifact_of_prog dev ~model:e.Zoo.name ~batch
+                  ~degraded:(List.length r.Souffle.degraded)
+                  r.Souffle.prog
+              in
+              Fmt.pr "compiled %-14s %2d kernel(s), solo %10.2f us%s@."
+                (if batch = 1 then e.Zoo.name
+                 else Fmt.str "%s x%d" e.Zoo.name batch)
+                (List.length r.Souffle.prog.Kernel_ir.kernels)
+                a.Scheduler.art_solo_us
+                (if r.Souffle.degraded = [] then ""
+                 else
+                   Fmt.str " (%d degradation step(s))"
+                     (List.length r.Souffle.degraded));
+              Ok a
+        in
+        (* the base shape plus every power-of-two bucket up to --batch-max *)
+        let rec compile_buckets e b acc =
+          if b > batch_max then Ok (List.rev acc)
+          else
+            match compile_one e b with
+            | Error m -> Error m
+            | Ok a -> compile_buckets e (b * 2) (a :: acc)
+        in
         (* canonicalize mix names and compile each distinct model once *)
         let rec build canon arts = function
           | [] -> Ok (List.rev canon, List.rev arts)
@@ -460,30 +508,16 @@ let serve_run mix rate requests streams policy seed tiny level strict
                       arts
                   then build canon arts rest
                   else (
-                    match
-                      Souffle.compile_result ~cfg ~strict (program_of e tiny)
-                    with
-                    | Error ds ->
-                        Error
-                          (Fmt.str "%s: %s" e.Zoo.name
-                             (String.concat "; "
-                                (List.map Diag.to_string ds)))
-                    | Ok r ->
-                        let a =
-                          Scheduler.artifact_of_prog dev ~model:e.Zoo.name
-                            ~degraded:(List.length r.Souffle.degraded)
-                            r.Souffle.prog
-                        in
-                        Fmt.pr
-                          "compiled %-14s %2d kernel(s), solo %10.2f us%s@."
-                          e.Zoo.name
-                          (List.length r.Souffle.prog.Kernel_ir.kernels)
-                          a.Scheduler.art_solo_us
-                          (if r.Souffle.degraded = [] then ""
-                           else
-                             Fmt.str " (%d degradation step(s))"
-                               (List.length r.Souffle.degraded));
-                        build canon (a :: arts) rest))
+                    match compile_buckets e 1 [] with
+                    | Error m -> Error m
+                    | Ok bs -> build canon (List.rev_append bs arts) rest))
+        in
+        let save_cache () =
+          match (sched_cache, sched_cache_path) with
+          | Some c, Some path ->
+              if Scache.dirty c then Scache.save c path;
+              Fmt.pr "%a (%s)@." Scache.pp c path
+          | _ -> ()
         in
         let lifecycle_opts =
           Result.bind
@@ -517,6 +551,7 @@ let serve_run mix rate requests streams policy seed tiny level strict
                 match build [] [] mix with
                 | Error m -> fail m
                 | Ok (mix, artifacts) ->
+                    save_cache ();
                     let slo_us = Option.map (fun ms -> ms *. 1e3) deadline_ms in
                     let reqs =
                       Workload.generate ~seed ~rate_rps:rate ~requests ?slo_us
@@ -524,8 +559,8 @@ let serve_run mix rate requests streams policy seed tiny level strict
                     in
                     let cfg =
                       Scheduler.cfg ?queue_cap ~drop ~retries ~backoff_us
-                        ?deadline_us:slo_us ?chaos ~policy ~max_streams:streams
-                        ()
+                        ?deadline_us:slo_us ?chaos ~max_batch:batch_max
+                        ~policy ~max_streams:streams ()
                     in
                     (if chaos <> None then
                        Fmt.pr "chaos: %s@."
@@ -574,7 +609,8 @@ let serve_cmd =
       const serve_run $ mix_arg $ rate_arg $ requests_arg $ streams_arg
       $ policy_arg $ seed_arg $ tiny_arg $ level_arg $ strict_arg
       $ serve_json_arg $ serve_trace_arg $ chaos_arg $ deadline_ms_arg
-      $ retries_arg $ backoff_us_arg $ queue_cap_arg $ drop_arg)
+      $ retries_arg $ backoff_us_arg $ queue_cap_arg $ drop_arg
+      $ batch_max_arg $ sched_cache_arg)
 
 let dump_run model tiny output =
   protect Diag.Validate @@ fun () ->

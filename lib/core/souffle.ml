@@ -40,6 +40,9 @@ type config = {
   sched_cache : Scache.t option;
       (** persistent cross-run schedule cache; warm entries skip the Ansor
           candidate search entirely *)
+  batch : int;
+      (** batch lanes to compile the program at ({!Batch.apply} runs before
+          any analysis); 1 compiles the program exactly as given *)
 }
 
 let default_config =
@@ -48,11 +51,12 @@ let default_config =
     level = V4;
     ansor = Ansor.default_config;
     sched_cache = None;
+    batch = 1;
   }
 
 let config ?(device = Device.a100) ?(level = V4)
-    ?(ansor = Ansor.default_config) ?sched_cache () =
-  { device; level; ansor; sched_cache }
+    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) () =
+  { device; level; ansor; sched_cache; batch }
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -197,6 +201,18 @@ let singleton_groups (tes : Te.t list) : Emit.group list =
     kernels). *)
 let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
     : (report, Diag.t list) result =
+  if cfg.batch < 1 then
+    Error
+      [
+        Diag.error Diag.Validate
+          (Fmt.str "invalid batch %d (must be >= 1)" cfg.batch);
+      ]
+  else
+  (* Rewrite to the batched shape up front; at batch 1 this is the input
+     program itself ([==]), so the unbatched pipeline is untouched.  The
+     report's [original] is the batched program: semantic checks compare
+     like with like. *)
+  let p = Batch.apply ~batch:cfg.batch p in
   let t0 = Unix.gettimeofday () in
   let diags = ref [] and degraded = ref [] in
   let note d = diags := d :: !diags in
@@ -605,22 +621,29 @@ let te_loop_nests ?(limit = 4) (r : report) : string =
 (* ---- compile-once artifact store ---- *)
 
 module Artifacts = struct
-  type t = (string * int, report) Hashtbl.t
+  type t = (string * int * int, report) Hashtbl.t
 
   let create () : t = Hashtbl.create 16
-  let key ~name ~level = (String.lowercase_ascii name, level_rank level)
-  let find (t : t) ~name ~level = Hashtbl.find_opt t (key ~name ~level)
-  let add (t : t) ~name ~level r = Hashtbl.replace t (key ~name ~level) r
+
+  let key ~name ~level ~batch =
+    (String.lowercase_ascii name, level_rank level, batch)
+
+  let find (t : t) ?(batch = 1) ~name ~level () =
+    Hashtbl.find_opt t (key ~name ~level ~batch)
+
+  let add (t : t) ?(batch = 1) ~name ~level r =
+    Hashtbl.replace t (key ~name ~level ~batch) r
+
   let size : t -> int = Hashtbl.length
 
   let get (t : t) ?(cfg = default_config) ?strict ~name
       (gen : unit -> Program.t) : (report, Diag.t list) result =
-    match find t ~name ~level:cfg.level with
+    match find t ~batch:cfg.batch ~name ~level:cfg.level () with
     | Some r -> Ok r
     | None -> (
         match compile_result ~cfg ?strict (gen ()) with
         | Ok r ->
-            add t ~name ~level:cfg.level r;
+            add t ~batch:cfg.batch ~name ~level:cfg.level r;
             Ok r
         | Error _ as e -> e)
 end

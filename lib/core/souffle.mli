@@ -28,16 +28,21 @@ type config = {
   sched_cache : Scache.t option;
       (** persistent cross-run schedule cache; warm entries skip the Ansor
           candidate search entirely *)
+  batch : int;
+      (** batch lanes to compile the program at ({!Batch.apply} runs before
+          any analysis); 1 compiles the program exactly as given *)
 }
 
 val default_config : config
-(** A100, level V4, default scheduler efficiency, no persistent cache. *)
+(** A100, level V4, default scheduler efficiency, no persistent cache,
+    batch 1. *)
 
 val config :
   ?device:Device.t ->
   ?level:level ->
   ?ansor:Ansor.config ->
   ?sched_cache:Scache.t ->
+  ?batch:int ->
   unit ->
   config
 
@@ -146,17 +151,17 @@ val te_loop_nests : ?limit:int -> report -> string
     reduction splits, shared-memory staging) for the first [limit] TEs. *)
 
 (** Compile-once artifact store: reports memoized by (model name,
-    optimization level), shared across benchmark tables and serving
-    requests so each model is compiled exactly once per level. *)
+    optimization level, batch), shared across benchmark tables and serving
+    requests so each shape-polymorphic variant is compiled exactly once. *)
 module Artifacts : sig
   type t
 
   val create : unit -> t
-  val find : t -> name:string -> level:level -> report option
-  val add : t -> name:string -> level:level -> report -> unit
+  val find : t -> ?batch:int -> name:string -> level:level -> unit -> report option
+  val add : t -> ?batch:int -> name:string -> level:level -> report -> unit
 
   val size : t -> int
-  (** Number of distinct (name, level) entries compiled so far. *)
+  (** Number of distinct (name, level, batch) entries compiled so far. *)
 
   val get :
     t ->
@@ -165,7 +170,8 @@ module Artifacts : sig
     name:string ->
     (unit -> Program.t) ->
     (report, Diag.t list) result
-  (** Cached compile: the stored report for (name, [cfg.level]) if present,
-      otherwise {!compile_result} on [gen ()], storing the result.  Model
-      names are case-insensitive, matching {!Zoo.find}. *)
+  (** Cached compile: the stored report for (name, [cfg.level],
+      [cfg.batch]) if present, otherwise {!compile_result} on [gen ()],
+      storing the result.  Model names are case-insensitive, matching
+      {!Zoo.find}. *)
 end

@@ -346,6 +346,9 @@ module Multi = struct
   type stream = {
     st_id : int;
     st_label : string;
+    st_members : int;
+        (* serving requests batched into this stream; 1 unless the serving
+           layer coalesced a bucket — pure attribution, no effect on timing *)
     st_start_us : float;
     st_faults : Faultinject.runtime_fault list;  (* armed runtime faults *)
     mutable st_queue : kernel_profile list;
@@ -393,6 +396,9 @@ module Multi = struct
     sa_start_us : float;
     sa_dur_us : float;
     sa_resident : int;
+    sa_requests : int;
+        (** serving requests inside the resident streams ([st_members]
+            summed); equals [sa_resident] when nothing is batched *)
     sa_sm_demand : int;
     sa_bw_demand : float;
   }
@@ -581,12 +587,14 @@ module Multi = struct
           | _ -> retire_kernel t s prof)
     | Drained -> ()
 
-  let launch t ?(label = "") ?(faults = []) (profs : kernel_profile list) :
-      stream =
+  let launch t ?(label = "") ?(members = 1) ?(faults = [])
+      (profs : kernel_profile list) : stream =
+    if members < 1 then invalid_arg "Sim.Multi.launch: members must be >= 1";
     let s =
       {
         st_id = t.mnext;
         st_label = label;
+        st_members = members;
         st_start_us = t.mnow;
         st_faults = faults;
         st_queue = profs;
@@ -631,15 +639,18 @@ module Multi = struct
     let dt = til -. t.mnow in
     if dt > 0. then begin
       let d, b = demands ss in
-      let resident =
-        List.length
-          (List.filter (fun s -> Option.is_some (current_stage s)) ss)
+      let on_device =
+        List.filter (fun s -> Option.is_some (current_stage s)) ss
+      in
+      let requests =
+        List.fold_left (fun n s -> n + s.st_members) 0 on_device
       in
       t.msamples <-
         {
           sa_start_us = t.mnow;
           sa_dur_us = dt;
-          sa_resident = resident;
+          sa_resident = List.length on_device;
+          sa_requests = requests;
           sa_sm_demand = d;
           sa_bw_demand = b;
         }

@@ -36,8 +36,23 @@
       attempt number) and an optional device-throttle window, so the same
       (seed, chaos, workload) triple reproduces byte-identical outcomes.
 
+    - {b Continuous batching.}  With [max_batch > 1], a dispatch
+      opportunistically coalesces queued first-attempt requests for the
+      same model into one stream compiled at a {e bucketed} batch shape:
+      the largest power of two <= min(available peers, [max_batch]) for
+      which a batched artifact was supplied (powers of two keep the set of
+      shapes small, so the schedule cache amortizes the recompiles).
+      Members join at dispatch and split out at the stream boundary: each
+      keeps its own arrival time, deadline, retry budget, and terminal
+      outcome.  A kernel fault inside a batched stream retries the members
+      {e individually} — retries never re-batch, so one poisoned request
+      cannot keep killing its neighbours.  A member whose deadline passes
+      mid-flight times out alone; the stream is only cancelled when every
+      member has expired.
+
     With none of those features configured the scheduler is byte-identical
-    to the PR 5 baseline — the fault machinery costs nothing when off. *)
+    to the PR 5 baseline — the fault machinery costs nothing when off, and
+    [max_batch = 1] (the default) never coalesces anything. *)
 
 type policy = Fifo | Sel
 
@@ -69,32 +84,42 @@ type cfg = {
       (** default SLO for requests that carry none ([Workload.rq_slo_us]
           wins when present) *)
   chaos : Faultinject.chaos option;  (** armed runtime-fault model *)
+  max_batch : int;
+      (** largest batch bucket a dispatch may coalesce (1 = batching off;
+          buckets are powers of two and need a matching batched artifact) *)
 }
 
 (** Build a scheduler configuration; every lifecycle feature defaults off,
     which reproduces the PR 5 scheduler exactly. *)
 let cfg ?queue_cap ?(drop = Reject) ?(retries = 0) ?(backoff_us = 50.)
-    ?deadline_us ?chaos ~policy ~max_streams () : cfg =
-  { policy; max_streams; queue_cap; drop; retries; backoff_us; deadline_us; chaos }
+    ?deadline_us ?chaos ?(max_batch = 1) ~policy ~max_streams () : cfg =
+  { policy; max_streams; queue_cap; drop; retries; backoff_us; deadline_us;
+    chaos; max_batch }
 
 (** One compiled, reusable inference program: the unit the serving layer
     shares across every request for the same model. *)
 type artifact = {
   art_model : string;
+  art_batch : int;
+      (** batch lanes this artifact was compiled at; 1 = the base shape.
+          The scheduler requires a base artifact per served model; batched
+          buckets are optional extras it coalesces into when present *)
   art_profiles : Sim.kernel_profile list;
   art_solo_us : float;     (** simulated solo latency (the SEL estimate) *)
-  art_counters : Counters.t;  (** solo per-request traffic *)
+  art_counters : Counters.t;  (** solo traffic of the whole stream *)
   art_degraded : int;      (** degradation steps its compile took *)
 }
 
 (** Build an artifact straight from a compiled kernel program (runs the
     solo simulation once for the counters). *)
-let artifact_of_prog (dev : Device.t) ~model ?(degraded = 0)
+let artifact_of_prog (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
     (prog : Kernel_ir.prog) : artifact =
+  if batch < 1 then invalid_arg "Scheduler.artifact_of_prog: batch < 1";
   let profiles = Sim.profile_prog dev prog in
   let sim = Sim.run dev prog in
   {
     art_model = model;
+    art_batch = batch;
     art_profiles = profiles;
     art_solo_us = Sim.solo_time_us profiles;
     art_counters = Counters.copy sim.Sim.total;
@@ -115,6 +140,11 @@ type completed = {
       (** per-kernel (name, start, end) under contention *)
   c_retries : int;       (** faulted attempts absorbed before this one *)
   c_deadline_us : float option;  (** absolute deadline, when one applied *)
+  c_batch : int;
+      (** members of the request's batched stream (1 = unbatched); batched
+          members share [c_stream] and split the stream's service time and
+          bytes evenly, while [c_solo_us] stays the {e unbatched} estimate
+          so slowdown < 1 is exactly the batching win *)
 }
 
 (** Latency including queueing: finish minus arrival. *)
@@ -175,6 +205,17 @@ type outcome = {
   o_makespan_us : float;               (** time of the last completion *)
 }
 
+(* one dispatched stream: [f_members] is (request, attempt) in queue order,
+   singleton unless a batch bucket coalesced; members leave the list
+   individually when their deadline expires mid-flight *)
+type flight = {
+  mutable f_members : (Workload.request * int) list;
+  f_art : artifact;
+  f_slot : int;
+  f_disp : float;
+  f_stream : Sim.Multi.stream;
+}
+
 let rec insert_sorted x = function
   | [] -> [ x ]
   | y :: _ as l when x <= y -> x :: l
@@ -195,24 +236,31 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
     (reqs : Workload.request list) : outcome =
   if cfg.max_streams < 1 then invalid_arg "Scheduler.run: max_streams < 1";
   if cfg.retries < 0 then invalid_arg "Scheduler.run: retries < 0";
+  if cfg.max_batch < 1 then invalid_arg "Scheduler.run: max_batch < 1";
   (match cfg.queue_cap with
   | Some c when c < 1 -> invalid_arg "Scheduler.run: queue_cap < 1"
   | _ -> ());
-  let tbl = Hashtbl.create 8 in
+  (* artifacts keyed by (model, batch): the base shape is mandatory per
+     served model, batched buckets are opportunistic extras *)
+  let tbl : (string * int, artifact) Hashtbl.t = Hashtbl.create 8 in
   List.iter
-    (fun a -> Hashtbl.replace tbl (String.lowercase_ascii a.art_model) a)
+    (fun a ->
+      Hashtbl.replace tbl (String.lowercase_ascii a.art_model, a.art_batch) a)
     artifacts;
+  let art_at (model : string) (batch : int) =
+    Hashtbl.find_opt tbl (String.lowercase_ascii model, batch)
+  in
   let art_of (model : string) =
-    match Hashtbl.find_opt tbl (String.lowercase_ascii model) with
+    match art_at model 1 with
     | Some a -> a
     | None -> invalid_arg (Fmt.str "Scheduler.run: no artifact for model %s" model)
   in
   (* fail on unknown models before any simulated time passes *)
   List.iter (fun (r : Workload.request) -> ignore (art_of r.Workload.rq_model)) reqs;
   (* kernel-stage shape of each artifact, for chaos plan derivation *)
-  let stages_tbl : (string, int array) Hashtbl.t = Hashtbl.create 8 in
+  let stages_tbl : (string * int, int array) Hashtbl.t = Hashtbl.create 8 in
   let stages_of (a : artifact) : int array =
-    let key = String.lowercase_ascii a.art_model in
+    let key = (String.lowercase_ascii a.art_model, a.art_batch) in
     match Hashtbl.find_opt stages_tbl key with
     | Some s -> s
     | None ->
@@ -250,12 +298,7 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       Sim.Multi.throttle m ~start_us:th.Faultinject.th_start_us
         ~dur_us:th.Faultinject.th_dur_us ~capacity:th.Faultinject.th_capacity
   | _ -> ());
-  let inflight :
-      ( int,
-        Workload.request * artifact * int * float * int * Sim.Multi.stream )
-      Hashtbl.t =
-    Hashtbl.create 16
-  in
+  let inflight : (int, flight) Hashtbl.t = Hashtbl.create 16 in
   let free_slots = ref (List.init cfg.max_streams Fun.id) in
   let completed = ref [] in
   let aborted = ref [] in
@@ -363,6 +406,7 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       }
       :: !aborted
   in
+  let member_deadline ((rq, _) : Workload.request * int) = deadline_of_req rq in
   let retry_or_fail (rq : Workload.request) attempt =
     let now = Sim.Multi.now_us m in
     if attempt < cfg.retries then begin
@@ -383,34 +427,56 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
               rq.Workload.rq_id (attempt + 1)))
     end
   in
-  (* watchdog: cancel in-flight streams past their request's deadline and
-     free their slot for the next queued request *)
+  (* watchdog: expire in-flight members past their deadline.  An expired
+     member times out alone; its stream is cancelled (and the slot freed)
+     only when every member has expired — surviving batch members keep the
+     device work they already paid for *)
   let expire_inflight () =
     if deadlines_possible && Hashtbl.length inflight > 0 then begin
       let now = Sim.Multi.now_us m in
-      let expired =
+      let hit =
         Hashtbl.fold
-          (fun _ ((rq, _, _, _, _, _) as entry) acc ->
-            match deadline_of_req rq with
-            | Some d when d <= now -> entry :: acc
-            | _ -> acc)
+          (fun _ (fl : flight) acc ->
+            if
+              List.exists
+                (fun mb ->
+                  match member_deadline mb with
+                  | Some d -> d <= now
+                  | None -> false)
+                fl.f_members
+            then fl :: acc
+            else acc)
           inflight []
-        |> List.sort
-             (fun (_, _, _, _, _, (s1 : Sim.Multi.stream))
-                  (_, _, _, _, _, (s2 : Sim.Multi.stream)) ->
-               compare s1.Sim.Multi.st_id s2.Sim.Multi.st_id)
+        |> List.sort (fun (f1 : flight) f2 ->
+               compare f1.f_stream.Sim.Multi.st_id f2.f_stream.Sim.Multi.st_id)
       in
       List.iter
-        (fun (rq, art, slot, disp, attempt, st) ->
-          Sim.Multi.cancel m st;
-          Hashtbl.remove inflight st.Sim.Multi.st_id;
-          free_slots := insert_sorted slot !free_slots;
-          record_abort rq art slot disp attempt st Deadline;
-          diag
-            (Diag.warning ~subject:art.art_model Diag.Serve
-               (Fmt.str "request %d timed out at %.1f us (attempt %d cancelled)"
-                  rq.Workload.rq_id now attempt)))
-        expired
+        (fun (fl : flight) ->
+          let st = fl.f_stream in
+          let live, expired =
+            List.partition
+              (fun mb ->
+                match member_deadline mb with
+                | Some d -> d > now
+                | None -> true)
+              fl.f_members
+          in
+          fl.f_members <- live;
+          if live = [] then begin
+            Sim.Multi.cancel m st;
+            Hashtbl.remove inflight st.Sim.Multi.st_id;
+            free_slots := insert_sorted fl.f_slot !free_slots
+          end;
+          List.iter
+            (fun (rq, attempt) ->
+              record_abort rq fl.f_art fl.f_slot fl.f_disp attempt st Deadline;
+              diag
+                (Diag.warning ~subject:fl.f_art.art_model Diag.Serve
+                   (Fmt.str
+                      "request %d timed out at %.1f us (attempt %d cancelled)"
+                      rq.Workload.rq_id now attempt)))
+            expired)
+        hit
     end
   in
   let pick () =
@@ -426,6 +492,17 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
             else b)
           (List.hd !queue) (List.tl !queue)
   in
+  (* largest power-of-two bucket <= [want] with a batched artifact; 1 (the
+     mandatory base artifact) is always reachable by halving *)
+  let bucket_for (model : string) (want : int) : int =
+    let rec pow2_floor b = if b * 2 <= want then pow2_floor (b * 2) else b in
+    let rec fit b =
+      if b <= 1 then 1
+      else if art_at model b <> None then b
+      else fit (b / 2)
+    in
+    fit (pow2_floor 1)
+  in
   let dispatch () =
     while !queue <> [] && !free_slots <> [] do
       let rq, attempt = pick () in
@@ -434,9 +511,43 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
           (fun ((r : Workload.request), _) ->
             r.Workload.rq_id <> rq.Workload.rq_id)
           !queue;
+      (* coalesce: first-attempt peers of the same model join the lead's
+         stream, up to the largest artifact-backed power-of-two bucket.
+         Retries never re-batch — a poisoned request fails alone. *)
+      let members =
+        if cfg.max_batch < 2 || attempt > 0 then [ (rq, attempt) ]
+        else begin
+          let peers =
+            List.filter
+              (fun ((r : Workload.request), a) ->
+                a = 0
+                && String.lowercase_ascii r.Workload.rq_model
+                   = String.lowercase_ascii rq.Workload.rq_model)
+              !queue
+          in
+          let bucket =
+            bucket_for rq.Workload.rq_model
+              (min (1 + List.length peers) cfg.max_batch)
+          in
+          let joined = List.filteri (fun i _ -> i < bucket - 1) peers in
+          let joined_ids =
+            List.map (fun ((r : Workload.request), _) -> r.Workload.rq_id) joined
+          in
+          queue :=
+            List.filter
+              (fun ((r : Workload.request), _) ->
+                not (List.mem r.Workload.rq_id joined_ids))
+              !queue;
+          (rq, attempt) :: joined
+        end
+      in
+      let nmembers = List.length members in
       let slot = List.hd !free_slots in
       free_slots := List.tl !free_slots;
-      let art = art_of rq.Workload.rq_model in
+      let art =
+        if nmembers = 1 then art_of rq.Workload.rq_model
+        else Option.get (art_at rq.Workload.rq_model nmembers)
+      in
       let faults =
         match cfg.chaos with
         | None -> []
@@ -444,40 +555,66 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
             Faultinject.chaos_plan c ~rq_id:rq.Workload.rq_id ~attempt
               ~stages:(stages_of art)
       in
+      let label =
+        if nmembers = 1 then Fmt.str "%s#%d" art.art_model rq.Workload.rq_id
+        else Fmt.str "%s x%d#%d" art.art_model nmembers rq.Workload.rq_id
+      in
       let st =
-        Sim.Multi.launch m
-          ~label:(Fmt.str "%s#%d" art.art_model rq.Workload.rq_id)
-          ~faults art.art_profiles
+        Sim.Multi.launch m ~label ~members:nmembers ~faults art.art_profiles
       in
       Hashtbl.replace inflight st.Sim.Multi.st_id
-        (rq, art, slot, Sim.Multi.now_us m, attempt, st)
+        {
+          f_members = members;
+          f_art = art;
+          f_slot = slot;
+          f_disp = Sim.Multi.now_us m;
+          f_stream = st;
+        }
     done
   in
   let on_stream_end (st : Sim.Multi.stream) =
-    let rq, art, slot, disp, attempt, _ = Hashtbl.find inflight st.Sim.Multi.st_id in
+    let fl = Hashtbl.find inflight st.Sim.Multi.st_id in
+    let art = fl.f_art in
     Hashtbl.remove inflight st.Sim.Multi.st_id;
-    free_slots := insert_sorted slot !free_slots;
+    free_slots := insert_sorted fl.f_slot !free_slots;
     match st.Sim.Multi.st_outcome with
     | Sim.Multi.Finished ->
-        completed :=
-          {
-            c_req = rq;
-            c_model = art.art_model;
-            c_stream = st.Sim.Multi.st_id;
-            c_slot = slot;
-            c_dispatch_us = disp;
-            c_finish_us = Option.get st.Sim.Multi.st_finish_us;
-            c_service_us = st.Sim.Multi.st_service_us;
-            c_solo_us = art.art_solo_us;
-            c_bytes = Counters.global_transfer_bytes art.art_counters;
-            c_slices = Sim.Multi.kernel_slices st;
-            c_retries = attempt;
-            c_deadline_us = deadline_of_req rq;
-          }
-          :: !completed
+        (* every surviving member completes at the stream boundary: shared
+           finish instant, the stream's service and traffic split evenly,
+           each request's own arrival/deadline/retry history intact *)
+        let n = st.Sim.Multi.st_members in
+        let share = float_of_int n in
+        List.iter
+          (fun ((rq : Workload.request), attempt) ->
+            completed :=
+              {
+                c_req = rq;
+                c_model = art.art_model;
+                c_stream = st.Sim.Multi.st_id;
+                c_slot = fl.f_slot;
+                c_dispatch_us = fl.f_disp;
+                c_finish_us = Option.get st.Sim.Multi.st_finish_us;
+                c_service_us =
+                  (if n = 1 then st.Sim.Multi.st_service_us
+                   else st.Sim.Multi.st_service_us /. share);
+                c_solo_us = (art_of rq.Workload.rq_model).art_solo_us;
+                c_bytes =
+                  Counters.global_transfer_bytes art.art_counters / n;
+                c_slices = Sim.Multi.kernel_slices st;
+                c_retries = attempt;
+                c_deadline_us = deadline_of_req rq;
+                c_batch = n;
+              }
+              :: !completed)
+          fl.f_members
     | Sim.Multi.Faulted ->
-        record_abort rq art slot disp attempt st Fault;
-        retry_or_fail rq attempt
+        (* members retry individually (never re-batched): one poisoned
+           request must not drag its neighbours down again *)
+        List.iter
+          (fun ((rq : Workload.request), attempt) ->
+            record_abort rq art fl.f_slot fl.f_disp attempt st Fault;
+            retry_or_fail rq attempt)
+          fl.f_members
     | Sim.Multi.Cancelled ->
         (* cancellations are recorded where they are issued *)
         ()
@@ -494,16 +631,20 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       (fun (st : Sim.Multi.stream) ->
         match Hashtbl.find_opt inflight st.Sim.Multi.st_id with
         | None -> Sim.Multi.cancel m st
-        | Some (rq, art, slot, disp, attempt, _) ->
+        | Some fl ->
             Sim.Multi.cancel m st;
             Hashtbl.remove inflight st.Sim.Multi.st_id;
-            free_slots := insert_sorted slot !free_slots;
-            record_abort rq art slot disp attempt st Hung;
-            diag
-              (Diag.warning ~subject:art.art_model Diag.Serve
-                 (Fmt.str "request %d attempt %d hung indefinitely; cancelled"
-                    rq.Workload.rq_id attempt));
-            retry_or_fail rq attempt)
+            free_slots := insert_sorted fl.f_slot !free_slots;
+            List.iter
+              (fun ((rq : Workload.request), attempt) ->
+                record_abort rq fl.f_art fl.f_slot fl.f_disp attempt st Hung;
+                diag
+                  (Diag.warning ~subject:fl.f_art.art_model Diag.Serve
+                     (Fmt.str
+                        "request %d attempt %d hung indefinitely; cancelled"
+                        rq.Workload.rq_id attempt));
+                retry_or_fail rq attempt)
+              fl.f_members)
       ss
   in
   let rec loop () =
@@ -524,10 +665,13 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
         let d =
           if deadlines_possible then
             Hashtbl.fold
-              (fun _ (rq, _, _, _, _, _) acc ->
-                match deadline_of_req rq with
-                | Some dd -> Float.min acc dd
-                | None -> acc)
+              (fun _ (fl : flight) acc ->
+                List.fold_left
+                  (fun acc mb ->
+                    match member_deadline mb with
+                    | Some dd -> Float.min acc dd
+                    | None -> acc)
+                  acc fl.f_members)
               inflight infinity
           else infinity
         in

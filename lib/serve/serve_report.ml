@@ -27,6 +27,9 @@ type summary = {
   s_failed : int;     (** faults exhausted the retry budget *)
   s_faults : int;     (** faulted or hung dispatched attempts *)
   s_retries : int;    (** retry dispatches scheduled *)
+  (* continuous-batching attribution; zero unless a dispatch coalesced *)
+  s_batched : int;     (** completions that rode a batched stream *)
+  s_mean_batch : float;  (** mean bucket size over those completions *)
 }
 
 (** Any lifecycle event at all?  False on every fault-free run. *)
@@ -144,6 +147,18 @@ let summarize (o : Scheduler.outcome) : summary =
            (fun (a : Scheduler.aborted) -> a.Scheduler.a_reason <> Scheduler.Deadline)
            o.Scheduler.o_aborted)
       - List.length o.Scheduler.o_failed;
+    s_batched =
+      List.length
+        (List.filter (fun (c : Scheduler.completed) -> c.Scheduler.c_batch > 1) cs);
+    s_mean_batch =
+      (match
+         List.filter (fun (c : Scheduler.completed) -> c.Scheduler.c_batch > 1) cs
+       with
+      | [] -> 0.
+      | bs ->
+          sum (List.map (fun (c : Scheduler.completed) ->
+                   float_of_int c.Scheduler.c_batch) bs)
+          /. float_of_int (List.length bs));
   }
 
 (* printed inside pp_summary's vbox; silent unless a lifecycle event fired,
@@ -155,17 +170,23 @@ let pp_lifecycle ppf (s : summary) =
        (faults %d, retries %d)"
       s.s_retried s.s_timed_out s.s_rejected s.s_failed s.s_faults s.s_retries
 
+(* like {!pp_lifecycle}: silent on every unbatched run *)
+let pp_batching ppf (s : summary) =
+  if s.s_batched > 0 then
+    Fmt.pf ppf "@,batching: %d request(s) coalesced, mean bucket x%.2f"
+      s.s_batched s.s_mean_batch
+
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
     "@[<v>requests: %d  (offered %.1f rps, served %.1f rps)@,\
      latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f@,\
      service: mean %.3f ms, slowdown x%.2f vs solo@,\
      makespan: %.3f ms, DRAM served: %.3f GB@,\
-     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a@]"
+     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a%a@]"
     s.s_requests s.s_offered_rps s.s_throughput_rps s.s_p50_ms s.s_p95_ms
     s.s_p99_ms s.s_mean_ms s.s_max_ms s.s_mean_service_ms s.s_mean_slowdown
     s.s_makespan_ms s.s_dram_gb s.s_avg_sm_demand s.s_avg_resident
-    s.s_peak_resident pp_lifecycle s
+    s.s_peak_resident pp_batching s pp_lifecycle s
 
 let summary_json (s : summary) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
@@ -187,6 +208,15 @@ let summary_json (s : summary) : Jsonlite.t =
       num "peak_resident" (float_of_int s.s_peak_resident);
       num "dram_gb" s.s_dram_gb;
     ]
+    @
+    (* batching attribution appears only once a dispatch coalesced, so
+       unbatched JSON stays byte-identical to the baseline *)
+    (if s.s_batched > 0 then
+       [
+         num "batched" (float_of_int s.s_batched);
+         num "mean_batch" s.s_mean_batch;
+       ]
+     else [])
     @
     (* lifecycle counters appear only once a lifecycle event has fired, so
        fault-free JSON stays byte-identical to the baseline *)
@@ -220,6 +250,10 @@ let completed_json (c : Scheduler.completed) : Jsonlite.t =
        serialize exactly as before the lifecycle existed *)
     @ (if c.Scheduler.c_retries > 0 then
          [ num "retries" (float_of_int c.Scheduler.c_retries) ]
+       else [])
+    (* likewise, only batched members carry their bucket size *)
+    @ (if c.Scheduler.c_batch > 1 then
+         [ num "batch" (float_of_int c.Scheduler.c_batch) ]
        else []))
 
 let aborted_json (a : Scheduler.aborted) : Jsonlite.t =
@@ -302,6 +336,9 @@ let chrome_trace (o : Scheduler.outcome) : Obs.trace =
                    (c.Scheduler.c_dispatch_us
                    -. c.Scheduler.c_req.Workload.rq_arrival_us) );
              ]
+            @ (if c.Scheduler.c_batch > 1 then
+                 [ ("batch", string_of_int c.Scheduler.c_batch) ]
+               else [])
             @
             if c.Scheduler.c_retries > 0 then
               [

@@ -1,0 +1,54 @@
+(** Batched-shape rewriting of a TE program (the serving layer's
+    shape polymorphism).
+
+    [apply ~batch p] produces the program that computes [batch] independent
+    inference lanes at once: every TE output gains a leading batch axis, and
+    every read of an intermediate tensor is indexed by the current lane.
+    Model inputs (activations and weights alike) stay unbatched and are
+    *shared* across lanes — the replicated-broadcast convention.  That
+    models exactly the dominant win of serving-time batching (one weight
+    read amortized over the whole batch; per-kernel launch overhead paid
+    once) while keeping the transform closed over the quasi-affine index
+    class: lane selection is one fresh output variable, nothing else moves.
+
+    Because every lane reads the same inputs, lane [i] of each batched
+    output equals the unbatched program's output — the equivalence the
+    batching tests pin down with the reference interpreter.
+
+    [apply ~batch:1] returns the program {e physically} unchanged ([==]),
+    so an unbatched compile is byte-identical to one that never heard of
+    batching. *)
+
+(** [apply ~batch p] is [p] computed over [batch] broadcast lanes.
+    @raise Invalid_argument when [batch < 1]. *)
+let apply ~batch (p : Program.t) : Program.t =
+  if batch < 1 then invalid_arg "Batch.apply: batch must be >= 1";
+  if batch = 1 then p
+  else begin
+    let batched =
+      List.fold_left
+        (fun s (te : Te.t) -> Program.SSet.add te.Te.name s)
+        Program.SSet.empty p.Program.tes
+    in
+    (* Ov 0 becomes the lane variable: shift every existing output variable
+       up by one (reduction variables are untouched), then index reads of
+       batched tensors by the lane.  The shift runs first, so the prepended
+       [Ov 0] is unambiguously the new axis. *)
+    let shift = Index.subst_out (fun k -> Index.Ov (k + 1)) in
+    let rebatch (e : Expr.t) : Expr.t =
+      Expr.map_reads
+        (fun name idxs ->
+          if Program.SSet.mem name batched then
+            Expr.Read (name, Index.Ov 0 :: idxs)
+          else Expr.Read (name, idxs))
+        (Expr.map_index shift e)
+    in
+    let tes =
+      List.map
+        (fun (te : Te.t) ->
+          let te = Te.map_body rebatch te in
+          { te with Te.out_shape = Array.append [| batch |] te.Te.out_shape })
+        p.Program.tes
+    in
+    { p with Program.tes }
+  end

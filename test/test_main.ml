@@ -20,6 +20,7 @@ let () =
       ("serialize", Test_serialize.suite);
       ("tir", Test_tir.suite);
       ("obs", Test_obs.suite);
+      ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);
       ("perf", Test_perf.suite);
     ]

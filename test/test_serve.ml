@@ -26,10 +26,10 @@ let artifact_of ~model (r : Souffle.report) : Scheduler.artifact =
     r.Souffle.prog
 
 let run_batch ?(policy = Scheduler.Fifo) ?queue_cap ?drop ?retries ?backoff_us
-    ?deadline_us ?chaos ~streams artifacts reqs =
+    ?deadline_us ?chaos ?max_batch ~streams artifacts reqs =
   Scheduler.run dev
     (Scheduler.cfg ?queue_cap ?drop ?retries ?backoff_us ?deadline_us ?chaos
-       ~policy ~max_streams:streams ())
+       ?max_batch ~policy ~max_streams:streams ())
     ~artifacts reqs
 
 (* n identical zero-time arrivals of one model *)
@@ -370,6 +370,160 @@ let test_chaos_run_deterministic () =
   Alcotest.(check string) "same (seed, chaos, workload) triple, same bytes"
     (go ()) (go ())
 
+(* ---- continuous batching ---- *)
+
+let light_prog () : Kernel_ir.prog =
+  let k =
+    Kernel_ir.kernel ~name:"light" ~grid_blocks:8 ~threads_per_block:256
+      ~smem_per_block:(4 * 1024)
+      [ Kernel_ir.stage ~label:"s0" [ Kernel_ir.Fma { flops = 50_000_000 } ] ]
+  in
+  { Kernel_ir.pname = "light"; kernels = [ k ] }
+
+(* bucket artifacts for the scheduler tests: the same kernel program tagged
+   at several batch shapes (attribution is what is under test; the compile
+   path of batched programs is covered by the batch suite) *)
+let light_buckets buckets : Scheduler.artifact list =
+  List.map
+    (fun b -> Scheduler.artifact_of_prog dev ~model:"light" ~batch:b (light_prog ()))
+    buckets
+
+let test_max_batch_without_buckets_is_baseline () =
+  (* batching enabled but no batched artifact supplied: every bucket falls
+     back to 1, and the outcome must be byte-identical to batching off *)
+  let a = synthetic_artifact () in
+  let reqs = batch_of "busy" 12 in
+  let off = run_batch ~streams:4 [ a ] reqs in
+  let on_ = run_batch ~streams:4 ~max_batch:8 [ a ] reqs in
+  Alcotest.(check string)
+    "max_batch without bucket artifacts is byte-identical to the baseline"
+    (outcome_bytes off) (outcome_bytes on_)
+
+let test_bucket_rounding_deterministic () =
+  let arts = light_buckets [ 1; 2; 4 ] in
+  let reqs = batch_of "light" 7 in
+  let go () = run_batch ~streams:1 ~max_batch:8 arts reqs in
+  let o = go () in
+  Alcotest.(check int) "all 7 requests complete" 7
+    (List.length o.Scheduler.o_completed);
+  let buckets =
+    List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_batch)
+      o.Scheduler.o_completed
+  in
+  (* 7 queued requests on one stream round down the power-of-two ladder:
+     a 4-bucket, then a 2-bucket, then a singleton *)
+  Alcotest.(check (list int)) "buckets round down: 4, then 2, then 1"
+    [ 4; 4; 4; 4; 2; 2; 1 ] buckets;
+  let four =
+    List.filter (fun (c : Scheduler.completed) -> c.Scheduler.c_batch = 4)
+      o.Scheduler.o_completed
+  in
+  (match four with
+  | c0 :: rest ->
+      List.iter
+        (fun (c : Scheduler.completed) ->
+          Alcotest.(check int) "batch members share one stream"
+            c0.Scheduler.c_stream c.Scheduler.c_stream;
+          Alcotest.(check bool) "batch members share the finish instant" true
+            (c.Scheduler.c_finish_us = c0.Scheduler.c_finish_us))
+        rest
+  | [] -> Alcotest.fail "no 4-bucket completions");
+  Alcotest.(check string) "bucketed run reproduces byte-identically"
+    (outcome_bytes o)
+    (outcome_bytes (go ()))
+
+let test_batch_fault_retries_members_individually () =
+  let arts = light_buckets [ 1; 2 ] in
+  let stages = [| 1 |] in
+  (* four same-model requests on two streams at max_batch 2: dispatch pairs
+     (0,1) and (2,3).  Find a chaos seed that faults the first pair's
+     stream (plans derive from the lead request) and leaves the second
+     pair and every retry clean. *)
+  let plan c rq attempt = Faultinject.chaos_plan c ~rq_id:rq ~attempt ~stages in
+  let has_fault p =
+    List.exists
+      (function Faultinject.Kernel_fault _ -> true | _ -> false)
+      p
+  in
+  let chaos =
+    let rec search seed =
+      if seed > 5000 then Alcotest.fail "no suitable chaos seed found"
+      else
+        let c =
+          { Faultinject.chaos_zero with
+            Faultinject.ch_seed = seed;
+            ch_fault_rate = 0.3 }
+        in
+        if
+          has_fault (plan c 0 0)
+          && plan c 2 0 = []
+          && plan c 0 1 = []
+          && plan c 1 1 = []
+        then c
+        else search (seed + 1)
+    in
+    search 0
+  in
+  let reqs = batch_of "light" 4 in
+  let o = run_batch ~streams:2 ~max_batch:2 ~retries:1 ~chaos arts reqs in
+  Alcotest.(check int) "all 4 requests complete" 4
+    (List.length o.Scheduler.o_completed);
+  Alcotest.(check int) "no request failed" 0 (List.length o.Scheduler.o_failed);
+  (* the fault aborts both members of the batched stream... *)
+  Alcotest.(check int) "both members of the faulted stream aborted" 2
+    (List.length o.Scheduler.o_aborted);
+  let find rq =
+    List.find
+      (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_id = rq)
+      o.Scheduler.o_completed
+  in
+  (* ...and each retries individually: attempt 1 never re-batches *)
+  List.iter
+    (fun rq ->
+      let c = find rq in
+      Alcotest.(check int)
+        (Fmt.str "request %d completed on its retry" rq)
+        1 c.Scheduler.c_retries;
+      Alcotest.(check int)
+        (Fmt.str "request %d retried unbatched" rq)
+        1 c.Scheduler.c_batch)
+    [ 0; 1 ];
+  (* the second pair rode its batched stream to completion untouched *)
+  List.iter
+    (fun rq ->
+      let c = find rq in
+      Alcotest.(check int)
+        (Fmt.str "request %d completed first-try" rq)
+        0 c.Scheduler.c_retries;
+      Alcotest.(check int)
+        (Fmt.str "request %d stayed batched" rq)
+        2 c.Scheduler.c_batch)
+    [ 2; 3 ]
+
+let test_batched_service_attribution () =
+  let arts = light_buckets [ 1; 2; 4 ] in
+  let reqs = batch_of "light" 4 in
+  let o = run_batch ~streams:1 ~max_batch:4 arts reqs in
+  match o.Scheduler.o_completed with
+  | (c :: _ as cs) when List.length cs = 4 ->
+      let solo = (List.hd arts).Scheduler.art_solo_us in
+      Alcotest.(check bool) "per-member service is the stream's 1/4 share"
+        true
+        (List.for_all
+           (fun (x : Scheduler.completed) ->
+             x.Scheduler.c_service_us = c.Scheduler.c_service_us)
+           cs);
+      Alcotest.(check bool) "solo estimate stays the unbatched latency" true
+        (c.Scheduler.c_solo_us = solo);
+      Alcotest.(check bool) "batched members beat their solo estimate" true
+        (c.Scheduler.c_service_us < solo);
+      let s = Serve_report.summarize o in
+      Alcotest.(check int) "summary counts the batched completions" 4
+        s.Serve_report.s_batched;
+      Alcotest.(check bool) "summary mean bucket is 4" true
+        (s.Serve_report.s_mean_batch = 4.)
+  | cs -> Alcotest.failf "expected 4 completions, got %d" (List.length cs)
+
 let suite =
   [
     Alcotest.test_case "single stream equals solo Sim" `Quick
@@ -398,4 +552,12 @@ let suite =
       test_queue_cap_sheds_deterministically;
     Alcotest.test_case "chaos runs are deterministic" `Quick
       test_chaos_run_deterministic;
+    Alcotest.test_case "max_batch without buckets is the baseline" `Quick
+      test_max_batch_without_buckets_is_baseline;
+    Alcotest.test_case "bucket rounding deterministic" `Quick
+      test_bucket_rounding_deterministic;
+    Alcotest.test_case "batch fault retries members individually" `Quick
+      test_batch_fault_retries_members_individually;
+    Alcotest.test_case "batched service attribution" `Quick
+      test_batched_service_attribution;
   ]

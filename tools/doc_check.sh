@@ -1,12 +1,22 @@
 #!/bin/sh
-# Doc honesty check for `dune build @doc-check`: every source-file path a
-# documentation file cites (backtick-quoted `lib/...ml`, `bin/...`, etc.)
-# must still exist, so the architecture docs cannot silently rot as the
-# code moves.  Usage: doc_check.sh ROOT DOC...
+# Doc honesty check for `dune build @doc-check`:
+#  - every source-file path a documentation file cites (backtick-quoted
+#    `lib/...ml`, `bin/...`, etc.) must still exist, and
+#  - every long CLI flag (`--foo-bar`) a documentation file mentions must
+#    appear in the help corpus (the concatenated `--help=plain` output of
+#    every souffle subcommand, plus the flags the bench driver parses by
+#    hand), so the docs cannot describe flags the binaries dropped.
+# Usage: doc_check.sh ROOT HELP_CORPUS DOC...
 set -eu
 root=$1
-shift
+corpus=$2
+shift 2
 status=0
+if [ ! -f "$corpus" ]; then
+  echo "doc-check: missing help corpus $corpus" >&2
+  exit 1
+fi
+known_flags=$(grep -oE -- '--[a-z][a-z0-9-]+' "$corpus" | sort -u)
 for doc in "$@"; do
   if [ ! -f "$doc" ]; then
     echo "doc-check: missing documentation file $doc" >&2
@@ -26,5 +36,13 @@ for doc in "$@"; do
     echo "doc-check: $doc cites no source paths (suspicious)" >&2
     status=1
   fi
+  # long CLI flags, e.g. --batch-max (short flags like -m are too ambiguous)
+  flags=$(grep -oE -- '--[a-z][a-z0-9-]+' "$doc" | sort -u)
+  for flag in $flags; do
+    if ! printf '%s\n' "$known_flags" | grep -qxF -- "$flag"; then
+      echo "doc-check: $doc mentions $flag, absent from CLI help output" >&2
+      status=1
+    fi
+  done
 done
 exit $status
