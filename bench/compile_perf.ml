@@ -18,11 +18,20 @@ let spans_named (t : Obs.trace) (name : string) : int =
   Obs.iter (fun s ~depth:_ -> if s.Obs.sname = name then incr n) t;
   !n
 
+(* the pipeline phases broken out per run, in pipeline order; each is an
+   Obs span the compiler already emits *)
+let phase_names =
+  [
+    "horizontal"; "vertical"; "analysis"; "ansor"; "partition"; "emit";
+    "verify-ir"; "verify-dataflow"; "simulate";
+  ]
+
 type run = {
   label : string;
   compile_s : float;     (* end-to-end wall seconds *)
   ansor_us : float;      (* schedule-phase ("ansor" spans) microseconds *)
   searches : int;        (* "ansor-search" spans: candidate searches done *)
+  phases : (string * float) list;  (* per-phase microseconds, {!phase_names} *)
   sim : Sim.result;
 }
 
@@ -56,6 +65,7 @@ let measure ~model ~label ?sched_cache ~domains (p : Program.t) : run =
     compile_s = Unix.gettimeofday () -. t0;
     ansor_us = Obs.total_us trace "ansor";
     searches = spans_named trace "ansor-search";
+    phases = List.map (fun n -> (n, Obs.total_us trace n)) phase_names;
     sim = r.Souffle.sim;
   }
 
@@ -93,6 +103,9 @@ let json_of_run (r : run) : Jsonlite.t =
       ("compile_s", Jsonlite.Num r.compile_s);
       ("ansor_us", Jsonlite.Num r.ansor_us);
       ("searches", Jsonlite.Num (float_of_int r.searches));
+      ( "phases_us",
+        Jsonlite.Obj
+          (List.map (fun (n, us) -> (n, Jsonlite.Num us)) r.phases) );
     ]
 
 let ratio num den = if den > 0. then num /. den else 0.

@@ -83,6 +83,8 @@ let sections : (string * (unit -> unit)) list =
     ("serve-perf-smoke", Serve_perf.smoke);
     ("serve-chaos", Serve_chaos.run);
     ("serve-chaos-smoke", Serve_chaos.smoke);
+    ("mega-perf", Mega_perf.run);
+    ("mega-perf-smoke", Mega_perf.smoke);
     ("bechamel", run_bechamel);
   ]
 

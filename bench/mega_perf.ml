@@ -1,0 +1,185 @@
+(* Mega-kernelization benchmark: the persistent task-graph kernel against
+   the multi-kernel program it was lowered from, across the model zoo.
+
+   One compile per model (with [mega] on) yields both sides of the
+   comparison: the report's [sim] is the multi-kernel execution (one
+   launch charge per kernel, grid syncs inside cooperative kernels) and
+   the report's [mega] is the same program drained by persistent workers
+   (exactly one launch charge, syncs replaced by task-graph edges,
+   independent tasks overlapping under the contention model).
+
+   Checks recorded in the runlog, so --strict-bench fails the run:
+     - the lowering must succeed and re-verify (Verify_ir feasibility +
+       cross-task dataflow provenance) on every model;
+     - every mega simulation must charge exactly one kernel launch;
+     - BERT and ResNeXt must run strictly faster mega than multi-kernel
+       (the paper's headline launch-bound models);
+     - in the smoke variant, the interpreter must confirm the compiled
+       artifact still computes the original program's outputs.
+
+   Results land in BENCH_mega.json (full models) or BENCH_mega_smoke.json
+   (tiny models, the @bench-smoke alias). *)
+
+let dev = Tables.dev
+
+(* models on which mega must strictly beat multi-kernel under
+   --strict-bench: the many-kernel, launch-latency-bound ones *)
+let must_win = [ "bert"; "resnext" ]
+
+type row = {
+  model : string;
+  kernels : int;      (* multi-kernel program size *)
+  tasks : int;
+  edges : int;
+  launches : int;     (* launch charges in the mega simulation *)
+  elided : int;       (* launches the lowering removed *)
+  base_us : float;    (* multi-kernel end-to-end *)
+  mega_us : float;    (* persistent-kernel end-to-end *)
+}
+
+let speedup (r : row) = if r.mega_us > 0. then r.base_us /. r.mega_us else 0.
+
+let bench_model ~graph_of ~equiv (e : Zoo.entry) : row option =
+  let p = Lower.run (graph_of e) in
+  let r =
+    Tables.compile_recorded ~name:e.Zoo.name
+      ~cfg:(Souffle.config ~mega:true ())
+      p
+  in
+  if equiv then begin
+    match Souffle.verify r with
+    | Ok () -> ()
+    | Error m ->
+        Fmt.epr "  !! %s: compiled artifact is not equivalent: %s@."
+          e.Zoo.name m;
+        Runlog.record Tables.runlog
+          ~model:(e.Zoo.name ^ "@equiv")
+          ~degraded_steps:0 ~errors:1
+  end;
+  match r.Souffle.mega with
+  | None ->
+      (* the compile itself already surfaced the skip warnings; make the
+         miss fatal under --strict-bench — this sweep exists to measure
+         mega, so a model it cannot cover is a regression *)
+      Fmt.epr "  !! %s: mega-kernelization was rejected@." e.Zoo.name;
+      Runlog.record Tables.runlog
+        ~model:(e.Zoo.name ^ "@mega")
+        ~degraded_steps:0 ~errors:1;
+      None
+  | Some m ->
+      let tg = m.Souffle.m_graph in
+      (* independent re-verification of cross-task provenance: every
+         tensor a task reads must be produced by one of its (transitive)
+         dependencies *)
+      (match
+         Dataflow.check_taskgraph dev
+           (Souffle.dataflow_env r.Souffle.transformed)
+           tg
+       with
+      | Ok () -> ()
+      | Error ds ->
+          Fmt.epr "  !! %s: task graph is not dataflow-clean:@." e.Zoo.name;
+          List.iter (fun d -> Fmt.epr "     %a@." Diag.pp d) ds;
+          Runlog.record Tables.runlog
+            ~model:(e.Zoo.name ^ "@mega-dataflow")
+            ~degraded_steps:0 ~errors:(List.length ds));
+      let row =
+        {
+          model = e.Zoo.name;
+          kernels = List.length r.Souffle.prog.Kernel_ir.kernels;
+          tasks = Kernel_ir.num_tasks tg;
+          edges = Kernel_ir.num_edges tg;
+          launches = m.Souffle.m_sim.Sim.total.Counters.kernel_launches;
+          elided = Kernel_ir.launches_elided tg;
+          base_us = r.Souffle.sim.Sim.total.Counters.time_us;
+          mega_us = m.Souffle.m_sim.Sim.total.Counters.time_us;
+        }
+      in
+      if row.launches <> 1 then begin
+        Fmt.epr "  !! %s: mega run charged %d launch(es), expected 1@."
+          e.Zoo.name row.launches;
+        Runlog.record Tables.runlog
+          ~model:(e.Zoo.name ^ "@mega-launches")
+          ~degraded_steps:0 ~errors:1
+      end;
+      if
+        List.mem (String.lowercase_ascii e.Zoo.name) must_win
+        && not (row.mega_us < row.base_us)
+      then begin
+        Fmt.epr
+          "  !! %s: mega (%.2f us) is not strictly faster than \
+           multi-kernel (%.2f us)@."
+          e.Zoo.name row.mega_us row.base_us;
+        Runlog.record Tables.runlog
+          ~model:(e.Zoo.name ^ "@mega-win")
+          ~degraded_steps:0 ~errors:1
+      end;
+      Some row
+
+let json_of_row (r : row) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("model", Jsonlite.Str r.model);
+      ("kernels", Jsonlite.Num (float_of_int r.kernels));
+      ("tasks", Jsonlite.Num (float_of_int r.tasks));
+      ("edges", Jsonlite.Num (float_of_int r.edges));
+      ("launches", Jsonlite.Num (float_of_int r.launches));
+      ("launches_elided", Jsonlite.Num (float_of_int r.elided));
+      ("multi_kernel_us", Jsonlite.Num r.base_us);
+      ("mega_us", Jsonlite.Num r.mega_us);
+      ("speedup", Jsonlite.Num (speedup r));
+    ]
+
+let run_with ~graph_of ~out ~equiv () =
+  Tables.section "Mega-kernelization — one persistent kernel vs multi-kernel";
+  let rows = List.filter_map (bench_model ~graph_of ~equiv) Zoo.all in
+  Fmt.pr "  %-14s %8s %6s %6s %8s %12s %12s %8s@." "model" "kernels" "tasks"
+    "edges" "elided" "multi(us)" "mega(us)" "speedup";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-14s %8d %6d %6d %8d %12.2f %12.2f %7.2fx@." r.model
+        r.kernels r.tasks r.edges r.elided r.base_us r.mega_us (speedup r))
+    rows;
+  let geo =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        exp
+          (List.fold_left (fun a r -> a +. log (speedup r)) 0. rows
+          /. float_of_int (List.length rows))
+  in
+  Fmt.pr "  ---@.";
+  Fmt.pr "  geomean speedup %.2fx; %d launch(es) elided in total@." geo
+    (List.fold_left (fun a r -> a + r.elided) 0 rows);
+  let json =
+    Jsonlite.Obj
+      [
+        ("bench", Jsonlite.Str "mega-perf");
+        ("device", Jsonlite.Str dev.Device.name);
+        ("models", Jsonlite.Arr (List.map json_of_row rows));
+        ( "summary",
+          Jsonlite.Obj
+            [
+              ("geomean_speedup", Jsonlite.Num geo);
+              ( "launches_elided",
+                Jsonlite.Num
+                  (float_of_int
+                     (List.fold_left (fun a r -> a + r.elided) 0 rows)) );
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonlite.to_string json));
+  Fmt.pr "  wrote %s@." out
+
+(* full-size models: the measurement run *)
+let run () =
+  run_with ~graph_of:(fun e -> e.Zoo.full ()) ~out:"BENCH_mega.json"
+    ~equiv:false ()
+
+(* tiny models with interpreter equivalence: the @bench-smoke alias *)
+let smoke () =
+  run_with ~graph_of:(fun e -> e.Zoo.tiny ()) ~out:"BENCH_mega_smoke.json"
+    ~equiv:true ()

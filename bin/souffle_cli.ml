@@ -119,6 +119,19 @@ let profile_arg =
   in
   Arg.(value & flag & info [ "profile" ] ~doc)
 
+let mega_arg =
+  let doc =
+    "Mega-kernelization: additionally lower the compiled multi-kernel \
+     program into ONE persistent task-graph kernel — a single launch whose \
+     per-SM workers drain the dependency graph of today's kernels/stages, \
+     with grid synchronization replaced by task edges and independent \
+     tasks overlapping.  The compile summary reports the mega latency \
+     next to the multi-kernel baseline; $(b,serve) runs requests on the \
+     mega artifacts.  A lowering that fails feasibility or provenance \
+     re-verification degrades back to multi-kernel with a warning."
+  in
+  Arg.(value & flag & info [ "mega" ] ~doc)
+
 let sched_cache_arg =
   let doc =
     "Persistent schedule cache: load previously searched Ansor schedules \
@@ -179,7 +192,7 @@ let arm_fault = function
       | Error m -> Error m)
 
 let compile_run model file tiny level cuda verify verify_dataflow strict
-    inject trace profile sched_cache_path search_domains =
+    inject trace profile sched_cache_path search_domains mega =
   protect Diag.Validate @@ fun () ->
   match
     ( resolve ~model ~file ~tiny,
@@ -196,7 +209,7 @@ let compile_run model file tiny level cuda verify verify_dataflow strict
         | None -> Ansor.default_config
         | Some n -> { Ansor.default_config with Ansor.search_domains = n }
       in
-      let cfg = Souffle.config ~level ~ansor ?sched_cache () in
+      let cfg = Souffle.config ~level ~ansor ?sched_cache ~mega () in
       let compile () =
         Fun.protect ~finally:Faultinject.disarm (fun () ->
             Souffle.compile_result ~cfg ~strict p)
@@ -237,6 +250,10 @@ let compile_run model file tiny level cuda verify verify_dataflow strict
               Fmt.pr "@.subprograms: %d@." (Partition.num_subprograms part)
           | None -> ());
           if profile then Fmt.pr "@.%a@." Souffle.pp_kernel_report r;
+          (match r.Souffle.mega with
+          | Some m when profile ->
+              Fmt.pr "@.%a@." Kernel_ir.pp_taskgraph m.Souffle.m_graph
+          | _ -> ());
           if verify_dataflow then begin
             let env = Souffle.dataflow_env r.Souffle.transformed in
             Fmt.pr "@.dataflow (per-tensor byte accounting):@.%a@."
@@ -261,7 +278,8 @@ let compile_cmd =
     Term.(
       const compile_run $ model_opt_arg $ file_arg $ tiny_arg $ level_arg
       $ cuda_arg $ verify_arg $ verify_dataflow_arg $ strict_arg $ inject_arg
-      $ trace_arg $ profile_arg $ sched_cache_arg $ search_domains_arg)
+      $ trace_arg $ profile_arg $ sched_cache_arg $ search_domains_arg
+      $ mega_arg)
 
 let compare_run model tiny =
   protect Diag.Simulate @@ fun () ->
@@ -435,7 +453,7 @@ let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
 
 let serve_run mix rate requests streams policy seed tiny level strict
     json_out trace_out chaos_spec deadline_ms retries backoff_us queue_cap
-    drop batch_max sched_cache_path =
+    drop batch_max sched_cache_path mega =
   protect Diag.Simulate @@ fun () ->
   let mix_spec = mix in
   let fail m =
@@ -457,7 +475,9 @@ let serve_run mix rate requests streams policy seed tiny level strict
       else begin
         let dev = Souffle.default_config.Souffle.device in
         let sched_cache = Option.map Scache.load sched_cache_path in
-        let cfg_at batch = Souffle.config ~level ?sched_cache ~batch () in
+        let cfg_at batch =
+          Souffle.config ~level ?sched_cache ~batch ~mega ()
+        in
         (* compile one model at one batch shape, report, build the artifact *)
         let compile_one (e : Zoo.entry) batch =
           match
@@ -469,16 +489,31 @@ let serve_run mix rate requests streams policy seed tiny level strict
                 (Fmt.str "%s: %s" e.Zoo.name
                    (String.concat "; " (List.map Diag.to_string ds)))
           | Ok r ->
+              (* with --mega, requests run on the persistent-kernel
+                 artifact; a rejected lowering falls back to multi-kernel *)
               let a =
-                Scheduler.artifact_of_prog dev ~model:e.Zoo.name ~batch
-                  ~degraded:(List.length r.Souffle.degraded)
-                  r.Souffle.prog
+                match r.Souffle.mega with
+                | Some m ->
+                    Scheduler.artifact_of_taskgraph dev ~model:e.Zoo.name
+                      ~batch
+                      ~degraded:(List.length r.Souffle.degraded)
+                      m.Souffle.m_graph
+                | None ->
+                    Scheduler.artifact_of_prog dev ~model:e.Zoo.name ~batch
+                      ~degraded:(List.length r.Souffle.degraded)
+                      r.Souffle.prog
               in
-              Fmt.pr "compiled %-14s %2d kernel(s), solo %10.2f us%s@."
+              Fmt.pr "compiled %-14s %2d kernel(s), solo %10.2f us%s%s@."
                 (if batch = 1 then e.Zoo.name
                  else Fmt.str "%s x%d" e.Zoo.name batch)
                 (List.length r.Souffle.prog.Kernel_ir.kernels)
                 a.Scheduler.art_solo_us
+                (match r.Souffle.mega with
+                | Some m ->
+                    Fmt.str " [mega: %d task(s), 1 launch]"
+                      (Kernel_ir.num_tasks m.Souffle.m_graph)
+                | None when mega -> " [mega skipped]"
+                | None -> "")
                 (if r.Souffle.degraded = [] then ""
                  else
                    Fmt.str " (%d degradation step(s))"
@@ -610,7 +645,7 @@ let serve_cmd =
       $ policy_arg $ seed_arg $ tiny_arg $ level_arg $ strict_arg
       $ serve_json_arg $ serve_trace_arg $ chaos_arg $ deadline_ms_arg
       $ retries_arg $ backoff_us_arg $ queue_cap_arg $ drop_arg
-      $ batch_max_arg $ sched_cache_arg)
+      $ batch_max_arg $ sched_cache_arg $ mega_arg)
 
 let dump_run model tiny output =
   protect Diag.Validate @@ fun () ->

@@ -43,6 +43,10 @@ type config = {
   batch : int;
       (** batch lanes to compile the program at ({!Batch.apply} runs before
           any analysis); 1 compiles the program exactly as given *)
+  mega : bool;
+      (** also lower the compiled program into one persistent task-graph
+          kernel ({!Megakernel}); the multi-kernel program is still built
+          and simulated, so the report carries both *)
 }
 
 let default_config =
@@ -52,11 +56,13 @@ let default_config =
     ansor = Ansor.default_config;
     sched_cache = None;
     batch = 1;
+    mega = false;
   }
 
 let config ?(device = Device.a100) ?(level = V4)
-    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) () =
-  { device; level; ansor; sched_cache; batch }
+    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) ?(mega = false)
+    () =
+  { device; level; ansor; sched_cache; batch; mega }
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -74,6 +80,15 @@ let pp_degradation ppf d =
     (Diag.pass_name d.d_pass) (level_to_string d.d_from)
     (level_to_string d.d_to) d.d_reason
 
+(** The mega-kernelization of a compiled program: the verified task graph
+    and its solo simulation (one launch charge, dependency-respecting task
+    overlap).  Present only when the compile ran with [cfg.mega] and the
+    lowered graph passed both the worker-launch feasibility check
+    ({!Verify_ir.check}) and the provenance re-verification
+    ({!Dataflow.check_taskgraph}); otherwise the compile degrades to the
+    multi-kernel program with a warning diagnostic. *)
+type mega_result = { m_graph : Kernel_ir.taskgraph; m_sim : Sim.result }
+
 type report = {
   cfg : config;
   original : Program.t;
@@ -83,6 +98,8 @@ type report = {
   groups : Emit.group list;
   prog : Kernel_ir.prog;
   sim : Sim.result;
+  mega : mega_result option;  (** the persistent-kernel lowering, if asked
+                                  for ([cfg.mega]) and verified *)
   scheds : (string, Sched.t) Hashtbl.t;
       (** the schedule table of the successful attempt, keyed by TE name —
           kept so downstream renderings ({!te_loop_nests}) never re-run the
@@ -490,6 +507,27 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
     in
     match stage with
     | Ok (p2, an, scheds, partition, groups, hstats, vstats, prog, sim) ->
+        (* Mega-kernelization rides on the successful multi-kernel compile:
+           lower to a task graph, re-verify feasibility and provenance, and
+           simulate the persistent launch.  A rejection is a graceful
+           fallback to the multi-kernel program — recorded as warnings, not
+           errors, so [--strict] still accepts the compile. *)
+        let mega =
+          if not cfg.mega then None
+          else
+            Obs.span "megakernel" @@ fun () ->
+            let tg = Megakernel.lower prog in
+            match Megakernel.verify cfg.device (dataflow_env p2) tg with
+            | Ok () -> Some { m_graph = tg; m_sim = Sim.run_mega cfg.device tg }
+            | Error ds ->
+                List.iter
+                  (fun (d : Diag.t) ->
+                    note
+                      (Diag.warning ?subject:d.Diag.subject d.Diag.pass
+                         ("mega-kernelization skipped: " ^ d.Diag.message)))
+                  ds;
+                None
+        in
         let compile_s = Unix.gettimeofday () -. t0 in
         Ok
           {
@@ -501,6 +539,7 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
             groups;
             prog;
             sim;
+            mega;
             scheds;
             hstats;
             vstats;
@@ -574,6 +613,18 @@ let summary ppf (r : report) =
     (Counters.mb (Counters.global_load_bytes r.sim.Sim.total))
     (Counters.mb r.sim.Sim.total.Counters.dram_write_bytes)
     r.compile_s;
+  (match r.mega with
+  | None -> ()
+  | Some m ->
+      Fmt.pf ppf
+        "@,mega: %d task(s), %d edge(s), %d launch(es) elided, time %.3f ms \
+         (%.2fx vs multi-kernel)"
+        (Kernel_ir.num_tasks m.m_graph)
+        (Kernel_ir.num_edges m.m_graph)
+        (Kernel_ir.launches_elided m.m_graph)
+        (Sim.time_ms m.m_sim)
+        (r.sim.Sim.total.Counters.time_us
+        /. Float.max 1e-9 m.m_sim.Sim.total.Counters.time_us));
   if r.degraded <> [] then
     Fmt.pf ppf "@,degraded: %a" Fmt.(list ~sep:(any "; ") pp_degradation)
       r.degraded
@@ -599,9 +650,9 @@ let kernel_report_json ?(model = "") (r : report) : string =
        r.sim)
 
 let pp_kernel_report ppf (r : report) =
-  Fmt.pf ppf "@[<v>per-kernel counters (%s, %d kernel(s)):@,%a@]"
+  Fmt.pf ppf "@[<v>per-kernel counters (%s, %d kernel(s)):@,%a@,%a@]"
     (level_to_string r.cfg.level)
-    (num_kernels r) Kreport.pp (kernel_report r)
+    (num_kernels r) Kreport.pp (kernel_report r) Kreport.pp_total r.sim
 
 let cuda_source (r : report) = Codegen_cuda.to_string r.prog
 
@@ -621,29 +672,29 @@ let te_loop_nests ?(limit = 4) (r : report) : string =
 (* ---- compile-once artifact store ---- *)
 
 module Artifacts = struct
-  type t = (string * int * int, report) Hashtbl.t
+  type t = (string * int * int * bool, report) Hashtbl.t
 
   let create () : t = Hashtbl.create 16
 
-  let key ~name ~level ~batch =
-    (String.lowercase_ascii name, level_rank level, batch)
+  let key ~name ~level ~batch ~mega =
+    (String.lowercase_ascii name, level_rank level, batch, mega)
 
-  let find (t : t) ?(batch = 1) ~name ~level () =
-    Hashtbl.find_opt t (key ~name ~level ~batch)
+  let find (t : t) ?(batch = 1) ?(mega = false) ~name ~level () =
+    Hashtbl.find_opt t (key ~name ~level ~batch ~mega)
 
-  let add (t : t) ?(batch = 1) ~name ~level r =
-    Hashtbl.replace t (key ~name ~level ~batch) r
+  let add (t : t) ?(batch = 1) ?(mega = false) ~name ~level r =
+    Hashtbl.replace t (key ~name ~level ~batch ~mega) r
 
   let size : t -> int = Hashtbl.length
 
   let get (t : t) ?(cfg = default_config) ?strict ~name
       (gen : unit -> Program.t) : (report, Diag.t list) result =
-    match find t ~batch:cfg.batch ~name ~level:cfg.level () with
+    match find t ~batch:cfg.batch ~mega:cfg.mega ~name ~level:cfg.level () with
     | Some r -> Ok r
     | None -> (
         match compile_result ~cfg ?strict (gen ()) with
         | Ok r ->
-            add t ~batch:cfg.batch ~name ~level:cfg.level r;
+            add t ~batch:cfg.batch ~mega:cfg.mega ~name ~level:cfg.level r;
             Ok r
         | Error _ as e -> e)
 end

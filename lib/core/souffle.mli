@@ -31,11 +31,15 @@ type config = {
   batch : int;
       (** batch lanes to compile the program at ({!Batch.apply} runs before
           any analysis); 1 compiles the program exactly as given *)
+  mega : bool;
+      (** also lower the compiled program into one persistent task-graph
+          kernel ({!Megakernel}); the report's [mega] field carries the
+          verified graph and its simulation *)
 }
 
 val default_config : config
 (** A100, level V4, default scheduler efficiency, no persistent cache,
-    batch 1. *)
+    batch 1, mega off. *)
 
 val config :
   ?device:Device.t ->
@@ -43,6 +47,7 @@ val config :
   ?ansor:Ansor.config ->
   ?sched_cache:Scache.t ->
   ?batch:int ->
+  ?mega:bool ->
   unit ->
   config
 
@@ -59,6 +64,16 @@ type degradation = {
 
 val pp_degradation : Format.formatter -> degradation -> unit
 
+(** The mega-kernelization of a compiled program: the verified persistent
+    task graph ({!Kernel_ir.taskgraph}) and its solo simulation — one
+    launch charge total, [Grid_sync] barriers replaced by graph edges,
+    independent tasks overlapping under the multi-stream contention model.
+    Present in a report only when the compile ran with [cfg.mega] and the
+    lowering passed {!Verify_ir} feasibility and {!Dataflow} provenance
+    re-verification; a rejected lowering degrades to the multi-kernel
+    program with warning diagnostics. *)
+type mega_result = { m_graph : Kernel_ir.taskgraph; m_sim : Sim.result }
+
 (** Everything the pipeline produced, from the analyzed input program to the
     simulated execution. *)
 type report = {
@@ -71,6 +86,8 @@ type report = {
                                        before any degradation splits *)
   prog : Kernel_ir.prog;
   sim : Sim.result;
+  mega : mega_result option;
+      (** the persistent-kernel lowering, when [cfg.mega] and verified *)
   scheds : (string, Sched.t) Hashtbl.t;
       (** the schedule table of the successful attempt, keyed by TE name —
           kept so downstream renderings ({!te_loop_nests}) never re-run the
@@ -151,17 +168,29 @@ val te_loop_nests : ?limit:int -> report -> string
     reduction splits, shared-memory staging) for the first [limit] TEs. *)
 
 (** Compile-once artifact store: reports memoized by (model name,
-    optimization level, batch), shared across benchmark tables and serving
-    requests so each shape-polymorphic variant is compiled exactly once. *)
+    optimization level, batch, mega), shared across benchmark tables and
+    serving requests so each shape-polymorphic variant is compiled exactly
+    once. *)
 module Artifacts : sig
   type t
 
   val create : unit -> t
-  val find : t -> ?batch:int -> name:string -> level:level -> unit -> report option
-  val add : t -> ?batch:int -> name:string -> level:level -> report -> unit
+
+  val find :
+    t ->
+    ?batch:int ->
+    ?mega:bool ->
+    name:string ->
+    level:level ->
+    unit ->
+    report option
+
+  val add :
+    t -> ?batch:int -> ?mega:bool -> name:string -> level:level -> report -> unit
 
   val size : t -> int
-  (** Number of distinct (name, level, batch) entries compiled so far. *)
+  (** Number of distinct (name, level, batch, mega) entries compiled so
+      far. *)
 
   val get :
     t ->
@@ -171,7 +200,7 @@ module Artifacts : sig
     (unit -> Program.t) ->
     (report, Diag.t list) result
   (** Cached compile: the stored report for (name, [cfg.level],
-      [cfg.batch]) if present, otherwise {!compile_result} on [gen ()],
-      storing the result.  Model names are case-insensitive, matching
-      {!Zoo.find}. *)
+      [cfg.batch], [cfg.mega]) if present, otherwise {!compile_result} on
+      [gen ()], storing the result.  Model names are case-insensitive,
+      matching {!Zoo.find}. *)
 end

@@ -144,6 +144,68 @@ let check_prog (dev : Device.t) (env : env) (p : Kernel_ir.prog) :
   in
   match ds with [] -> Ok () | ds -> Error ds
 
+(** Re-verify a mega-kernel task graph ({!Kernel_ir.taskgraph}).
+
+    The multi-kernel walk above relies on launch order for availability; a
+    task graph replaces launch order with explicit edges, so availability at
+    a task is exactly the union of what its *transitive ancestors* produce
+    (plus, stage by stage, the task's own earlier stages).  The same
+    {!check_instr} rules apply — which is the point: a lowering that drops a
+    producer/consumer edge turns a legal [ldl2] re-read into a typed
+    "before any kernel/stage produced it" error, because the producer is no
+    longer an ancestor.  Structural errors (an edge pointing forward or out
+    of range) are reported first and short-circuit the provenance walk. *)
+let check_taskgraph (dev : Device.t) (env : env) (tg : Kernel_ir.taskgraph) :
+    (unit, Diag.t list) result =
+  let l2_bytes = dev.Device.l2_bytes in
+  let n = Array.length tg.Kernel_ir.tg_tasks in
+  let structural = ref [] in
+  Array.iteri
+    (fun i (t : Kernel_ir.task) ->
+      List.iter
+        (fun d ->
+          if d < 0 || d >= i then
+            structural :=
+              err ~subject:t.Kernel_ir.t_kernel.Kernel_ir.kname
+                "task %d lists dependency %d, which is not an earlier task" i
+                d
+              :: !structural)
+        t.Kernel_ir.t_deps)
+    tg.Kernel_ir.tg_tasks;
+  if !structural <> [] then Error (List.rev !structural)
+  else
+    (* per task: what it can see (ancestors' produces) and what it adds *)
+    let avail = Array.make n SSet.empty in
+    let produced = Array.make n SSet.empty in
+    let errs = ref [] in
+    Array.iteri
+      (fun i (t : Kernel_ir.task) ->
+        let k = t.Kernel_ir.t_kernel in
+        let before0 =
+          List.fold_left
+            (fun acc d -> SSet.union acc (SSet.union avail.(d) produced.(d)))
+            SSet.empty t.Kernel_ir.t_deps
+        in
+        let before = ref before0 in
+        List.iter
+          (fun (s : Kernel_ir.stage) ->
+            let here = SSet.of_list s.Kernel_ir.produces in
+            List.iter
+              (fun instr ->
+                errs :=
+                  List.rev_append
+                    (check_instr ~subject:k.Kernel_ir.kname
+                       ~stage_label:s.Kernel_ir.label ~l2_bytes env
+                       ~before:!before ~here instr)
+                    !errs)
+              s.Kernel_ir.instrs;
+            before := SSet.union !before here)
+          k.Kernel_ir.stages;
+        avail.(i) <- before0;
+        produced.(i) <- SSet.diff !before before0)
+      tg.Kernel_ir.tg_tasks;
+    match List.rev !errs with [] -> Ok () | ds -> Error ds
+
 (** {!check_prog} as the pipeline runs it: fault-injection aware, traced,
     exceptions converted to typed diagnostics. *)
 let check_result (dev : Device.t) (env : env) (p : Kernel_ir.prog) :

@@ -74,6 +74,36 @@ type kernel = {
 
 type prog = { pname : string; kernels : kernel list }
 
+(** {2 Persistent task graphs (mega-kernelization)}
+
+    A [taskgraph] is the persistent-worker alternative to {!prog}: the whole
+    program becomes ONE device launch whose per-SM workers drain a graph of
+    tasks.  Each task is a self-contained unit of work described by a
+    {!kernel} value (grid shape, resources, instruction stages); [t_deps]
+    lists the indices of earlier tasks that must retire before the task may
+    start.  Edges replace both the serial launch queue (independent tasks may
+    overlap) and intra-kernel [Grid_sync] barriers (a cooperative kernel is
+    lowered to one task per stage, chained by edges).  Lowering from a
+    compiled {!prog} lives in {!module:Megakernel}. *)
+
+type task = {
+  t_kernel : kernel;  (** the work: launch shape + instruction stages *)
+  t_deps : int list;  (** indices (< own index) of prerequisite tasks *)
+}
+
+type taskgraph = {
+  tg_name : string;
+  tg_kernels : int;  (** kernel count of the source multi-kernel program *)
+  tg_tasks : task array;
+}
+
+let num_tasks (tg : taskgraph) = Array.length tg.tg_tasks
+let num_edges (tg : taskgraph) =
+  Array.fold_left (fun acc t -> acc + List.length t.t_deps) 0 tg.tg_tasks
+
+(** Launches the persistent kernel saves over the multi-kernel program. *)
+let launches_elided (tg : taskgraph) = max 0 (tg.tg_kernels - 1)
+
 let usage (k : kernel) : Occupancy.usage =
   {
     Occupancy.threads_per_block = k.threads_per_block;
@@ -140,4 +170,16 @@ let pp_kernel ppf k =
         Fmt.(list ~sep:(any "; ") pp_instr)
         s.instrs)
     k.stages;
+  Fmt.pf ppf "@]"
+
+let pp_taskgraph ppf (tg : taskgraph) =
+  Fmt.pf ppf "@[<v2>taskgraph %s: %d task(s), %d edge(s), %d launch(es) elided@,"
+    tg.tg_name (num_tasks tg) (num_edges tg) (launches_elided tg);
+  Array.iteri
+    (fun i t ->
+      Fmt.pf ppf "task %d %s <<<%d, %d>>> deps=[%a]@," i t.t_kernel.kname
+        t.t_kernel.grid_blocks t.t_kernel.threads_per_block
+        Fmt.(list ~sep:(any ", ") int)
+        t.t_deps)
+    tg.tg_tasks;
   Fmt.pf ppf "@]"

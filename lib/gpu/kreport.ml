@@ -105,6 +105,21 @@ let row_to_json (r : row) : Jsonlite.t =
       ("mma_utilization", num (Counters.mma_utilization c));
     ])
 
+(** Launch-latency share of a simulated program: the fraction of total
+    wall time spent in kernel-launch latency.  This is the quantity
+    mega-kernelization attacks — a multi-kernel program pays it once per
+    kernel, a mega program once total — so reports surface it directly
+    instead of leaving the win implicit in bench deltas. *)
+let launch_share (sim : Sim.result) : float =
+  let t = sim.Sim.total.Counters.time_us in
+  if t <= 0. then 0. else sim.Sim.total.Counters.launch_us /. t
+
+let pp_total ppf (sim : Sim.result) =
+  let c = sim.Sim.total in
+  Fmt.pf ppf "total: %.2f us over %d launch(es); launch latency %.2f us (%.1f%% of total)"
+    c.Counters.time_us c.Counters.kernel_launches c.Counters.launch_us
+    (100. *. launch_share sim)
+
 (** The whole report as JSON: [meta] carries compile-level identity
     (model, optimization level, device) the rows themselves don't know. *)
 let to_json ?(meta = []) (sim : Sim.result) : Jsonlite.t
@@ -118,6 +133,8 @@ let to_json ?(meta = []) (sim : Sim.result) : Jsonlite.t
         Jsonlite.Obj
           [
             ("time_us", Jsonlite.Num sim.Sim.total.Counters.time_us);
+            ("launch_us", Jsonlite.Num sim.Sim.total.Counters.launch_us);
+            ("launch_share", Jsonlite.Num (launch_share sim));
             ( "kernel_launches",
               Jsonlite.Num
                 (float_of_int sim.Sim.total.Counters.kernel_launches) );

@@ -1,0 +1,180 @@
+(** Mega-kernelization: lower a compiled multi-kernel program into ONE
+    persistent task-graph kernel (MPK-style).
+
+    The compiled {!Kernel_ir.prog} pays a modeled launch latency per kernel
+    and a [Grid_sync] barrier per cooperative stage boundary; the whole
+    device also drains serially, kernel by kernel.  Lowering replaces both
+    costs with a task graph executed by one persistent launch:
+
+    - a non-cooperative kernel becomes one task carrying all its stages
+      (stage order inside a task is already serial);
+    - a cooperative kernel (one using [Grid_sync]) becomes one task per
+      stage with the sync instructions stripped and the stage-tasks chained
+      by edges — the barrier semantics move into the graph;
+    - cross-task edges are derived from tensor provenance, exactly the
+      information the emitter tags memory instructions with and the stage
+      [produces] lists carry: a task depends on the latest earlier producer
+      of every tensor it reads (RAW) or overwrites (WAW), and on every
+      earlier reader of a tensor it overwrites (WAR).
+
+    Because the edges are re-derived from provenance — not copied from the
+    launch order — {!Dataflow.check_taskgraph} can independently re-verify
+    the fused graph: a lowering bug that drops an edge surfaces as a typed
+    provenance error.  Resource feasibility of the persistent worker launch
+    (the max per-task block footprint must still fit the device, with at
+    least one resident block per SM) goes through {!Verify_ir.check} on the
+    synthetic {!worker_kernel}. *)
+
+module SSet = Set.Make (String)
+
+let strip_grid_syncs (s : Kernel_ir.stage) : Kernel_ir.stage =
+  {
+    s with
+    Kernel_ir.instrs =
+      List.filter
+        (function Kernel_ir.Grid_sync -> false | _ -> true)
+        s.Kernel_ir.instrs;
+  }
+
+(* Tensors a kernel's tagged loads read. *)
+let consumes (k : Kernel_ir.kernel) : SSet.t =
+  List.fold_left
+    (fun acc (s : Kernel_ir.stage) ->
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Kernel_ir.Ldg { tensor = Some t; _ }
+          | Ldl2 { tensor = Some t; _ }
+          | Lds { tensor = Some t; _ } ->
+              SSet.add t acc
+          | _ -> acc)
+        acc s.Kernel_ir.instrs)
+    SSet.empty k.Kernel_ir.stages
+
+(* Tensors a kernel materializes: stage [produces] lists plus store tags. *)
+let produces (k : Kernel_ir.kernel) : SSet.t =
+  List.fold_left
+    (fun acc (s : Kernel_ir.stage) ->
+      let acc =
+        List.fold_left (fun a t -> SSet.add t a) acc s.Kernel_ir.produces
+      in
+      List.fold_left
+        (fun acc i ->
+          match i with
+          | Kernel_ir.Stg { tensor = Some t; _ }
+          | Atomic_add { tensor = Some t; _ } ->
+              SSet.add t acc
+          | _ -> acc)
+        acc s.Kernel_ir.instrs)
+    SSet.empty k.Kernel_ir.stages
+
+module ISet = Set.Make (Int)
+
+(** Lower a compiled multi-kernel program into a persistent task graph.
+    Pure and total: any well-formed program lowers; feasibility and
+    provenance are checked separately by {!verify}. *)
+let lower (p : Kernel_ir.prog) : Kernel_ir.taskgraph =
+  let tasks = ref [] (* reversed *) in
+  let count = ref 0 in
+  (* provenance state, updated task by task *)
+  let last_producer : (string, int) Hashtbl.t = Hashtbl.create 64 in
+  let readers : (string, ISet.t) Hashtbl.t = Hashtbl.create 64 in
+  let add_task ?chain (k : Kernel_ir.kernel) : int =
+    let id = !count in
+    let reads = consumes k and writes = produces k in
+    let deps = ref ISet.empty in
+    let dep_on j = if j < id then deps := ISet.add j !deps in
+    (match chain with Some j -> dep_on j | None -> ());
+    SSet.iter
+      (fun t ->
+        match Hashtbl.find_opt last_producer t with
+        | Some j -> dep_on j (* read-after-write *)
+        | None -> ())
+      reads;
+    SSet.iter
+      (fun t ->
+        (match Hashtbl.find_opt last_producer t with
+        | Some j -> dep_on j (* write-after-write *)
+        | None -> ());
+        match Hashtbl.find_opt readers t with
+        | Some js -> ISet.iter dep_on js (* write-after-read *)
+        | None -> ())
+      writes;
+    SSet.iter
+      (fun t ->
+        let js =
+          Option.value ~default:ISet.empty (Hashtbl.find_opt readers t)
+        in
+        Hashtbl.replace readers t (ISet.add id js))
+      reads;
+    SSet.iter
+      (fun t ->
+        Hashtbl.replace last_producer t id;
+        (* a fresh write restarts the reader window for WAR edges *)
+        if not (SSet.mem t reads) then Hashtbl.remove readers t)
+      writes;
+    tasks :=
+      { Kernel_ir.t_kernel = k; t_deps = ISet.elements !deps } :: !tasks;
+    incr count;
+    id
+  in
+  List.iter
+    (fun (k : Kernel_ir.kernel) ->
+      if Kernel_ir.num_grid_syncs k > 0 then
+        (* cooperative: one task per stage, barrier -> edge *)
+        ignore
+          (List.fold_left
+             (fun (si, chain) (s : Kernel_ir.stage) ->
+               let kt =
+                 {
+                   k with
+                   Kernel_ir.kname =
+                     Fmt.str "%s.s%d" k.Kernel_ir.kname si;
+                   stages = [ strip_grid_syncs s ];
+                 }
+               in
+               let id = add_task ?chain kt in
+               (si + 1, Some id))
+             (0, None) k.Kernel_ir.stages)
+      else ignore (add_task k))
+    p.Kernel_ir.kernels;
+  {
+    Kernel_ir.tg_name = p.Kernel_ir.pname ^ "+mega";
+    tg_kernels = List.length p.Kernel_ir.kernels;
+    tg_tasks = Array.of_list (List.rev !tasks);
+  }
+
+(** The synthetic persistent launch: worker blocks sized for the largest
+    per-task footprint, one full resident wave of them.  Feasibility of the
+    mega-kernel is exactly launchability of this kernel. *)
+let worker_kernel (dev : Device.t) (tg : Kernel_ir.taskgraph) :
+    Kernel_ir.kernel =
+  let fold f init =
+    Array.fold_left
+      (fun acc (t : Kernel_ir.task) -> max acc (f t.Kernel_ir.t_kernel))
+      init tg.Kernel_ir.tg_tasks
+  in
+  let threads = fold (fun k -> k.Kernel_ir.threads_per_block) 1 in
+  let smem = fold (fun k -> k.Kernel_ir.smem_per_block) 0 in
+  let regs = fold (fun k -> k.Kernel_ir.regs_per_thread) 1 in
+  let usage =
+    {
+      Occupancy.threads_per_block = threads;
+      smem_per_block = smem;
+      regs_per_thread = regs;
+    }
+  in
+  let grid = max 1 (Occupancy.max_blocks_per_wave dev usage) in
+  Kernel_ir.kernel ~threads_per_block:threads ~smem_per_block:smem
+    ~regs_per_thread:regs
+    ~name:(tg.Kernel_ir.tg_name ^ "!workers")
+    ~grid_blocks:grid
+    [ Kernel_ir.stage ~label:"persistent-workers" [] ]
+
+(** Full verification of a lowered graph: worker-launch feasibility via
+    {!Verify_ir.check}, then provenance via {!Dataflow.check_taskgraph}. *)
+let verify (dev : Device.t) (env : Dataflow.env) (tg : Kernel_ir.taskgraph) :
+    (unit, Diag.t list) result =
+  match Verify_ir.check dev (worker_kernel dev tg) with
+  | Error _ as e -> e
+  | Ok () -> Dataflow.check_taskgraph dev env tg

@@ -281,6 +281,238 @@ let profile_prog (dev : Device.t) (p : Kernel_ir.prog) : kernel_profile list =
 let solo_time_us (profs : kernel_profile list) : float =
   List.fold_left (fun a kp -> a +. kp.kp_solo_us) 0. profs
 
+(* ------------------------------------------------------------------ *)
+(* Mega-kernel execution: persistent workers draining a task graph     *)
+(* ------------------------------------------------------------------ *)
+
+(* Per-task precomputation: solo stage evaluations (exactly {!run_stage}'s
+   floats, counters included) plus the task's standing claims — the same
+   SM-demand and DRAM-bandwidth quantities {!profile_kernel} derives for
+   multi-stream contention, reused here for task-level concurrency inside
+   one persistent launch. *)
+type mega_task = {
+  mt_deps : int list;
+  mt_demand : int;
+  mt_stages : (float * float * float) array;  (* solo us, bw frac, mem frac *)
+  mt_result : kernel_result;
+}
+
+(** Execute a task graph as one persistent kernel: per-SM workers pull
+    tasks whose dependencies have retired, independent tasks overlap, and
+    the device is time-shared between concurrently running tasks with the
+    same proportional SM/DRAM contention model {!Multi} applies between
+    streams.  Returns the per-task results plus the timeline as
+    constant-concurrency segments — each segment is a {!stage_profile}
+    (duration, aggregate SM demand capped at the device, aggregate
+    bandwidth capped at peak), which is exactly the shape {!Multi} can
+    replay: a mega program enters the serving engine as ONE kernel profile
+    whose stages are these segments. *)
+let mega_exec (dev : Device.t) (tg : Kernel_ir.taskgraph) :
+    mega_task array * stage_profile list =
+  let prep (t : Kernel_ir.task) =
+    let k = t.Kernel_ir.t_kernel in
+    let u = Kernel_ir.usage k in
+    let grid = k.Kernel_ir.grid_blocks in
+    let waves = Occupancy.waves dev u ~grid_blocks:grid in
+    let bps = Occupancy.blocks_per_sm dev u in
+    let demand =
+      if k.Kernel_ir.library_call || bps <= 0 then dev.Device.num_sms
+      else min dev.Device.num_sms ((max 1 grid + bps - 1) / bps)
+    in
+    let c = Counters.create () in
+    let compute_us = ref 0. and memory_us = ref 0. in
+    let stages =
+      List.map
+        (fun (s : Kernel_ir.stage) ->
+          let ev =
+            run_stage dev ~waves ~kernel_grid:grid
+              ~library_call:k.Kernel_ir.library_call s c
+          in
+          (match ev.se_kind with
+          | `Compute -> compute_us := !compute_us +. ev.se_us
+          | `Memory -> memory_us := !memory_us +. ev.se_us);
+          let bw =
+            if ev.se_us <= 0. then 0.
+            else
+              float_of_int ev.se_dram_bytes
+              /. (dev.Device.dram_bw_gbps *. 1e3 *. ev.se_us)
+          in
+          let mf =
+            if ev.se_us <= 0. then 0.
+            else Float.min 1. (ev.se_dram_us /. ev.se_us)
+          in
+          (ev.se_us, bw, mf))
+        k.Kernel_ir.stages
+    in
+    {
+      mt_deps = t.Kernel_ir.t_deps;
+      mt_demand = demand;
+      mt_stages = Array.of_list stages;
+      mt_result =
+        {
+          kernel = k;
+          kcounters = c;
+          compute_us = !compute_us;
+          memory_us = !memory_us;
+        };
+    }
+  in
+  let tasks = Array.map prep tg.Kernel_ir.tg_tasks in
+  let n = Array.length tasks in
+  let finished = Array.make n false in
+  let started = Array.make n false in
+  let sidx = Array.make n 0 in
+  let left = Array.make n 0. in
+  let running = ref [] in
+  let done_count = ref 0 in
+  let segs = ref [] in
+  let nseg = ref 0 in
+  (* admit every task whose dependencies have all retired; instruction-free
+     tasks retire instantly and may unlock more, hence the fixpoint *)
+  let rec start_ready () =
+    let instant = ref false in
+    for i = 0 to n - 1 do
+      if
+        (not started.(i))
+        && List.for_all (fun d -> finished.(d)) tasks.(i).mt_deps
+      then begin
+        started.(i) <- true;
+        if Array.length tasks.(i).mt_stages = 0 then begin
+          finished.(i) <- true;
+          incr done_count;
+          instant := true
+        end
+        else begin
+          sidx.(i) <- 0;
+          let su, _, _ = tasks.(i).mt_stages.(0) in
+          left.(i) <- su;
+          running := !running @ [ i ]
+        end
+      end
+    done;
+    if !instant then start_ready ()
+  in
+  start_ready ();
+  while !done_count < n && !running <> [] do
+    let d = List.fold_left (fun a i -> a + tasks.(i).mt_demand) 0 !running in
+    let b =
+      List.fold_left
+        (fun a i ->
+          let _, bw, _ = tasks.(i).mt_stages.(sidx.(i)) in
+          a +. bw)
+        0. !running
+    in
+    let sms = float_of_int dev.Device.num_sms in
+    let sm_slow = Float.max 1. (float_of_int d /. sms) in
+    let bw_over = Float.max 1. (b /. sm_slow) in
+    let stretch_of i =
+      let _, _, mf = tasks.(i).mt_stages.(sidx.(i)) in
+      sm_slow *. (1. +. (mf *. (bw_over -. 1.)))
+    in
+    (* next event: the earliest current-stage completion *)
+    let dt =
+      List.fold_left
+        (fun a i -> Float.min a (left.(i) *. stretch_of i))
+        infinity !running
+    in
+    if dt > 0. then begin
+      let mf_seg =
+        if d = 0 then 0.
+        else
+          List.fold_left
+            (fun a i ->
+              let _, _, mf = tasks.(i).mt_stages.(sidx.(i)) in
+              a +. (float_of_int tasks.(i).mt_demand *. mf))
+            0. !running
+          /. float_of_int d
+      in
+      incr nseg;
+      segs :=
+        {
+          sp_label = Fmt.str "seg%d" !nseg;
+          sp_us = dt;
+          sp_demand = min dev.Device.num_sms d;
+          sp_bw_frac = Float.min 1. b;
+          sp_mem_frac = Float.min 1. mf_seg;
+        }
+        :: !segs
+    end;
+    let still = ref [] in
+    List.iter
+      (fun i ->
+        let st = stretch_of i in
+        if left.(i) *. st <= dt then begin
+          (* current stage retired: next stage, or the task is done *)
+          if sidx.(i) + 1 < Array.length tasks.(i).mt_stages then begin
+            sidx.(i) <- sidx.(i) + 1;
+            let su, _, _ = tasks.(i).mt_stages.(sidx.(i)) in
+            left.(i) <- su;
+            still := i :: !still
+          end
+          else begin
+            finished.(i) <- true;
+            incr done_count
+          end
+        end
+        else begin
+          left.(i) <- left.(i) -. (dt /. st);
+          still := i :: !still
+        end)
+      !running;
+    running := List.rev !still;
+    start_ready ()
+  done;
+  if !done_count < n then
+    invalid_arg "Sim.mega: task graph deadlocked (unsatisfiable dependencies)";
+  (tasks, List.rev !segs)
+
+(** Execute a mega-kernel task graph solo: ONE launch charge total, then
+    the persistent workers drain the graph.  The wall clock is defined as
+    [launch +. fold-left of segment durations] — the same float association
+    {!Multi} accumulates for a one-kernel stream — so a mega program on an
+    uncontended serving stream finishes bit-identically to this result. *)
+let run_mega (dev : Device.t) (tg : Kernel_ir.taskgraph) : result =
+  Obs.span ~meta:[ ("taskgraph", tg.Kernel_ir.tg_name) ] "simulate-mega"
+  @@ fun () ->
+  let tasks, segs = mega_exec dev tg in
+  let per_kernel = Array.to_list (Array.map (fun t -> t.mt_result) tasks) in
+  let total = Counters.create () in
+  List.iter (fun r -> Counters.add ~into:total r.kcounters) per_kernel;
+  total.Counters.kernel_launches <- 1;
+  total.Counters.launch_us <- dev.Device.kernel_launch_us;
+  total.Counters.time_us <-
+    List.fold_left
+      (fun a sp -> a +. sp.sp_us)
+      dev.Device.kernel_launch_us segs;
+  {
+    device = dev;
+    per_kernel;
+    total;
+    total_compute_us =
+      List.fold_left (fun a r -> a +. r.compute_us) 0. per_kernel;
+    total_memory_us =
+      List.fold_left (fun a r -> a +. r.memory_us) 0. per_kernel;
+  }
+
+(** A mega program as the multi-stream engine sees it: one persistent
+    kernel whose stages are the solo timeline's constant-concurrency
+    segments.  [kp_solo_us] carries {!run_mega}'s exact wall-clock float,
+    so the uncontended-stream bit-exactness invariant extends to mega
+    artifacts with no changes to {!Multi} itself. *)
+let mega_profile (dev : Device.t) (tg : Kernel_ir.taskgraph) : kernel_profile
+    =
+  let _, segs = mega_exec dev tg in
+  {
+    kp_name = tg.Kernel_ir.tg_name;
+    kp_launch_us = dev.Device.kernel_launch_us;
+    kp_cooperative = true;
+    kp_stages = segs;
+    kp_solo_us =
+      List.fold_left
+        (fun a sp -> a +. sp.sp_us)
+        dev.Device.kernel_launch_us segs;
+  }
+
 (** Event-driven multi-stream scheduler.  A stream is one compiled
     program's kernel launch queue; the engine advances every active stream
     from event to event (kernel launched, stage finished, kernel retired),

@@ -108,6 +108,13 @@ type artifact = {
   art_solo_us : float;     (** simulated solo latency (the SEL estimate) *)
   art_counters : Counters.t;  (** solo traffic of the whole stream *)
   art_degraded : int;      (** degradation steps its compile took *)
+  art_mega : bool;
+      (** built from a mega-kernel task graph ({!artifact_of_taskgraph}):
+          requests run as one persistent launch *)
+  art_elided : int;
+      (** kernel launches the artifact avoids per request: 0 for a
+          multi-kernel artifact, source-kernel-count minus one for a
+          mega-kernel artifact *)
 }
 
 (** Build an artifact straight from a compiled kernel program (runs the
@@ -124,6 +131,28 @@ let artifact_of_prog (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
     art_solo_us = Sim.solo_time_us profiles;
     art_counters = Counters.copy sim.Sim.total;
     art_degraded = degraded;
+    art_mega = false;
+    art_elided = 0;
+  }
+
+(** Build an artifact from a mega-kernel task graph: the whole program is
+    ONE persistent kernel profile ({!Sim.mega_profile}), so a serving
+    stream pays a single launch and {!Sim.Multi} needs no special casing —
+    contention, faults, and batching all apply unchanged. *)
+let artifact_of_taskgraph (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
+    (tg : Kernel_ir.taskgraph) : artifact =
+  if batch < 1 then invalid_arg "Scheduler.artifact_of_taskgraph: batch < 1";
+  let profiles = [ Sim.mega_profile dev tg ] in
+  let sim = Sim.run_mega dev tg in
+  {
+    art_model = model;
+    art_batch = batch;
+    art_profiles = profiles;
+    art_solo_us = Sim.solo_time_us profiles;
+    art_counters = Counters.copy sim.Sim.total;
+    art_degraded = degraded;
+    art_mega = true;
+    art_elided = Kernel_ir.launches_elided tg;
   }
 
 type completed = {
@@ -145,6 +174,10 @@ type completed = {
           members share [c_stream] and split the stream's service time and
           bytes evenly, while [c_solo_us] stays the {e unbatched} estimate
           so slowdown < 1 is exactly the batching win *)
+  c_mega : bool;  (** served on a mega-kernel (persistent-launch) artifact *)
+  c_elided : int;
+      (** kernel launches the serving artifact avoided for this request
+          (0 unless the request ran on a mega-kernel artifact) *)
 }
 
 (** Latency including queueing: finish minus arrival. *)
@@ -604,6 +637,8 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
                 c_retries = attempt;
                 c_deadline_us = deadline_of_req rq;
                 c_batch = n;
+                c_mega = art.art_mega;
+                c_elided = art.art_elided;
               }
               :: !completed)
           fl.f_members

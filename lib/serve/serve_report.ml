@@ -30,6 +30,9 @@ type summary = {
   (* continuous-batching attribution; zero unless a dispatch coalesced *)
   s_batched : int;     (** completions that rode a batched stream *)
   s_mean_batch : float;  (** mean bucket size over those completions *)
+  (* mega-kernel attribution; zero unless a mega artifact served requests *)
+  s_mega : int;          (** completions served by a mega-kernel artifact *)
+  s_elided : int;        (** kernel launches elided across those completions *)
 }
 
 (** Any lifecycle event at all?  False on every fault-free run. *)
@@ -159,6 +162,13 @@ let summarize (o : Scheduler.outcome) : summary =
           sum (List.map (fun (c : Scheduler.completed) ->
                    float_of_int c.Scheduler.c_batch) bs)
           /. float_of_int (List.length bs));
+    s_mega =
+      List.length
+        (List.filter (fun (c : Scheduler.completed) -> c.Scheduler.c_mega) cs);
+    s_elided =
+      List.fold_left
+        (fun a (c : Scheduler.completed) -> a + c.Scheduler.c_elided)
+        0 cs;
   }
 
 (* printed inside pp_summary's vbox; silent unless a lifecycle event fired,
@@ -176,17 +186,27 @@ let pp_batching ppf (s : summary) =
     Fmt.pf ppf "@,batching: %d request(s) coalesced, mean bucket x%.2f"
       s.s_batched s.s_mean_batch
 
+(* like {!pp_lifecycle}: silent unless mega artifacts served requests, so
+   non-mega output stays byte-identical to the goldens *)
+let pp_mega ppf (s : summary) =
+  if s.s_mega > 0 then
+    Fmt.pf ppf
+      "@,mega: %d request(s) on persistent kernels, %d launch(es) elided \
+       (%.1f per request)"
+      s.s_mega s.s_elided
+      (float_of_int s.s_elided /. float_of_int s.s_mega)
+
 let pp_summary ppf (s : summary) =
   Fmt.pf ppf
     "@[<v>requests: %d  (offered %.1f rps, served %.1f rps)@,\
      latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f@,\
      service: mean %.3f ms, slowdown x%.2f vs solo@,\
      makespan: %.3f ms, DRAM served: %.3f GB@,\
-     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a%a@]"
+     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a%a%a@]"
     s.s_requests s.s_offered_rps s.s_throughput_rps s.s_p50_ms s.s_p95_ms
     s.s_p99_ms s.s_mean_ms s.s_max_ms s.s_mean_service_ms s.s_mean_slowdown
     s.s_makespan_ms s.s_dram_gb s.s_avg_sm_demand s.s_avg_resident
-    s.s_peak_resident pp_batching s pp_lifecycle s
+    s.s_peak_resident pp_mega s pp_batching s pp_lifecycle s
 
 let summary_json (s : summary) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
@@ -208,6 +228,15 @@ let summary_json (s : summary) : Jsonlite.t =
       num "peak_resident" (float_of_int s.s_peak_resident);
       num "dram_gb" s.s_dram_gb;
     ]
+    @
+    (* mega attribution appears only when a mega artifact served requests,
+       so non-mega JSON stays byte-identical to the baseline *)
+    (if s.s_mega > 0 then
+       [
+         num "mega" (float_of_int s.s_mega);
+         num "launches_elided" (float_of_int s.s_elided);
+       ]
+     else [])
     @
     (* batching attribution appears only once a dispatch coalesced, so
        unbatched JSON stays byte-identical to the baseline *)
@@ -254,6 +283,10 @@ let completed_json (c : Scheduler.completed) : Jsonlite.t =
     (* likewise, only batched members carry their bucket size *)
     @ (if c.Scheduler.c_batch > 1 then
          [ num "batch" (float_of_int c.Scheduler.c_batch) ]
+       else [])
+    (* and only mega-served requests carry their elided-launch count *)
+    @ (if c.Scheduler.c_mega then
+         [ num "launches_elided" (float_of_int c.Scheduler.c_elided) ]
        else []))
 
 let aborted_json (a : Scheduler.aborted) : Jsonlite.t =

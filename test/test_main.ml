@@ -23,4 +23,5 @@ let () =
       ("batch", Test_batch.suite);
       ("serve", Test_serve.suite);
       ("perf", Test_perf.suite);
+      ("mega", Test_mega.suite);
     ]
