@@ -1,0 +1,207 @@
+(* LLM-decode benchmark: single-token KV-cache decode steps against the
+   alternatives, across the compiled position buckets.
+
+   Three artifacts per KV position bucket P:
+
+     - {b KV decode}: [Gpt.decode ~pos:P] — one token in, cache of P
+       entries read, one entry appended.  This is what the serving layer
+       dispatches for decode steps.
+     - {b full recompute}: the prefill graph at sequence length P+1 — what
+       generating one token costs WITHOUT a KV cache (recompute the whole
+       prefix to produce the last position).
+     - {b mega decode}: the same decode program lowered into one
+       persistent task-graph kernel ([--mega]), the launch-bound regime
+       where decode steps live.
+
+   Checks recorded in the runlog, so --strict-bench fails the run:
+     - KV decode must be strictly faster than full recompute at EVERY
+       position bucket (the reason KV caches exist);
+     - mega decode must be at or below multi-kernel decode at every bucket
+       (decode steps are tiny and launch-bound, the mega sweet spot);
+     - every mega decode simulation must charge exactly one launch;
+     - in the smoke variant, the interpreter must additionally confirm the
+       tiny decode artifact computes its original program's outputs at
+       every tiny bucket (the bit-exact decode == prefill-slice law itself
+       is enforced in the test suite).
+
+   Both variants sweep the FULL-size position buckets: the analytical
+   compile is fast, and tiny shapes are stage-floor-bound (decode and
+   recompute quantize to the same latency), so only realistic sizes can
+   show the strict KV win this bench exists to guard.  Results land in
+   BENCH_decode.json / BENCH_decode_smoke.json (the @bench-smoke alias). *)
+
+let dev = Tables.dev
+
+type row = {
+  pos : int;            (* KV-cache length of the decode step *)
+  dec_kernels : int;    (* multi-kernel decode program size *)
+  dec_us : float;       (* multi-kernel KV decode *)
+  rec_seq : int;        (* recompute sequence length (pos + 1) *)
+  rec_us : float;       (* full-recompute prefill at rec_seq *)
+  mega_tasks : int;
+  mega_us : float;      (* persistent-kernel decode *)
+}
+
+let kv_speedup (r : row) = if r.dec_us > 0. then r.rec_us /. r.dec_us else 0.
+let mega_speedup (r : row) = if r.mega_us > 0. then r.dec_us /. r.mega_us else 0.
+
+let bench_bucket pos : row =
+  let dec_prog = Lower.run (Gpt.decode ~pos ()) in
+  let dec =
+    Tables.compile_recorded
+      ~name:(Fmt.str "gpt@d%d" pos)
+      ~cfg:(Souffle.config ~pos ())
+      dec_prog
+  in
+  let rec_seq = pos + 1 in
+  let rc =
+    Tables.compile_recorded
+      ~name:(Fmt.str "gpt@rec%d" rec_seq)
+      (Lower.run (Gpt.create ~cfg:{ Gpt.base with Gpt.seq = rec_seq } ()))
+  in
+  let mega =
+    Tables.compile_recorded
+      ~name:(Fmt.str "gpt@d%d-mega" pos)
+      ~cfg:(Souffle.config ~pos ~mega:true ())
+      dec_prog
+  in
+  let mega_tasks, mega_us, mega_launches =
+    match mega.Souffle.mega with
+    | Some m ->
+        ( Kernel_ir.num_tasks m.Souffle.m_graph,
+          m.Souffle.m_sim.Sim.total.Counters.time_us,
+          m.Souffle.m_sim.Sim.total.Counters.kernel_launches )
+    | None ->
+        Fmt.epr "  !! gpt@d%d: mega-kernelization was rejected@." pos;
+        Runlog.record Tables.runlog
+          ~model:(Fmt.str "gpt@d%d-mega" pos)
+          ~degraded_steps:0 ~errors:1;
+        (0, infinity, 0)
+  in
+  let row =
+    {
+      pos;
+      dec_kernels = List.length dec.Souffle.prog.Kernel_ir.kernels;
+      dec_us = dec.Souffle.sim.Sim.total.Counters.time_us;
+      rec_seq;
+      rec_us = rc.Souffle.sim.Sim.total.Counters.time_us;
+      mega_tasks;
+      mega_us;
+    }
+  in
+  if not (row.dec_us < row.rec_us) then begin
+    Fmt.epr
+      "  !! gpt@d%d: KV decode (%.2f us) is not strictly faster than full \
+       recompute at seq %d (%.2f us)@."
+      pos row.dec_us row.rec_seq row.rec_us;
+    Runlog.record Tables.runlog
+      ~model:(Fmt.str "gpt@d%d-kv-win" pos)
+      ~degraded_steps:0 ~errors:1
+  end;
+  if mega_launches > 0 && mega_launches <> 1 then begin
+    Fmt.epr "  !! gpt@d%d: mega run charged %d launch(es), expected 1@." pos
+      mega_launches;
+    Runlog.record Tables.runlog
+      ~model:(Fmt.str "gpt@d%d-mega-launches" pos)
+      ~degraded_steps:0 ~errors:1
+  end;
+  if not (row.mega_us <= row.dec_us) then begin
+    Fmt.epr
+      "  !! gpt@d%d: mega decode (%.2f us) is above multi-kernel decode \
+       (%.2f us)@."
+      pos row.mega_us row.dec_us;
+    Runlog.record Tables.runlog
+      ~model:(Fmt.str "gpt@d%d-mega-win" pos)
+      ~degraded_steps:0 ~errors:1
+  end;
+  row
+
+(* smoke extra: interpreter equivalence of the tiny decode artifact at
+   every tiny bucket (cheap; full-size interpretation is out of reach) *)
+let verify_tiny_equivalence () =
+  List.iter
+    (fun pos ->
+      let r =
+        Tables.compile_recorded
+          ~name:(Fmt.str "gpt-tiny@d%d" pos)
+          ~cfg:(Souffle.config ~pos ())
+          (Lower.run (Gpt.decode ~cfg:Gpt.tiny ~pos ()))
+      in
+      match Souffle.verify r with
+      | Ok () -> ()
+      | Error m ->
+          Fmt.epr "  !! gpt-tiny@d%d: compiled decode is not equivalent: %s@."
+            pos m;
+          Runlog.record Tables.runlog
+            ~model:(Fmt.str "gpt-tiny@d%d-equiv" pos)
+            ~degraded_steps:0 ~errors:1)
+    Gpt.tiny_buckets
+
+let json_of_row (r : row) : Jsonlite.t =
+  Jsonlite.Obj
+    [
+      ("pos", Jsonlite.Num (float_of_int r.pos));
+      ("decode_kernels", Jsonlite.Num (float_of_int r.dec_kernels));
+      ("decode_us", Jsonlite.Num r.dec_us);
+      ("recompute_seq", Jsonlite.Num (float_of_int r.rec_seq));
+      ("recompute_us", Jsonlite.Num r.rec_us);
+      ("kv_speedup", Jsonlite.Num (kv_speedup r));
+      ("mega_tasks", Jsonlite.Num (float_of_int r.mega_tasks));
+      ("mega_us", Jsonlite.Num r.mega_us);
+      ("mega_speedup", Jsonlite.Num (mega_speedup r));
+    ]
+
+let run_with ~out ~equiv () =
+  Tables.section
+    "LLM decode — KV-cache decode vs full recompute vs mega, per position \
+     bucket";
+  if equiv then verify_tiny_equivalence ();
+  let rows = List.map bench_bucket Gpt.buckets in
+  Fmt.pr "  %-6s %8s %12s %14s %8s %12s %8s@." "pos" "kernels" "decode(us)"
+    "recompute(us)" "kv-win" "mega(us)" "mega-win";
+  List.iter
+    (fun r ->
+      Fmt.pr "  %-6d %8d %12.2f %14.2f %7.2fx %12.2f %7.2fx@." r.pos
+        r.dec_kernels r.dec_us r.rec_us (kv_speedup r) r.mega_us
+        (mega_speedup r))
+    rows;
+  let geo f =
+    match rows with
+    | [] -> 0.
+    | _ ->
+        exp
+          (List.fold_left (fun a r -> a +. log (f r)) 0. rows
+          /. float_of_int (List.length rows))
+  in
+  Fmt.pr "  ---@.";
+  Fmt.pr
+    "  geomean: KV decode %.2fx over recompute, mega %.2fx over \
+     multi-kernel decode@."
+    (geo kv_speedup) (geo mega_speedup);
+  let json =
+    Jsonlite.Obj
+      [
+        ("bench", Jsonlite.Str "decode-perf");
+        ("device", Jsonlite.Str dev.Device.name);
+        ("model", Jsonlite.Str "gpt");
+        ("buckets", Jsonlite.Arr (List.map json_of_row rows));
+        ( "summary",
+          Jsonlite.Obj
+            [
+              ("geomean_kv_speedup", Jsonlite.Num (geo kv_speedup));
+              ("geomean_mega_speedup", Jsonlite.Num (geo mega_speedup));
+            ] );
+      ]
+  in
+  let oc = open_out out in
+  Fun.protect
+    ~finally:(fun () -> close_out oc)
+    (fun () -> output_string oc (Jsonlite.to_string json));
+  Fmt.pr "  wrote %s@." out
+
+(* the measurement run *)
+let run () = run_with ~out:"BENCH_decode.json" ~equiv:false ()
+
+(* the @bench-smoke alias: same sweep plus tiny-bucket interpreter
+   equivalence *)
+let smoke () = run_with ~out:"BENCH_decode_smoke.json" ~equiv:true ()

@@ -85,6 +85,8 @@ let sections : (string * (unit -> unit)) list =
     ("serve-chaos-smoke", Serve_chaos.smoke);
     ("mega-perf", Mega_perf.run);
     ("mega-perf-smoke", Mega_perf.smoke);
+    ("decode-perf", Decode_perf.run);
+    ("decode-perf-smoke", Decode_perf.smoke);
     ("bechamel", run_bechamel);
   ]
 

@@ -11,7 +11,7 @@
                       [--json FILE] [--trace FILE] [--strict]
                       [--chaos SPEC] [--deadline-ms N] [--retries K]
                       [--backoff-us US] [--queue-cap M] [--drop reject|shed]
-                      [--batch-max N] [--schedule-cache FILE]
+                      [--batch-max N] [--gen LEN] [--schedule-cache FILE]
 *)
 
 open Cmdliner
@@ -404,7 +404,7 @@ let retries_arg =
   Arg.(value & opt int 0 & info [ "retries" ] ~docv:"K" ~doc)
 
 let backoff_us_arg =
-  let doc = "Retry backoff step in microseconds (attempt k waits k times this)." in
+  let doc = "Retry backoff step in microseconds (the k-th retry waits k times this)." in
   Arg.(value & opt float 50. & info [ "backoff-us" ] ~docv:"US" ~doc)
 
 let queue_cap_arg =
@@ -432,6 +432,18 @@ let batch_max_arg =
   in
   Arg.(value & opt int 1 & info [ "batch-max" ] ~docv:"N" ~doc)
 
+let gen_arg =
+  let doc =
+    "Tokens to generate per request (0 = classic one-shot serving).  Each \
+     request becomes one prefill dispatch plus $(docv) single-token decode \
+     steps that re-enter the queue carrying their KV cache.  The prompt \
+     length is the model's smallest KV position bucket, and every \
+     power-of-two position bucket the generation walks through is compiled \
+     up front as its own artifact.  Requires every model in --mix to \
+     support decode (currently: gpt)."
+  in
+  Arg.(value & opt int 0 & info [ "gen" ] ~docv:"LEN" ~doc)
+
 (* Validate every model name in the mix against the zoo before compiling
    anything: a typo in the third model must not cost two compiles first. *)
 let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
@@ -453,7 +465,7 @@ let validate_mix (mix : Workload.mix) : (unit, Diag.t) result =
 
 let serve_run mix rate requests streams policy seed tiny level strict
     json_out trace_out chaos_spec deadline_ms retries backoff_us queue_cap
-    drop batch_max sched_cache_path mega =
+    drop batch_max gen sched_cache_path mega =
   protect Diag.Simulate @@ fun () ->
   let mix_spec = mix in
   let fail m =
@@ -472,11 +484,33 @@ let serve_run mix rate requests streams policy seed tiny level strict
       if streams < 1 then fail "--streams must be >= 1"
       else if requests < 1 then fail "--requests must be >= 1"
       else if batch_max < 1 then fail "--batch-max must be >= 1"
+      else if gen < 0 then fail "--gen must be >= 0"
       else begin
         let dev = Souffle.default_config.Souffle.device in
         let sched_cache = Option.map Scache.load sched_cache_path in
-        let cfg_at batch =
-          Souffle.config ~level ?sched_cache ~batch ~mega ()
+        let cfg_at ?pos batch =
+          Souffle.config ~level ?sched_cache ~batch ?pos ~mega ()
+        in
+        (* decode support and KV position buckets for generation serving *)
+        let decode_thunk (e : Zoo.entry) =
+          if tiny then e.Zoo.decode_tiny else e.Zoo.decode_full
+        in
+        let pos_buckets = if tiny then Gpt.tiny_buckets else Gpt.buckets in
+        let gen_prompt = List.hd pos_buckets in
+        (* decode step t reads a cache of [gen_prompt + t - 1] entries; each
+           distinct covering bucket is compiled once (the largest bucket
+           absorbs caches that outgrow the ladder) *)
+        let needed_pos =
+          if gen = 0 then []
+          else begin
+            let max_b = List.fold_left max 0 pos_buckets in
+            List.init gen (fun t -> gen_prompt + t)
+            |> List.map (fun c ->
+                   match List.find_opt (fun b -> b >= c) pos_buckets with
+                   | Some b -> b
+                   | None -> max_b)
+            |> List.sort_uniq compare
+          end
         in
         (* compile one model at one batch shape, report, build the artifact *)
         let compile_one (e : Zoo.entry) batch =
@@ -528,6 +562,65 @@ let serve_run mix rate requests streams policy seed tiny level strict
             | Error m -> Error m
             | Ok a -> compile_buckets e (b * 2) (a :: acc)
         in
+        (* one decode-step artifact at one KV position bucket *)
+        let compile_decode (e : Zoo.entry) (dec : pos:int -> Dgraph.t) pos =
+          match
+            Souffle.compile_result ~cfg:(cfg_at ~pos 1) ~strict
+              (Lower.run (dec ~pos))
+          with
+          | Error ds ->
+              Error
+                (Fmt.str "%s@%d: %s" e.Zoo.name pos
+                   (String.concat "; " (List.map Diag.to_string ds)))
+          | Ok r ->
+              let a =
+                match r.Souffle.mega with
+                | Some m ->
+                    Scheduler.artifact_of_taskgraph dev ~model:e.Zoo.name
+                      ~pos
+                      ~degraded:(List.length r.Souffle.degraded)
+                      m.Souffle.m_graph
+                | None ->
+                    Scheduler.artifact_of_prog dev ~model:e.Zoo.name ~pos
+                      ~degraded:(List.length r.Souffle.degraded)
+                      r.Souffle.prog
+              in
+              Fmt.pr "compiled %-14s %2d kernel(s), solo %10.2f us%s%s@."
+                (Fmt.str "%s @%d" e.Zoo.name pos)
+                (List.length r.Souffle.prog.Kernel_ir.kernels)
+                a.Scheduler.art_solo_us
+                (match r.Souffle.mega with
+                | Some m ->
+                    Fmt.str " [mega: %d task(s), 1 launch]"
+                      (Kernel_ir.num_tasks m.Souffle.m_graph)
+                | None when mega -> " [mega skipped]"
+                | None -> "")
+                (if r.Souffle.degraded = [] then ""
+                 else
+                   Fmt.str " (%d degradation step(s))"
+                     (List.length r.Souffle.degraded));
+              Ok a
+        in
+        (* every KV position bucket the generation walks through *)
+        let compile_decodes (e : Zoo.entry) =
+          match (needed_pos, decode_thunk e) with
+          | [], _ -> Ok []
+          | _, None ->
+              Error
+                (Fmt.str
+                   "--gen: model %s has no decode mode (generation needs a \
+                    KV-cache decode graph; currently: gpt)"
+                   e.Zoo.name)
+          | ps, Some dec ->
+              let rec go acc = function
+                | [] -> Ok (List.rev acc)
+                | p :: rest -> (
+                    match compile_decode e dec p with
+                    | Error m -> Error m
+                    | Ok a -> go (a :: acc) rest)
+              in
+              go [] ps
+        in
         (* canonicalize mix names and compile each distinct model once *)
         let rec build canon arts = function
           | [] -> Ok (List.rev canon, List.rev arts)
@@ -545,7 +638,13 @@ let serve_run mix rate requests streams policy seed tiny level strict
                   else (
                     match compile_buckets e 1 [] with
                     | Error m -> Error m
-                    | Ok bs -> build canon (List.rev_append bs arts) rest))
+                    | Ok bs -> (
+                        match compile_decodes e with
+                        | Error m -> Error m
+                        | Ok ds ->
+                            build canon
+                              (List.rev_append ds (List.rev_append bs arts))
+                              rest)))
         in
         let save_cache () =
           match (sched_cache, sched_cache_path) with
@@ -590,11 +689,12 @@ let serve_run mix rate requests streams policy seed tiny level strict
                     let slo_us = Option.map (fun ms -> ms *. 1e3) deadline_ms in
                     let reqs =
                       Workload.generate ~seed ~rate_rps:rate ~requests ?slo_us
-                        mix
+                        ~gen mix
                     in
                     let cfg =
                       Scheduler.cfg ?queue_cap ~drop ~retries ~backoff_us
                         ?deadline_us:slo_us ?chaos ~max_batch:batch_max
+                        ~gen_prompt:(if gen > 0 then gen_prompt else 0)
                         ~policy ~max_streams:streams ()
                     in
                     (if chaos <> None then
@@ -645,7 +745,7 @@ let serve_cmd =
       $ policy_arg $ seed_arg $ tiny_arg $ level_arg $ strict_arg
       $ serve_json_arg $ serve_trace_arg $ chaos_arg $ deadline_ms_arg
       $ retries_arg $ backoff_us_arg $ queue_cap_arg $ drop_arg
-      $ batch_max_arg $ sched_cache_arg $ mega_arg)
+      $ batch_max_arg $ gen_arg $ sched_cache_arg $ mega_arg)
 
 let dump_run model tiny output =
   protect Diag.Validate @@ fun () ->

@@ -43,6 +43,12 @@ type config = {
   batch : int;
       (** batch lanes to compile the program at ({!Batch.apply} runs before
           any analysis); 1 compiles the program exactly as given *)
+  pos : int;
+      (** sequence-position bucket the program was constructed at (KV-cache
+          length of a decode step).  0 means "static shape" — the graph
+          does not depend on a position.  Purely an artifact-identity
+          discriminator: the program arrives already built at this
+          position, the pipeline never rewrites it *)
   mega : bool;
       (** also lower the compiled program into one persistent task-graph
           kernel ({!Megakernel}); the multi-kernel program is still built
@@ -56,13 +62,14 @@ let default_config =
     ansor = Ansor.default_config;
     sched_cache = None;
     batch = 1;
+    pos = 0;
     mega = false;
   }
 
 let config ?(device = Device.a100) ?(level = V4)
-    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) ?(mega = false)
-    () =
-  { device; level; ansor; sched_cache; batch; mega }
+    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) ?(pos = 0)
+    ?(mega = false) () =
+  { device; level; ansor; sched_cache; batch; pos; mega }
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -223,6 +230,12 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       [
         Diag.error Diag.Validate
           (Fmt.str "invalid batch %d (must be >= 1)" cfg.batch);
+      ]
+  else if cfg.pos < 0 then
+    Error
+      [
+        Diag.error Diag.Validate
+          (Fmt.str "invalid position bucket %d (must be >= 0)" cfg.pos);
       ]
   else
   (* Rewrite to the batched shape up front; at batch 1 this is the input
@@ -672,29 +685,33 @@ let te_loop_nests ?(limit = 4) (r : report) : string =
 (* ---- compile-once artifact store ---- *)
 
 module Artifacts = struct
-  type t = (string * int * int * bool, report) Hashtbl.t
+  type t = (string * int * int * int * bool, report) Hashtbl.t
 
   let create () : t = Hashtbl.create 16
 
-  let key ~name ~level ~batch ~mega =
-    (String.lowercase_ascii name, level_rank level, batch, mega)
+  let key ~name ~level ~batch ~pos ~mega =
+    (String.lowercase_ascii name, level_rank level, batch, pos, mega)
 
-  let find (t : t) ?(batch = 1) ?(mega = false) ~name ~level () =
-    Hashtbl.find_opt t (key ~name ~level ~batch ~mega)
+  let find (t : t) ?(batch = 1) ?(pos = 0) ?(mega = false) ~name ~level () =
+    Hashtbl.find_opt t (key ~name ~level ~batch ~pos ~mega)
 
-  let add (t : t) ?(batch = 1) ?(mega = false) ~name ~level r =
-    Hashtbl.replace t (key ~name ~level ~batch ~mega) r
+  let add (t : t) ?(batch = 1) ?(pos = 0) ?(mega = false) ~name ~level r =
+    Hashtbl.replace t (key ~name ~level ~batch ~pos ~mega) r
 
   let size : t -> int = Hashtbl.length
 
   let get (t : t) ?(cfg = default_config) ?strict ~name
       (gen : unit -> Program.t) : (report, Diag.t list) result =
-    match find t ~batch:cfg.batch ~mega:cfg.mega ~name ~level:cfg.level () with
+    match
+      find t ~batch:cfg.batch ~pos:cfg.pos ~mega:cfg.mega ~name
+        ~level:cfg.level ()
+    with
     | Some r -> Ok r
     | None -> (
         match compile_result ~cfg ?strict (gen ()) with
         | Ok r ->
-            add t ~batch:cfg.batch ~mega:cfg.mega ~name ~level:cfg.level r;
+            add t ~batch:cfg.batch ~pos:cfg.pos ~mega:cfg.mega ~name
+              ~level:cfg.level r;
             Ok r
         | Error _ as e -> e)
 end

@@ -31,6 +31,11 @@ type config = {
   batch : int;
       (** batch lanes to compile the program at ({!Batch.apply} runs before
           any analysis); 1 compiles the program exactly as given *)
+  pos : int;
+      (** sequence-position bucket the program was constructed at (KV-cache
+          length of a decode step); 0 means "static shape".  Purely an
+          artifact-identity discriminator — the pipeline never rewrites
+          the program by position *)
   mega : bool;
       (** also lower the compiled program into one persistent task-graph
           kernel ({!Megakernel}); the report's [mega] field carries the
@@ -39,7 +44,7 @@ type config = {
 
 val default_config : config
 (** A100, level V4, default scheduler efficiency, no persistent cache,
-    batch 1, mega off. *)
+    batch 1, position 0, mega off. *)
 
 val config :
   ?device:Device.t ->
@@ -47,6 +52,7 @@ val config :
   ?ansor:Ansor.config ->
   ?sched_cache:Scache.t ->
   ?batch:int ->
+  ?pos:int ->
   ?mega:bool ->
   unit ->
   config
@@ -168,9 +174,9 @@ val te_loop_nests : ?limit:int -> report -> string
     reduction splits, shared-memory staging) for the first [limit] TEs. *)
 
 (** Compile-once artifact store: reports memoized by (model name,
-    optimization level, batch, mega), shared across benchmark tables and
-    serving requests so each shape-polymorphic variant is compiled exactly
-    once. *)
+    optimization level, batch, position bucket, mega), shared across
+    benchmark tables and serving requests so each shape-polymorphic
+    variant is compiled exactly once. *)
 module Artifacts : sig
   type t
 
@@ -179,6 +185,7 @@ module Artifacts : sig
   val find :
     t ->
     ?batch:int ->
+    ?pos:int ->
     ?mega:bool ->
     name:string ->
     level:level ->
@@ -186,11 +193,18 @@ module Artifacts : sig
     report option
 
   val add :
-    t -> ?batch:int -> ?mega:bool -> name:string -> level:level -> report -> unit
+    t ->
+    ?batch:int ->
+    ?pos:int ->
+    ?mega:bool ->
+    name:string ->
+    level:level ->
+    report ->
+    unit
 
   val size : t -> int
-  (** Number of distinct (name, level, batch, mega) entries compiled so
-      far. *)
+  (** Number of distinct (name, level, batch, pos, mega) entries compiled
+      so far. *)
 
   val get :
     t ->
@@ -200,7 +214,8 @@ module Artifacts : sig
     (unit -> Program.t) ->
     (report, Diag.t list) result
   (** Cached compile: the stored report for (name, [cfg.level],
-      [cfg.batch], [cfg.mega]) if present, otherwise {!compile_result} on
-      [gen ()], storing the result.  Model names are case-insensitive,
+      [cfg.batch], [cfg.pos], [cfg.mega]) if present, otherwise
+      {!compile_result} on [gen ()], storing the result.  Model names are
+      case-insensitive,
       matching {!Zoo.find}. *)
 end

@@ -158,6 +158,18 @@ let lower_node (info : string -> Program.tensor_info) (node : Dgraph.node) :
           (Binop
              (Add, Builder.at ~rank:4 (in_name 0), Read (in_name 1, [ ov 1 ]))) ]
   | Op.Scale c -> [ Builder.scale ~tag ~name ~shape:out_shape (in_name 0) c ]
+  | Op.Causal_mask ->
+      (* scores (.., q, k): key positions past the query become -inf so a
+         following softmax gives them exactly zero weight *)
+      let xs = in_shape 0 in
+      let rank = Array.length xs in
+      [
+        Te.compute ~tag:"causal_mask" ~name ~shape:out_shape
+          (Select
+             ( Cmp (Le, ov (rank - 1), ov (rank - 2)),
+               Builder.at ~rank (in_name 0),
+               Const Float.neg_infinity ));
+      ]
   | Op.Softmax ->
       let xs = in_shape 0 in
       let rank = Array.length xs in

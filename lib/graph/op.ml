@@ -39,6 +39,10 @@ type t =
       (** x (n,c,h,w) plus per-channel bias (c) — folded batch norm *)
   | Softmax
       (** over the last axis *)
+  | Causal_mask
+      (** autoregressive attention mask over score tensors (.., q, k):
+          entries with key index > query index become -inf, so a following
+          {!Softmax} assigns them exactly zero weight *)
   | Layernorm of { eps : float }
       (** over the last axis; inputs: x, gamma, beta *)
   | Reduce of { op : Te.reduce_op; axis : int }
@@ -75,6 +79,7 @@ let to_string = function
   | Scale_channels -> "scale_channels"
   | Bias_channels -> "bias_channels"
   | Softmax -> "softmax"
+  | Causal_mask -> "causal_mask"
   | Layernorm _ -> "layernorm"
   | Reduce { op; axis } ->
       Fmt.str "reduce_%s(axis=%d)" (Te.reduce_op_to_string op) axis
@@ -147,6 +152,12 @@ let infer_shape (op : t) (ins : Shape.t list) : Shape.t =
       if Array.length x <> 4 then fail "rank";
       [| x.(0); x.(1) |]
   | Unary _ | Scale _ | Affine _ | Softmax -> one ()
+  | Causal_mask ->
+      let x = one () in
+      let r = Array.length x in
+      if r < 2 then fail "rank";
+      if x.(r - 2) <> x.(r - 1) then fail "query/key dims must match";
+      x
   | Rowwise _ ->
       let x, v = two () in
       let rx = Array.length x in
@@ -231,5 +242,6 @@ let arity = function
   | Layernorm _ -> 3
   | Concat _ -> -1 (* variadic *)
   | Pool2d _ | Global_avg_pool | Unary _ | Scale _ | Affine _ | Softmax
-  | Reduce _ | Reshape _ | Transpose _ | Slice _ | Strided_slice _ ->
+  | Causal_mask | Reduce _ | Reshape _ | Transpose _ | Slice _
+  | Strided_slice _ ->
       1

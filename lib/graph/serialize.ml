@@ -69,6 +69,7 @@ let render_op (op : Op.t) : string =
   | Op.Scale_channels -> "scale_channels"
   | Op.Bias_channels -> "bias_channels"
   | Op.Softmax -> "softmax"
+  | Op.Causal_mask -> "causal_mask"
   | Op.Layernorm { eps } -> Fmt.str "layernorm %h" eps
   | Op.Reduce { op; axis } ->
       Fmt.str "reduce %s %d" (Te.reduce_op_to_string op) axis
@@ -163,6 +164,7 @@ let parse_op (tokens : string list) : (Op.t * string list, string) result =
       | "scale_channels", rest -> Ok (Op.Scale_channels, rest)
       | "bias_channels", rest -> Ok (Op.Bias_channels, rest)
       | "softmax", rest -> Ok (Op.Softmax, rest)
+      | "causal_mask", rest -> Ok (Op.Causal_mask, rest)
       | "layernorm", e :: rest ->
           let* eps = parse_float e in
           Ok (Op.Layernorm { eps }, rest)

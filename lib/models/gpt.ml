@@ -1,0 +1,168 @@
+(** GPT-style autoregressive decoder block (masked multi-head attention +
+    MLP), the LLM-decode workload MPK motivates mega-kernelization with.
+
+    Two modes share one set of weights (identical input names, so a decode
+    graph can be fed directly from a prefill run):
+
+    - {b prefill}: the full prompt (seq, hidden) flows through causally
+      masked attention — the encoder-zoo shape, plus {!Op.Causal_mask}
+      between score scaling and softmax.
+    - {b decode}: one token (1, hidden) attends over a KV cache of
+      [pos] earlier entries.  The cache append is a first-class
+      {!Op.Concat} TE ([l<i>.k_all] / [l<i>.v_all], exported as program
+      outputs), so the dataflow verifier and provenance tags cover the
+      carried state like any other tensor.
+
+    Decode at cache length [p] is {e bit-exact} against row [p] of a
+    prefill over [p + 1] tokens: masked (future) scores are -inf, which
+    never changes a max-reduce, contributes [exp(-inf) = 0] to the softmax
+    sums, and every other layer op is row-wise causal — the interpreter
+    equivalence suite in [test/test_gpt.ml] pins this down per position
+    bucket. *)
+
+open Dgraph
+
+type config = {
+  layers : int;
+  seq : int;  (** prompt length (prefill mode only) *)
+  hidden : int;
+  heads : int;
+  ffn : int;
+  dtype : Dtype.t;
+}
+
+let base =
+  { layers = 4; seq = 512; hidden = 512; heads = 8; ffn = 2048; dtype = Dtype.F16 }
+
+(** Scaled-down configuration for interpreter-based tests. *)
+let tiny = { layers = 2; seq = 8; hidden = 8; heads = 2; ffn = 16; dtype = Dtype.F32 }
+
+(** Power-of-two KV-cache position buckets compiled for serving, smallest
+    first (a decode step at cache length [p] runs on the smallest bucket
+    [>= p]). *)
+let buckets = [ 64; 128; 256; 512 ]
+
+(** Buckets scaled for the [tiny] interpreter configuration. *)
+let tiny_buckets = [ 2; 4; 8 ]
+
+(* Shared attention + MLP tail once per-mode attention produced [ctx_m]
+   (rows, hidden): output projection, residual, LN, FFN, residual, LN.
+   Row-wise throughout, which is what makes decode a prefill slice. *)
+let mlp_tail (b : B.builder) (cfg : config) ~(prefix : string)
+    ~(w : string -> int array -> string) ~(proj : string -> Op.t -> string list -> string)
+    (x : string) (ctx_m : string) : string =
+  let h = cfg.hidden in
+  let wo = w "wo" [| h; h |] and bo = w "bo" [| h |] in
+  let att_out = proj "att_out" Op.Matmul [ ctx_m; wo ] in
+  let att_b = proj "att_b" Op.Bias_add [ att_out; bo ] in
+  let res1 = proj "res1" (Op.Binary Expr.Add) [ att_b; x ] in
+  let g1 = w "ln1_g" [| h |] and beta1 = w "ln1_b" [| h |] in
+  let ln1 = proj "ln1" (Op.Layernorm { eps = 1e-5 }) [ res1; g1; beta1 ] in
+  let w1 = w "w1" [| h; cfg.ffn |] and b1 = w "b1" [| cfg.ffn |] in
+  let w2 = w "w2" [| cfg.ffn; h |] and b2 = w "b2" [| h |] in
+  let f1 = proj "ffn1" Op.Matmul [ ln1; w1 ] in
+  let f1b = proj "ffn1_b" Op.Bias_add [ f1; b1 ] in
+  let gelu = Mcommon.gelu b ~prefix f1b in
+  let f2 = proj "ffn2" Op.Matmul [ gelu; w2 ] in
+  let f2b = proj "ffn2_b" Op.Bias_add [ f2; b2 ] in
+  let res2 = proj "res2" (Op.Binary Expr.Add) [ f2b; ln1 ] in
+  let g2 = w "ln2_g" [| h |] and beta2 = w "ln2_b" [| h |] in
+  proj "out" (Op.Layernorm { eps = 1e-5 }) [ res2; g2; beta2 ]
+
+(* One prefill layer: BERT's attention block with a causal mask between
+   score scaling and softmax. *)
+let prefill_layer (b : B.builder) (cfg : config) ~(prefix : string)
+    (x : string) : string =
+  let h = cfg.hidden and s = cfg.seq in
+  let hd = cfg.heads in
+  let dh = h / hd in
+  let w name shape = B.input b (prefix ^ "." ^ name) ~dtype:cfg.dtype shape in
+  let proj name op inputs = B.add b ~name:(prefix ^ "." ^ name) op inputs in
+  let wq = w "wq" [| h; h |] and wk = w "wk" [| h; h |] and wv = w "wv" [| h; h |] in
+  let bq = w "bq" [| h |] and bk = w "bk" [| h |] and bv = w "bv" [| h |] in
+  let q = proj "q" Op.Matmul [ x; wq ] in
+  let k = proj "k" Op.Matmul [ x; wk ] in
+  let v = proj "v" Op.Matmul [ x; wv ] in
+  let qb = proj "qb" Op.Bias_add [ q; bq ] in
+  let kb = proj "kb" Op.Bias_add [ k; bk ] in
+  let vb = proj "vb" Op.Bias_add [ v; bv ] in
+  let split name t =
+    let r = proj (name ^ "_r") (Op.Reshape [| s; hd; dh |]) [ t ] in
+    proj (name ^ "_t") (Op.Transpose [| 1; 0; 2 |]) [ r ]
+  in
+  let qh = split "qh" qb and kh = split "kh" kb and vh = split "vh" vb in
+  let scores = proj "scores" Op.Batch_matmul_nt [ qh; kh ] in
+  let scaled = proj "scaled" (Op.Scale (1. /. sqrt (float_of_int dh))) [ scores ] in
+  let masked = proj "masked" Op.Causal_mask [ scaled ] in
+  let probs = proj "probs" Op.Softmax [ masked ] in
+  let ctx = proj "ctx" Op.Batch_matmul [ probs; vh ] in
+  let ctx_t = proj "ctx_t" (Op.Transpose [| 1; 0; 2 |]) [ ctx ] in
+  let ctx_m = proj "ctx_m" (Op.Reshape [| s; h |]) [ ctx_t ] in
+  mlp_tail b cfg ~prefix ~w ~proj x ctx_m
+
+(* One decode layer at cache length [pos]: project the incoming token,
+   append its K/V rows to the carried cache (Concat TEs named
+   [prefix.k_all] / [prefix.v_all]), and attend over all [pos + 1]
+   entries.  No mask is needed — every cached key is at or before the
+   current position by construction. *)
+let decode_layer (b : B.builder) (cfg : config) ~(pos : int)
+    ~(prefix : string) (x : string) : string * string * string =
+  let h = cfg.hidden in
+  let hd = cfg.heads in
+  let dh = h / hd in
+  let t = pos + 1 in
+  let w name shape = B.input b (prefix ^ "." ^ name) ~dtype:cfg.dtype shape in
+  let proj name op inputs = B.add b ~name:(prefix ^ "." ^ name) op inputs in
+  let k_cache = w "k_cache" [| pos; h |] and v_cache = w "v_cache" [| pos; h |] in
+  let wq = w "wq" [| h; h |] and wk = w "wk" [| h; h |] and wv = w "wv" [| h; h |] in
+  let bq = w "bq" [| h |] and bk = w "bk" [| h |] and bv = w "bv" [| h |] in
+  let q = proj "q" Op.Matmul [ x; wq ] in
+  let k = proj "k" Op.Matmul [ x; wk ] in
+  let v = proj "v" Op.Matmul [ x; wv ] in
+  let qb = proj "qb" Op.Bias_add [ q; bq ] in
+  let kb = proj "kb" Op.Bias_add [ k; bk ] in
+  let vb = proj "vb" Op.Bias_add [ v; bv ] in
+  (* KV append: cache (pos, h) ++ this token's row (1, h) *)
+  let k_all = proj "k_all" (Op.Concat { axis = 0 }) [ k_cache; kb ] in
+  let v_all = proj "v_all" (Op.Concat { axis = 0 }) [ v_cache; vb ] in
+  let split name rows tensor =
+    let r = proj (name ^ "_r") (Op.Reshape [| rows; hd; dh |]) [ tensor ] in
+    proj (name ^ "_t") (Op.Transpose [| 1; 0; 2 |]) [ r ]
+  in
+  let qh = split "qh" 1 qb in
+  let kh = split "kh" t k_all and vh = split "vh" t v_all in
+  let scores = proj "scores" Op.Batch_matmul_nt [ qh; kh ] in
+  let scaled = proj "scaled" (Op.Scale (1. /. sqrt (float_of_int dh))) [ scores ] in
+  let probs = proj "probs" Op.Softmax [ scaled ] in
+  let ctx = proj "ctx" Op.Batch_matmul [ probs; vh ] in
+  let ctx_t = proj "ctx_t" (Op.Transpose [| 1; 0; 2 |]) [ ctx ] in
+  let ctx_m = proj "ctx_m" (Op.Reshape [| 1; h |]) [ ctx_t ] in
+  (mlp_tail b cfg ~prefix ~w ~proj x ctx_m, k_all, v_all)
+
+(** Full-prompt prefill graph (the zoo-facing constructor). *)
+let create ?(cfg = base) () : Dgraph.t =
+  let b = B.create () in
+  let x = B.input b "embeddings" ~dtype:cfg.dtype [| cfg.seq; cfg.hidden |] in
+  let out = ref x in
+  for l = 0 to cfg.layers - 1 do
+    out := prefill_layer b cfg ~prefix:(Fmt.str "l%d" l) !out
+  done;
+  B.finish b ~outputs:[ !out ]
+
+(** Single-token decode step over a KV cache holding [pos >= 1] entries
+    per layer.  Outputs the new hidden state plus every layer's appended
+    cache ([l<i>.k_all] / [l<i>.v_all]) — the carried KV state. *)
+let decode ?(cfg = base) ~pos () : Dgraph.t =
+  if pos < 1 then
+    invalid_arg (Fmt.str "Gpt.decode: pos must be >= 1, got %d" pos);
+  let b = B.create () in
+  let x = B.input b "x" ~dtype:cfg.dtype [| 1; cfg.hidden |] in
+  let out = ref x and caches = ref [] in
+  for l = 0 to cfg.layers - 1 do
+    let o, k_all, v_all =
+      decode_layer b cfg ~pos ~prefix:(Fmt.str "l%d" l) !out
+    in
+    out := o;
+    caches := v_all :: k_all :: !caches
+  done;
+  B.finish b ~outputs:(!out :: List.rev !caches)

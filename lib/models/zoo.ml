@@ -1,10 +1,16 @@
 (** The model zoo of Table 2, by name, at full evaluation size and at
-    interpreter-friendly tiny size. *)
+    interpreter-friendly tiny size.  Autoregressive models additionally
+    expose a single-token decode constructor parameterized by KV-cache
+    position ([None] for the encoder-style entries). *)
 
 type entry = {
   name : string;
   full : unit -> Dgraph.t;
   tiny : unit -> Dgraph.t;
+  decode_full : (pos:int -> Dgraph.t) option;
+      (** decode step at full size, reading a KV cache of [pos] entries *)
+  decode_tiny : (pos:int -> Dgraph.t) option;
+      (** decode step at interpreter-friendly tiny size *)
   description : string;
 }
 
@@ -14,37 +20,57 @@ let all : entry list =
       name = "BERT";
       full = (fun () -> Bert.create ());
       tiny = (fun () -> Bert.create ~cfg:Bert.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "BERT-base, 12 layers, SQuAD seq 384, FP16";
     };
     {
       name = "ResNeXt";
       full = (fun () -> Resnext.create ());
       tiny = (fun () -> Resnext.create ~cfg:Resnext.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "ResNeXt-101 32x4d, explicit branches, ImageNet";
     };
     {
       name = "LSTM";
       full = (fun () -> Lstm.create ());
       tiny = (fun () -> Lstm.create ~cfg:Lstm.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "10-cell stacked LSTM, 100 steps, hidden 256";
     };
     {
       name = "EfficientNet";
       full = (fun () -> Efficientnet.create ());
       tiny = (fun () -> Efficientnet.create ~cfg:Efficientnet.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "EfficientNet-b0, MBConv + SE, ImageNet";
     };
     {
       name = "SwinTrans.";
       full = (fun () -> Swin.create ());
       tiny = (fun () -> Swin.create ~cfg:Swin.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "Swin-B, patch 4, window 7, ImageNet";
     };
     {
       name = "MMoE";
       full = (fun () -> Mmoe.create ());
       tiny = (fun () -> Mmoe.create ~cfg:Mmoe.tiny ());
+      decode_full = None;
+      decode_tiny = None;
       description = "Multi-gate mixture-of-experts, 8 experts, 2 tasks";
+    };
+    {
+      name = "GPT";
+      full = (fun () -> Gpt.create ());
+      tiny = (fun () -> Gpt.create ~cfg:Gpt.tiny ());
+      decode_full = Some (fun ~pos -> Gpt.decode ~pos ());
+      decode_tiny = Some (fun ~pos -> Gpt.decode ~cfg:Gpt.tiny ~pos ());
+      description = "GPT decoder block, causal attention + KV-cache decode";
     };
   ]
 

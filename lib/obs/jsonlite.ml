@@ -38,7 +38,14 @@ let number_to_string (f : float) : string =
     "0" (* JSON has no NaN/inf; clamp rather than emit an invalid token *)
   else if Float.is_integer f && Float.abs f < 1e15 then
     Printf.sprintf "%.0f" f
-  else Printf.sprintf "%.6g" f
+  else
+    (* Shortest decimal form that round-trips: probe 15/16 significant
+       digits before falling back to the always-sufficient 17. *)
+    let p15 = Printf.sprintf "%.15g" f in
+    if float_of_string p15 = f then p15
+    else
+      let p16 = Printf.sprintf "%.16g" f in
+      if float_of_string p16 = f then p16 else Printf.sprintf "%.17g" f
 
 let rec write (b : Buffer.t) = function
   | Null -> Buffer.add_string b "null"

@@ -129,12 +129,21 @@ let estimate_us (dev : Device.t) (p : Program.t) (te : Te.t) (s : Sched.t) :
 
 (* ---- candidate enumeration ----------------------------------------- *)
 
-(* Candidate tile factors for one dimension. *)
+(* Candidate tile factors for one dimension.  A dimension smaller than
+   every option still yields one exact-fit candidate: dims below 9 used to
+   filter to the empty list, which emptied the whole cross-product and made
+   the search silently fall back to the grid-1 elementwise schedule — fatal
+   for single-token decode shapes like (1, hidden), whose reductions need
+   an rsplit-driven grid to reach DRAM bandwidth. *)
 let tile_candidates ~space d =
   let opts = match space with Full -> [ 16; 32; 64; 128 ] | Reduced -> [ 32; 128 ] in
-  List.filter (fun t -> t <= d || t / 2 < d) opts
-  |> List.map (fun t -> min t d)
-  |> List.sort_uniq compare
+  match
+    List.filter (fun t -> t <= d || t / 2 < d) opts
+    |> List.map (fun t -> min t d)
+    |> List.sort_uniq compare
+  with
+  | [] -> [ max 1 d ]
+  | cs -> cs
 
 let rtile_candidates d =
   List.map (fun t -> min t d) [ 16; 32; 64 ] |> List.sort_uniq compare

@@ -24,8 +24,9 @@
       terminal outcome [timed_out].
     - {b Retries.}  A stream struck by a runtime kernel fault (or hung
       forever) terminates [Faulted]; the request re-enters the queue after
-      a deterministic linear backoff ([backoff_us * attempt]) on a fresh
-      stream, at most [retries] times.  Retries exhausted is the terminal
+      a deterministic linear backoff — the k-th retry (1-based) becomes
+      ready [k * backoff_us] after its fault — on a fresh stream, at most
+      [retries] times.  Retries exhausted is the terminal
       outcome [failed].
     - {b Admission control.}  A bounded pending queue ([queue_cap]) with a
       drop policy: [Reject] drops the newest arrival on overflow;
@@ -50,6 +51,18 @@
       mid-flight times out alone; the stream is only cancelled when every
       member has expired.
 
+    - {b Prefill/decode lifecycle.}  A {e generation} request
+      ([Workload.rq_gen > 0]) is served as one prefill dispatch followed by
+      [rq_gen] single-token decode steps, each re-entering the queue when
+      the previous phase finishes (carrying the KV state as its position).
+      Decode step [t] runs the decode artifact whose position bucket is the
+      smallest registered [art_pos >= gen_prompt + t - 1] (falling back to
+      the largest available bucket).  Every step inherits the request's
+      deadline and gets the full per-attempt retry budget; a faulted decode
+      step retries {e the same step at the same position} — the carried KV
+      state is immutable input, so a retry cannot corrupt it.  Decode and
+      prefill dispatches never coalesce into batched streams.
+
     With none of those features configured the scheduler is byte-identical
     to the PR 5 baseline — the fault machinery costs nothing when off, and
     [max_batch = 1] (the default) never coalesces anything. *)
@@ -73,13 +86,26 @@ let drop_of_string = function
   | "shed" | "shed-expired" -> Some Shed
   | _ -> None
 
+(** Which lifecycle phase a dispatched stream serves.  [Single] is the
+    classic one-shot request; generation requests run one [Prefill] then
+    [Decode 1 .. Decode rq_gen] (steps are 1-based). *)
+type phase = Single | Prefill | Decode of int
+
+let phase_to_string = function
+  | Single -> "single"
+  | Prefill -> "prefill"
+  | Decode t -> Fmt.str "decode:%d" t
+
 type cfg = {
   policy : policy;
   max_streams : int;  (** concurrency bound, >= 1 *)
   queue_cap : int option;  (** bounded pending queue ([None] = unbounded) *)
   drop : drop_policy;
   retries : int;  (** max re-dispatches after a runtime fault *)
-  backoff_us : float;  (** linear retry backoff: attempt [k] waits [k *] this *)
+  backoff_us : float;
+      (** linear retry backoff: the k-th retry (1-based; i.e. after the
+          0-based attempt [k - 1] faults) becomes ready [k *] this after
+          the fault *)
   deadline_us : float option;
       (** default SLO for requests that carry none ([Workload.rq_slo_us]
           wins when present) *)
@@ -87,14 +113,19 @@ type cfg = {
   max_batch : int;
       (** largest batch bucket a dispatch may coalesce (1 = batching off;
           buckets are powers of two and need a matching batched artifact) *)
+  gen_prompt : int;
+      (** prompt length assumed for generation requests: decode step [t]
+          reads a KV cache of [gen_prompt + t - 1] entries (must be >= 1
+          when any request has [rq_gen > 0]) *)
 }
 
 (** Build a scheduler configuration; every lifecycle feature defaults off,
     which reproduces the PR 5 scheduler exactly. *)
 let cfg ?queue_cap ?(drop = Reject) ?(retries = 0) ?(backoff_us = 50.)
-    ?deadline_us ?chaos ?(max_batch = 1) ~policy ~max_streams () : cfg =
+    ?deadline_us ?chaos ?(max_batch = 1) ?(gen_prompt = 0) ~policy
+    ~max_streams () : cfg =
   { policy; max_streams; queue_cap; drop; retries; backoff_us; deadline_us;
-    chaos; max_batch }
+    chaos; max_batch; gen_prompt }
 
 (** One compiled, reusable inference program: the unit the serving layer
     shares across every request for the same model. *)
@@ -104,6 +135,10 @@ type artifact = {
       (** batch lanes this artifact was compiled at; 1 = the base shape.
           The scheduler requires a base artifact per served model; batched
           buckets are optional extras it coalesces into when present *)
+  art_pos : int;
+      (** KV-cache position bucket this artifact was compiled at; 0 = the
+          static (prefill / one-shot) shape.  Decode steps run the
+          smallest-position artifact that fits their cache length *)
   art_profiles : Sim.kernel_profile list;
   art_solo_us : float;     (** simulated solo latency (the SEL estimate) *)
   art_counters : Counters.t;  (** solo traffic of the whole stream *)
@@ -119,14 +154,16 @@ type artifact = {
 
 (** Build an artifact straight from a compiled kernel program (runs the
     solo simulation once for the counters). *)
-let artifact_of_prog (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
-    (prog : Kernel_ir.prog) : artifact =
+let artifact_of_prog (dev : Device.t) ~model ?(batch = 1) ?(pos = 0)
+    ?(degraded = 0) (prog : Kernel_ir.prog) : artifact =
   if batch < 1 then invalid_arg "Scheduler.artifact_of_prog: batch < 1";
+  if pos < 0 then invalid_arg "Scheduler.artifact_of_prog: pos < 0";
   let profiles = Sim.profile_prog dev prog in
   let sim = Sim.run dev prog in
   {
     art_model = model;
     art_batch = batch;
+    art_pos = pos;
     art_profiles = profiles;
     art_solo_us = Sim.solo_time_us profiles;
     art_counters = Counters.copy sim.Sim.total;
@@ -139,14 +176,16 @@ let artifact_of_prog (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
     ONE persistent kernel profile ({!Sim.mega_profile}), so a serving
     stream pays a single launch and {!Sim.Multi} needs no special casing —
     contention, faults, and batching all apply unchanged. *)
-let artifact_of_taskgraph (dev : Device.t) ~model ?(batch = 1) ?(degraded = 0)
-    (tg : Kernel_ir.taskgraph) : artifact =
+let artifact_of_taskgraph (dev : Device.t) ~model ?(batch = 1) ?(pos = 0)
+    ?(degraded = 0) (tg : Kernel_ir.taskgraph) : artifact =
   if batch < 1 then invalid_arg "Scheduler.artifact_of_taskgraph: batch < 1";
+  if pos < 0 then invalid_arg "Scheduler.artifact_of_taskgraph: pos < 0";
   let profiles = [ Sim.mega_profile dev tg ] in
   let sim = Sim.run_mega dev tg in
   {
     art_model = model;
     art_batch = batch;
+    art_pos = pos;
     art_profiles = profiles;
     art_solo_us = Sim.solo_time_us profiles;
     art_counters = Counters.copy sim.Sim.total;
@@ -178,10 +217,29 @@ type completed = {
   c_elided : int;
       (** kernel launches the serving artifact avoided for this request
           (0 unless the request ran on a mega-kernel artifact) *)
+  c_phase : phase;
+      (** lifecycle phase this completion belongs to; [Single] for
+          one-shot requests, so phase-free runs are unchanged *)
+  c_issue_us : float;
+      (** when this phase's work entered the queue: the request arrival
+          for [Single]/[Prefill], the previous phase's finish for a decode
+          step — per-phase latency is [c_finish_us - c_issue_us] *)
 }
 
 (** Latency including queueing: finish minus arrival. *)
 let latency_us (c : completed) = c.c_finish_us -. c.c_req.Workload.rq_arrival_us
+
+(** Per-phase latency: finish minus the phase's own issue time. *)
+let phase_latency_us (c : completed) = c.c_finish_us -. c.c_issue_us
+
+(** Is this completion the request's terminal one?  [Single] requests
+    finish in one phase; a generation request finishes at its last decode
+    step. *)
+let is_terminal (c : completed) =
+  match c.c_phase with
+  | Single -> true
+  | Prefill -> c.c_req.Workload.rq_gen = 0
+  | Decode t -> t = c.c_req.Workload.rq_gen
 
 (** Why a dispatched attempt died on the device. *)
 type abort_reason = Fault | Deadline | Hung
@@ -197,6 +255,7 @@ let abort_reason_to_string = function
 type aborted = {
   a_req : Workload.request;
   a_model : string;
+  a_phase : phase;       (** lifecycle phase of the aborted attempt *)
   a_try : int;           (** 0 = first dispatch of the request *)
   a_stream : int;
   a_slot : int;
@@ -238,11 +297,21 @@ type outcome = {
   o_makespan_us : float;               (** time of the last completion *)
 }
 
-(* one dispatched stream: [f_members] is (request, attempt) in queue order,
+(* one unit of queued work: a request at one lifecycle phase.  One-shot
+   requests are a single [Single] job; generation requests materialize a
+   [Prefill] job on arrival and each decode step as its own job when the
+   previous phase finishes *)
+type job = {
+  jb_req : Workload.request;
+  jb_phase : phase;
+  jb_issue_us : float;  (** when this phase entered the queue *)
+}
+
+(* one dispatched stream: [f_members] is (job, attempt) in queue order,
    singleton unless a batch bucket coalesced; members leave the list
    individually when their deadline expires mid-flight *)
 type flight = {
-  mutable f_members : (Workload.request * int) list;
+  mutable f_members : (job * int) list;
   f_art : artifact;
   f_slot : int;
   f_disp : float;
@@ -254,11 +323,13 @@ let rec insert_sorted x = function
   | y :: _ as l when x <= y -> x :: l
   | y :: rest -> y :: insert_sorted x rest
 
-(* retry queue entries ordered by (ready time, request id) *)
-let rec insert_retry ((t, (r : Workload.request), _) as x) = function
+(* retry queue entries ordered by (ready time, request id); a request has
+   at most one live job, so the id tie-break stays total *)
+let rec insert_retry ((t, (j : job), _) as x) = function
   | [] -> [ x ]
-  | ((t', (r' : Workload.request), _) :: _) as l
-    when t < t' || (t = t' && r.Workload.rq_id < r'.Workload.rq_id) ->
+  | ((t', (j' : job), _) :: _) as l
+    when t < t'
+         || (t = t' && j.jb_req.Workload.rq_id < j'.jb_req.Workload.rq_id) ->
       x :: l
   | y :: rest -> y :: insert_retry x rest
 
@@ -273,27 +344,71 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
   (match cfg.queue_cap with
   | Some c when c < 1 -> invalid_arg "Scheduler.run: queue_cap < 1"
   | _ -> ());
-  (* artifacts keyed by (model, batch): the base shape is mandatory per
-     served model, batched buckets are opportunistic extras *)
-  let tbl : (string * int, artifact) Hashtbl.t = Hashtbl.create 8 in
+  (* artifacts keyed by (model, batch, pos): the base shape (1, 0) is
+     mandatory per served model; batched buckets and decode position
+     buckets are opportunistic extras *)
+  let tbl : (string * int * int, artifact) Hashtbl.t = Hashtbl.create 8 in
   List.iter
     (fun a ->
-      Hashtbl.replace tbl (String.lowercase_ascii a.art_model, a.art_batch) a)
+      Hashtbl.replace tbl
+        (String.lowercase_ascii a.art_model, a.art_batch, a.art_pos)
+        a)
     artifacts;
   let art_at (model : string) (batch : int) =
-    Hashtbl.find_opt tbl (String.lowercase_ascii model, batch)
+    Hashtbl.find_opt tbl (String.lowercase_ascii model, batch, 0)
   in
   let art_of (model : string) =
     match art_at model 1 with
     | Some a -> a
     | None -> invalid_arg (Fmt.str "Scheduler.run: no artifact for model %s" model)
   in
-  (* fail on unknown models before any simulated time passes *)
-  List.iter (fun (r : Workload.request) -> ignore (art_of r.Workload.rq_model)) reqs;
+  (* decode position buckets per model, ascending *)
+  let decode_buckets (model : string) : artifact list =
+    List.filter
+      (fun a ->
+        a.art_batch = 1 && a.art_pos > 0
+        && String.lowercase_ascii a.art_model = String.lowercase_ascii model)
+      artifacts
+    |> List.sort (fun a b -> compare a.art_pos b.art_pos)
+  in
+  (* a decode step over [cache] KV entries runs the smallest bucket that
+     fits, or the largest registered one when the cache outgrows them *)
+  let decode_art (model : string) ~(cache : int) : artifact =
+    match decode_buckets model with
+    | [] ->
+        invalid_arg
+          (Fmt.str "Scheduler.run: no decode artifact for model %s" model)
+    | bs -> (
+        match List.find_opt (fun a -> a.art_pos >= cache) bs with
+        | Some a -> a
+        | None -> List.nth bs (List.length bs - 1))
+  in
+  let art_for (j : job) : artifact =
+    match j.jb_phase with
+    | Single | Prefill -> art_of j.jb_req.Workload.rq_model
+    | Decode t ->
+        decode_art j.jb_req.Workload.rq_model ~cache:(cfg.gen_prompt + t - 1)
+  in
+  (* fail on unknown models / missing decode support before any simulated
+     time passes *)
+  List.iter
+    (fun (r : Workload.request) ->
+      ignore (art_of r.Workload.rq_model);
+      if r.Workload.rq_gen < 0 then
+        invalid_arg (Fmt.str "Scheduler.run: rq_gen < 0 on request %d"
+                       r.Workload.rq_id);
+      if r.Workload.rq_gen > 0 then begin
+        if cfg.gen_prompt < 1 then
+          invalid_arg "Scheduler.run: generation requests need gen_prompt >= 1";
+        ignore (decode_art r.Workload.rq_model ~cache:cfg.gen_prompt)
+      end)
+    reqs;
   (* kernel-stage shape of each artifact, for chaos plan derivation *)
-  let stages_tbl : (string * int, int array) Hashtbl.t = Hashtbl.create 8 in
+  let stages_tbl : (string * int * int, int array) Hashtbl.t =
+    Hashtbl.create 8
+  in
   let stages_of (a : artifact) : int array =
-    let key = (String.lowercase_ascii a.art_model, a.art_batch) in
+    let key = (String.lowercase_ascii a.art_model, a.art_batch, a.art_pos) in
     match Hashtbl.find_opt stages_tbl key with
     | Some s -> s
     | None ->
@@ -323,8 +438,25 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
            compare a.Workload.rq_arrival_us b.Workload.rq_arrival_us)
          reqs)
   in
-  let queue = ref [] (* (request, attempt) — arrived, undispatched *) in
-  let retry_at = ref [] (* (ready_us, request, attempt), sorted *) in
+  let queue = ref [] (* (job, attempt) — arrived, undispatched *) in
+  let retry_at = ref [] (* (ready_us, job, attempt), sorted *) in
+  (* the job a fresh arrival materializes as: generation requests start at
+     their prefill phase *)
+  let job_of_req (r : Workload.request) : job =
+    {
+      jb_req = r;
+      jb_phase = (if r.Workload.rq_gen > 0 then Prefill else Single);
+      jb_issue_us = r.Workload.rq_arrival_us;
+    }
+  in
+  (* chaos plans are keyed per dispatched unit: decode steps of one request
+     must not all inherit the request's fault fate, so step [t] perturbs
+     the id by a deterministic prime stride *)
+  let chaos_id (j : job) : int =
+    match j.jb_phase with
+    | Single | Prefill -> j.jb_req.Workload.rq_id
+    | Decode t -> j.jb_req.Workload.rq_id + (7919 * t)
+  in
   let m = Sim.Multi.create dev in
   (match cfg.chaos with
   | Some { Faultinject.ch_throttle = Some th; _ } ->
@@ -348,15 +480,16 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
             (drop_reason_to_string reason)
             now))
   in
-  let hopeless now (r : Workload.request) =
-    match deadline_of_req r with
-    | Some d -> now +. (art_of r.Workload.rq_model).art_solo_us > d
+  let hopeless now (j : job) =
+    match deadline_of_req j.jb_req with
+    | Some d -> now +. (art_for j).art_solo_us > d
     | None -> false
   in
-  (* bounded-queue admission for fresh arrivals (retries re-enter without
-     re-admission: they were already admitted once) *)
+  (* bounded-queue admission for fresh arrivals (retries and follow-on
+     lifecycle phases re-enter without re-admission: they were already
+     admitted once) *)
   let admit (r : Workload.request) =
-    let enqueue () = queue := !queue @ [ (r, 0) ] in
+    let enqueue () = queue := !queue @ [ (job_of_req r, 0) ] in
     match cfg.queue_cap with
     | None -> enqueue ()
     | Some cap ->
@@ -372,14 +505,16 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
               in
               if shed <> [] then begin
                 queue := keep;
-                List.iter (fun (q, _) -> drop q Shed_slo) shed
+                List.iter (fun ((q : job), _) -> drop q.jb_req Shed_slo) shed
               end
           | Reject -> ());
           if List.length !queue < Option.get cfg.queue_cap then enqueue ()
           else
             drop r
-              (if cfg.drop = Shed && hopeless (Sim.Multi.now_us m) r then
-                 Shed_slo
+              (if
+                 cfg.drop = Shed
+                 && hopeless (Sim.Multi.now_us m) (job_of_req r)
+               then Shed_slo
                else Queue_full)
         end
   in
@@ -389,7 +524,7 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       | (r : Workload.request) :: rest
         when r.Workload.rq_arrival_us <= Sim.Multi.now_us m ->
           (match cfg.queue_cap with
-          | None -> queue := !queue @ [ (r, 0) ]
+          | None -> queue := !queue @ [ (job_of_req r, 0) ]
           | Some _ -> admit r);
           upcoming := rest;
           arrivals ()
@@ -398,8 +533,8 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
     arrivals ();
     let rec retries () =
       match !retry_at with
-      | (ready, r, attempt) :: rest when ready <= Sim.Multi.now_us m ->
-          queue := !queue @ [ (r, attempt) ];
+      | (ready, j, attempt) :: rest when ready <= Sim.Multi.now_us m ->
+          queue := !queue @ [ (j, attempt) ];
           retry_at := rest;
           retries ()
       | _ -> ()
@@ -412,22 +547,25 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       let now = Sim.Multi.now_us m in
       let live, dead =
         List.partition
-          (fun ((q : Workload.request), _) ->
-            match deadline_of_req q with Some d -> d > now | None -> true)
+          (fun ((q : job), _) ->
+            match deadline_of_req q.jb_req with
+            | Some d -> d > now
+            | None -> true)
           !queue
       in
       if dead <> [] then begin
         queue := live;
-        List.iter (fun (q, _) -> drop q Expired) dead
+        List.iter (fun ((q : job), _) -> drop q.jb_req Expired) dead
       end
     end
   in
-  let record_abort (rq : Workload.request) (art : artifact) slot disp attempt
+  let record_abort (j : job) (art : artifact) slot disp attempt
       (st : Sim.Multi.stream) reason =
     aborted :=
       {
-        a_req = rq;
+        a_req = j.jb_req;
         a_model = art.art_model;
+        a_phase = j.jb_phase;
         a_try = attempt;
         a_stream = st.Sim.Multi.st_id;
         a_slot = slot;
@@ -439,25 +577,35 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
       }
       :: !aborted
   in
-  let member_deadline ((rq, _) : Workload.request * int) = deadline_of_req rq in
-  let retry_or_fail (rq : Workload.request) attempt =
+  let member_deadline ((j, _) : job * int) = deadline_of_req j.jb_req in
+  (* a faulted decode step retries the same step at the same position: the
+     job (and with it the KV-cache bucket) is re-queued unchanged *)
+  let retry_or_fail (j : job) attempt =
+    let rq = j.jb_req in
     let now = Sim.Multi.now_us m in
+    (* phase-free wording is kept verbatim for one-shot requests so
+       phase-free runs stay byte-identical *)
+    let who =
+      match j.jb_phase with
+      | Single -> Fmt.str "request %d" rq.Workload.rq_id
+      | p -> Fmt.str "request %d (%s)" rq.Workload.rq_id (phase_to_string p)
+    in
     if attempt < cfg.retries then begin
       let ready = now +. (cfg.backoff_us *. float_of_int (attempt + 1)) in
-      retry_at := insert_retry (ready, rq, attempt + 1) !retry_at;
+      retry_at := insert_retry (ready, j, attempt + 1) !retry_at;
       diag
         (Diag.warning ~subject:rq.Workload.rq_model Diag.Serve
            ~hint:"fresh stream after deterministic backoff"
-           (Fmt.str "request %d attempt %d faulted; retry %d at %.1f us"
-              rq.Workload.rq_id attempt (attempt + 1) ready))
+           (Fmt.str "%s attempt %d faulted; retry %d at %.1f us" who attempt
+              (attempt + 1) ready))
     end
     else begin
       failed := (rq, now, attempt + 1) :: !failed;
       diag
         (Diag.error ~subject:rq.Workload.rq_model Diag.Serve
            ~hint:"raise --retries or lower the fault rate"
-           (Fmt.str "request %d failed: fault exhausted %d attempt(s)"
-              rq.Workload.rq_id (attempt + 1)))
+           (Fmt.str "%s failed: fault exhausted %d attempt(s)" who
+              (attempt + 1)))
     end
   in
   (* watchdog: expire in-flight members past their deadline.  An expired
@@ -501,13 +649,13 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
             free_slots := insert_sorted fl.f_slot !free_slots
           end;
           List.iter
-            (fun (rq, attempt) ->
-              record_abort rq fl.f_art fl.f_slot fl.f_disp attempt st Deadline;
+            (fun ((j : job), attempt) ->
+              record_abort j fl.f_art fl.f_slot fl.f_disp attempt st Deadline;
               diag
                 (Diag.warning ~subject:fl.f_art.art_model Diag.Serve
                    (Fmt.str
                       "request %d timed out at %.1f us (attempt %d cancelled)"
-                      rq.Workload.rq_id now attempt)))
+                      j.jb_req.Workload.rq_id now attempt)))
             expired)
         hit
     end
@@ -516,12 +664,11 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
     match cfg.policy with
     | Fifo -> List.hd !queue
     | Sel ->
+        (* shortest expected latency, phase-aware: a decode step's estimate
+           is its position bucket's solo latency *)
         List.fold_left
-          (fun ((best : Workload.request), _ as b) ((r : Workload.request), _ as c) ->
-            if
-              (art_of r.Workload.rq_model).art_solo_us
-              < (art_of best.Workload.rq_model).art_solo_us
-            then c
+          (fun ((best : job), _ as b) ((j : job), _ as c) ->
+            if (art_for j).art_solo_us < (art_for best).art_solo_us then c
             else b)
           (List.hd !queue) (List.tl !queue)
   in
@@ -538,23 +685,27 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
   in
   let dispatch () =
     while !queue <> [] && !free_slots <> [] do
-      let rq, attempt = pick () in
+      let lead, attempt = pick () in
+      let rq = lead.jb_req in
       queue :=
         List.filter
-          (fun ((r : Workload.request), _) ->
-            r.Workload.rq_id <> rq.Workload.rq_id)
+          (fun ((j : job), _) ->
+            j.jb_req.Workload.rq_id <> rq.Workload.rq_id)
           !queue;
-      (* coalesce: first-attempt peers of the same model join the lead's
-         stream, up to the largest artifact-backed power-of-two bucket.
-         Retries never re-batch — a poisoned request fails alone. *)
+      (* coalesce: first-attempt one-shot peers of the same model join the
+         lead's stream, up to the largest artifact-backed power-of-two
+         bucket.  Retries never re-batch — a poisoned request fails alone —
+         and prefill/decode phases never coalesce: decode steps are tiny
+         latency-critical kernels served solo. *)
       let members =
-        if cfg.max_batch < 2 || attempt > 0 then [ (rq, attempt) ]
+        if cfg.max_batch < 2 || attempt > 0 || lead.jb_phase <> Single then
+          [ (lead, attempt) ]
         else begin
           let peers =
             List.filter
-              (fun ((r : Workload.request), a) ->
-                a = 0
-                && String.lowercase_ascii r.Workload.rq_model
+              (fun ((j : job), a) ->
+                a = 0 && j.jb_phase = Single
+                && String.lowercase_ascii j.jb_req.Workload.rq_model
                    = String.lowercase_ascii rq.Workload.rq_model)
               !queue
           in
@@ -564,33 +715,39 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
           in
           let joined = List.filteri (fun i _ -> i < bucket - 1) peers in
           let joined_ids =
-            List.map (fun ((r : Workload.request), _) -> r.Workload.rq_id) joined
+            List.map
+              (fun ((j : job), _) -> j.jb_req.Workload.rq_id)
+              joined
           in
           queue :=
             List.filter
-              (fun ((r : Workload.request), _) ->
-                not (List.mem r.Workload.rq_id joined_ids))
+              (fun ((j : job), _) ->
+                not (List.mem j.jb_req.Workload.rq_id joined_ids))
               !queue;
-          (rq, attempt) :: joined
+          (lead, attempt) :: joined
         end
       in
       let nmembers = List.length members in
       let slot = List.hd !free_slots in
       free_slots := List.tl !free_slots;
       let art =
-        if nmembers = 1 then art_of rq.Workload.rq_model
+        if nmembers = 1 then art_for lead
         else Option.get (art_at rq.Workload.rq_model nmembers)
       in
       let faults =
         match cfg.chaos with
         | None -> []
         | Some c ->
-            Faultinject.chaos_plan c ~rq_id:rq.Workload.rq_id ~attempt
+            Faultinject.chaos_plan c ~rq_id:(chaos_id lead) ~attempt
               ~stages:(stages_of art)
       in
       let label =
-        if nmembers = 1 then Fmt.str "%s#%d" art.art_model rq.Workload.rq_id
-        else Fmt.str "%s x%d#%d" art.art_model nmembers rq.Workload.rq_id
+        match lead.jb_phase with
+        | Single when nmembers = 1 ->
+            Fmt.str "%s#%d" art.art_model rq.Workload.rq_id
+        | Single -> Fmt.str "%s x%d#%d" art.art_model nmembers rq.Workload.rq_id
+        | Prefill -> Fmt.str "%s@p#%d" art.art_model rq.Workload.rq_id
+        | Decode t -> Fmt.str "%s@d%d#%d" art.art_model t rq.Workload.rq_id
       in
       let st =
         Sim.Multi.launch m ~label ~members:nmembers ~faults art.art_profiles
@@ -617,8 +774,10 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
            each request's own arrival/deadline/retry history intact *)
         let n = st.Sim.Multi.st_members in
         let share = float_of_int n in
+        let finish = Option.get st.Sim.Multi.st_finish_us in
         List.iter
-          (fun ((rq : Workload.request), attempt) ->
+          (fun ((j : job), attempt) ->
+            let rq = j.jb_req in
             completed :=
               {
                 c_req = rq;
@@ -626,11 +785,11 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
                 c_stream = st.Sim.Multi.st_id;
                 c_slot = fl.f_slot;
                 c_dispatch_us = fl.f_disp;
-                c_finish_us = Option.get st.Sim.Multi.st_finish_us;
+                c_finish_us = finish;
                 c_service_us =
                   (if n = 1 then st.Sim.Multi.st_service_us
                    else st.Sim.Multi.st_service_us /. share);
-                c_solo_us = (art_of rq.Workload.rq_model).art_solo_us;
+                c_solo_us = (art_for j).art_solo_us;
                 c_bytes =
                   Counters.global_transfer_bytes art.art_counters / n;
                 c_slices = Sim.Multi.kernel_slices st;
@@ -639,16 +798,34 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
                 c_batch = n;
                 c_mega = art.art_mega;
                 c_elided = art.art_elided;
+                c_phase = j.jb_phase;
+                c_issue_us = j.jb_issue_us;
               }
-              :: !completed)
+              :: !completed;
+            (* a finished phase issues the next one: prefill hands off to
+               decode step 1, decode step t to t+1, at the finish instant
+               (the carried KV state is the new job's position).  Follow-on
+               jobs skip re-admission: the request was admitted once. *)
+            let next_phase =
+              match j.jb_phase with
+              | Prefill when rq.Workload.rq_gen > 0 -> Some (Decode 1)
+              | Decode t when t < rq.Workload.rq_gen -> Some (Decode (t + 1))
+              | _ -> None
+            in
+            match next_phase with
+            | None -> ()
+            | Some p ->
+                queue :=
+                  !queue
+                  @ [ ({ jb_req = rq; jb_phase = p; jb_issue_us = finish }, 0) ])
           fl.f_members
     | Sim.Multi.Faulted ->
         (* members retry individually (never re-batched): one poisoned
            request must not drag its neighbours down again *)
         List.iter
-          (fun ((rq : Workload.request), attempt) ->
-            record_abort rq art fl.f_slot fl.f_disp attempt st Fault;
-            retry_or_fail rq attempt)
+          (fun ((j : job), attempt) ->
+            record_abort j art fl.f_slot fl.f_disp attempt st Fault;
+            retry_or_fail j attempt)
           fl.f_members
     | Sim.Multi.Cancelled ->
         (* cancellations are recorded where they are issued *)
@@ -671,14 +848,14 @@ let run (dev : Device.t) (cfg : cfg) ~(artifacts : artifact list)
             Hashtbl.remove inflight st.Sim.Multi.st_id;
             free_slots := insert_sorted fl.f_slot !free_slots;
             List.iter
-              (fun ((rq : Workload.request), attempt) ->
-                record_abort rq fl.f_art fl.f_slot fl.f_disp attempt st Hung;
+              (fun ((j : job), attempt) ->
+                record_abort j fl.f_art fl.f_slot fl.f_disp attempt st Hung;
                 diag
                   (Diag.warning ~subject:fl.f_art.art_model Diag.Serve
                      (Fmt.str
                         "request %d attempt %d hung indefinitely; cancelled"
-                        rq.Workload.rq_id attempt));
-                retry_or_fail rq attempt)
+                        j.jb_req.Workload.rq_id attempt));
+                retry_or_fail j attempt)
               fl.f_members)
       ss
   in

@@ -33,6 +33,19 @@ type summary = {
   (* mega-kernel attribution; zero unless a mega artifact served requests *)
   s_mega : int;          (** completions served by a mega-kernel artifact *)
   s_elided : int;        (** kernel launches elided across those completions *)
+  (* prefill/decode attribution; zero unless generation requests ran, so
+     one-shot reports are unchanged.  Request-level latency stats above
+     count only {e terminal} completions (a generation request's last
+     decode step), so a 16-token request is one request, not 17 *)
+  s_prefills : int;        (** prefill-phase completions *)
+  s_decodes : int;         (** decode-step completions (tokens generated) *)
+  s_prefill_p50_ms : float;  (** prefill phase latency (issue to finish) *)
+  s_prefill_p95_ms : float;
+  s_decode_p50_ms : float;   (** per-token decode latency (issue to finish) *)
+  s_decode_p95_ms : float;
+  s_tokens_per_s : float;
+      (** decode completions over the [first decode issue, last decode
+          finish] window *)
 }
 
 (** Any lifecycle event at all?  False on every fault-free run. *)
@@ -40,24 +53,38 @@ let lifecycle_active (s : summary) =
   s.s_retried > 0 || s.s_timed_out > 0 || s.s_rejected > 0 || s.s_failed > 0
   || s.s_faults > 0 || s.s_retries > 0
 
-(** Nearest-rank percentile; [nan] on an empty list. *)
+(** Did any generation phase run?  False on every one-shot run. *)
+let gen_active (s : summary) = s.s_prefills > 0 || s.s_decodes > 0
+
+(** Nearest-rank percentile over a float array sorted with [Float.compare]
+    (total order, so a stray NaN cannot scramble the sort the way
+    polymorphic [compare] on boxed floats could).  NaN samples are dropped
+    before ranking; [nan] on an empty (or all-NaN) input. *)
 let percentile (xs : float list) (p : float) : float =
-  match List.sort compare xs with
-  | [] -> nan
-  | sorted ->
-      let n = List.length sorted in
-      let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
-      List.nth sorted (max 0 (min (n - 1) (rank - 1)))
+  let a = Array.of_list (List.filter (fun x -> not (Float.is_nan x)) xs) in
+  let n = Array.length a in
+  if n = 0 then nan
+  else begin
+    Array.sort Float.compare a;
+    let rank = int_of_float (ceil (p /. 100. *. float_of_int n)) in
+    a.(max 0 (min (n - 1) (rank - 1)))
+  end
 
 let summarize (o : Scheduler.outcome) : summary =
   let cs = o.Scheduler.o_completed in
-  let n = List.length cs in
+  (* request-level stats rank only terminal completions (every completion
+     on a one-shot run, the last decode step of a generation request) —
+     otherwise an n-token request would count as n + 1 requests *)
+  let terms = List.filter Scheduler.is_terminal cs in
+  let n = List.length terms in
   let lat_ms =
-    List.map (fun c -> Scheduler.latency_us c /. 1e3) cs
+    List.map (fun c -> Scheduler.latency_us c /. 1e3) terms
   in
   let sum = List.fold_left ( +. ) 0. in
   let arrivals =
-    List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_arrival_us) cs
+    List.map
+      (fun (c : Scheduler.completed) -> c.Scheduler.c_req.Workload.rq_arrival_us)
+      terms
   in
   let first_arrival = List.fold_left Float.min infinity arrivals in
   let last_arrival = List.fold_left Float.max 0. arrivals in
@@ -69,6 +96,42 @@ let summarize (o : Scheduler.outcome) : summary =
   let window_us = last_finish -. Float.min first_arrival last_finish in
   let arrival_window_us = last_arrival -. Float.min first_arrival last_arrival in
   let fn = float_of_int n in
+  (* device-side aggregates (service, slowdown, traffic) cover every
+     completion: prefill and decode phases did real work *)
+  let all_n = List.length cs in
+  let all_fn = float_of_int all_n in
+  let prefills =
+    List.filter
+      (fun (c : Scheduler.completed) -> c.Scheduler.c_phase = Scheduler.Prefill)
+      cs
+  in
+  let decodes =
+    List.filter
+      (fun (c : Scheduler.completed) ->
+        match c.Scheduler.c_phase with Scheduler.Decode _ -> true | _ -> false)
+      cs
+  in
+  let phase_ms xs =
+    List.map (fun c -> Scheduler.phase_latency_us c /. 1e3) xs
+  in
+  let ndec = List.length decodes in
+  let tokens_per_s =
+    if ndec = 0 then 0.
+    else begin
+      let first_issue =
+        List.fold_left
+          (fun a (c : Scheduler.completed) -> Float.min a c.Scheduler.c_issue_us)
+          infinity decodes
+      in
+      let last_fin =
+        List.fold_left
+          (fun a (c : Scheduler.completed) -> Float.max a c.Scheduler.c_finish_us)
+          0. decodes
+      in
+      let w = last_fin -. first_issue in
+      if w > 0. then float_of_int ndec /. (w /. 1e6) else 0.
+    end
+  in
   let wsum f =
     List.fold_left
       (fun a (s : Sim.Multi.sample) -> a +. (s.Sim.Multi.sa_dur_us *. f s))
@@ -87,12 +150,12 @@ let summarize (o : Scheduler.outcome) : summary =
     s_mean_ms = (if n = 0 then nan else sum lat_ms /. fn);
     s_max_ms = List.fold_left Float.max 0. lat_ms;
     s_mean_service_ms =
-      (if n = 0 then nan
+      (if all_n = 0 then nan
        else
          sum (List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_service_us) cs)
-         /. fn /. 1e3);
+         /. all_fn /. 1e3);
     s_mean_slowdown =
-      (if n = 0 then nan
+      (if all_n = 0 then nan
        else
          sum
            (List.map
@@ -101,7 +164,7 @@ let summarize (o : Scheduler.outcome) : summary =
                   c.Scheduler.c_service_us /. c.Scheduler.c_solo_us
                 else 1.)
               cs)
-         /. fn);
+         /. all_fn);
     s_makespan_ms = o.Scheduler.o_makespan_us /. 1e3;
     s_avg_sm_demand =
       (if window_us > 0. then
@@ -169,6 +232,13 @@ let summarize (o : Scheduler.outcome) : summary =
       List.fold_left
         (fun a (c : Scheduler.completed) -> a + c.Scheduler.c_elided)
         0 cs;
+    s_prefills = List.length prefills;
+    s_decodes = ndec;
+    s_prefill_p50_ms = percentile (phase_ms prefills) 50.;
+    s_prefill_p95_ms = percentile (phase_ms prefills) 95.;
+    s_decode_p50_ms = percentile (phase_ms decodes) 50.;
+    s_decode_p95_ms = percentile (phase_ms decodes) 95.;
+    s_tokens_per_s = tokens_per_s;
   }
 
 (* printed inside pp_summary's vbox; silent unless a lifecycle event fired,
@@ -179,6 +249,16 @@ let pp_lifecycle ppf (s : summary) =
       "@,lifecycle: retried %d  timed-out %d  rejected %d  failed %d  \
        (faults %d, retries %d)"
       s.s_retried s.s_timed_out s.s_rejected s.s_failed s.s_faults s.s_retries
+
+(* like {!pp_lifecycle}: silent on every one-shot run, so phase-free
+   output stays byte-identical to the goldens *)
+let pp_gen ppf (s : summary) =
+  if gen_active s then
+    Fmt.pf ppf
+      "@,generation: %d prefill(s) p50 %.3f p95 %.3f ms, %d token(s) p50 \
+       %.3f p95 %.3f ms, %.1f tok/s"
+      s.s_prefills s.s_prefill_p50_ms s.s_prefill_p95_ms s.s_decodes
+      s.s_decode_p50_ms s.s_decode_p95_ms s.s_tokens_per_s
 
 (* like {!pp_lifecycle}: silent on every unbatched run *)
 let pp_batching ppf (s : summary) =
@@ -202,11 +282,11 @@ let pp_summary ppf (s : summary) =
      latency ms: p50 %.3f  p95 %.3f  p99 %.3f  mean %.3f  max %.3f@,\
      service: mean %.3f ms, slowdown x%.2f vs solo@,\
      makespan: %.3f ms, DRAM served: %.3f GB@,\
-     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a%a%a@]"
+     occupancy: avg %.1f SMs demanded, %.2f streams resident (peak %d)%a%a%a%a@]"
     s.s_requests s.s_offered_rps s.s_throughput_rps s.s_p50_ms s.s_p95_ms
     s.s_p99_ms s.s_mean_ms s.s_max_ms s.s_mean_service_ms s.s_mean_slowdown
     s.s_makespan_ms s.s_dram_gb s.s_avg_sm_demand s.s_avg_resident
-    s.s_peak_resident pp_mega s pp_batching s pp_lifecycle s
+    s.s_peak_resident pp_gen s pp_mega s pp_batching s pp_lifecycle s
 
 let summary_json (s : summary) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
@@ -228,6 +308,20 @@ let summary_json (s : summary) : Jsonlite.t =
       num "peak_resident" (float_of_int s.s_peak_resident);
       num "dram_gb" s.s_dram_gb;
     ]
+    @
+    (* generation attribution appears only when a prefill or decode phase
+       completed, so one-shot JSON stays byte-identical to the baseline *)
+    (if gen_active s then
+       [
+         num "prefills" (float_of_int s.s_prefills);
+         num "decodes" (float_of_int s.s_decodes);
+         num "prefill_p50_ms" s.s_prefill_p50_ms;
+         num "prefill_p95_ms" s.s_prefill_p95_ms;
+         num "decode_p50_ms" s.s_decode_p50_ms;
+         num "decode_p95_ms" s.s_decode_p95_ms;
+         num "tokens_per_s" s.s_tokens_per_s;
+       ]
+     else [])
     @
     (* mega attribution appears only when a mega artifact served requests,
        so non-mega JSON stays byte-identical to the baseline *)
@@ -287,22 +381,36 @@ let completed_json (c : Scheduler.completed) : Jsonlite.t =
     (* and only mega-served requests carry their elided-launch count *)
     @ (if c.Scheduler.c_mega then
          [ num "launches_elided" (float_of_int c.Scheduler.c_elided) ]
+       else [])
+    (* generation phases carry their phase label and issue-relative latency;
+       one-shot completions serialize exactly as before phases existed *)
+    @ (if c.Scheduler.c_phase <> Scheduler.Single then
+         [
+           ( "phase",
+             Jsonlite.Str (Scheduler.phase_to_string c.Scheduler.c_phase) );
+           num "issue_us" c.Scheduler.c_issue_us;
+           num "phase_latency_us" (Scheduler.phase_latency_us c);
+         ]
        else []))
 
 let aborted_json (a : Scheduler.aborted) : Jsonlite.t =
   let num n v = (n, Jsonlite.Num v) in
   Jsonlite.Obj
-    [
-      num "id" (float_of_int a.Scheduler.a_req.Workload.rq_id);
-      ("model", Jsonlite.Str a.Scheduler.a_model);
-      num "try" (float_of_int a.Scheduler.a_try);
-      num "stream" (float_of_int a.Scheduler.a_stream);
-      num "slot" (float_of_int a.Scheduler.a_slot);
-      num "dispatch_us" a.Scheduler.a_dispatch_us;
-      num "end_us" a.Scheduler.a_end_us;
-      num "service_us" a.Scheduler.a_service_us;
-      ("reason", Jsonlite.Str (Scheduler.abort_reason_to_string a.Scheduler.a_reason));
-    ]
+    ([
+       num "id" (float_of_int a.Scheduler.a_req.Workload.rq_id);
+       ("model", Jsonlite.Str a.Scheduler.a_model);
+       num "try" (float_of_int a.Scheduler.a_try);
+       num "stream" (float_of_int a.Scheduler.a_stream);
+       num "slot" (float_of_int a.Scheduler.a_slot);
+       num "dispatch_us" a.Scheduler.a_dispatch_us;
+       num "end_us" a.Scheduler.a_end_us;
+       num "service_us" a.Scheduler.a_service_us;
+       ("reason", Jsonlite.Str (Scheduler.abort_reason_to_string a.Scheduler.a_reason));
+     ]
+    @
+    if a.Scheduler.a_phase <> Scheduler.Single then
+      [ ("phase", Jsonlite.Str (Scheduler.phase_to_string a.Scheduler.a_phase)) ]
+    else [])
 
 let dropped_json (d : Scheduler.dropped) : Jsonlite.t =
   Jsonlite.Obj
@@ -364,11 +472,15 @@ let chrome_trace (o : Scheduler.outcome) : Obs.trace =
                ("tid", tid);
                ("model", c.Scheduler.c_model);
                ("stream", string_of_int c.Scheduler.c_stream);
+               (* queueing measured from the phase's own issue time, which
+                  is the arrival for one-shot requests *)
                ( "queued_us",
                  Fmt.str "%.3f"
-                   (c.Scheduler.c_dispatch_us
-                   -. c.Scheduler.c_req.Workload.rq_arrival_us) );
+                   (c.Scheduler.c_dispatch_us -. c.Scheduler.c_issue_us) );
              ]
+            @ (match c.Scheduler.c_phase with
+              | Scheduler.Single -> []
+              | p -> [ ("phase", Scheduler.phase_to_string p) ])
             @ (if c.Scheduler.c_batch > 1 then
                  [ ("batch", string_of_int c.Scheduler.c_batch) ]
                else [])
@@ -379,10 +491,13 @@ let chrome_trace (o : Scheduler.outcome) : Obs.trace =
                 ("cname", "yellow");
               ]
             else [])
-          ~children
-          ~start_us:c.Scheduler.c_req.Workload.rq_arrival_us
-          ~dur_us:(Scheduler.latency_us c)
-          (Fmt.str "%s#%d" c.Scheduler.c_model c.Scheduler.c_req.Workload.rq_id))
+          ~children ~start_us:c.Scheduler.c_issue_us
+          ~dur_us:(Scheduler.phase_latency_us c)
+          (let id = c.Scheduler.c_req.Workload.rq_id in
+           match c.Scheduler.c_phase with
+           | Scheduler.Single -> Fmt.str "%s#%d" c.Scheduler.c_model id
+           | Scheduler.Prefill -> Fmt.str "%s@p#%d" c.Scheduler.c_model id
+           | Scheduler.Decode t -> Fmt.str "%s@d%d#%d" c.Scheduler.c_model t id))
       o.Scheduler.o_completed
   in
   let abort_spans =

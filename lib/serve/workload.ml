@@ -13,6 +13,10 @@ type request = {
   rq_slo_us : float option;
       (** latency SLO: the request must finish within this many us of its
           arrival or it is worthless to the client ([None] = no deadline) *)
+  rq_gen : int;
+      (** tokens to generate: 0 is the classic one-shot request; [n > 0]
+          makes this a generation request served as one prefill plus [n]
+          single-token decode steps *)
 }
 
 (** Weighted model mix; weights need not be normalized. *)
@@ -57,10 +61,13 @@ let pick_model (rng : Rng.t) (mix : mix) : string =
 (** [generate ~seed ~rate_rps ~requests mix] draws [requests] arrivals.
     A non-positive [rate_rps] means a closed batch: everything arrives at
     time zero (the saturation workload).  [slo_us] stamps every request
-    with that latency SLO (default: none). *)
-let generate ~seed ~rate_rps ~requests ?slo_us (mix : mix) : request list =
+    with that latency SLO (default: none); [gen] stamps every request with
+    that many decode tokens (default 0 = one-shot). *)
+let generate ~seed ~rate_rps ~requests ?slo_us ?(gen = 0) (mix : mix) :
+    request list =
   if requests < 0 then invalid_arg "Workload.generate: negative request count";
   if mix = [] then invalid_arg "Workload.generate: empty mix";
+  if gen < 0 then invalid_arg "Workload.generate: negative gen length";
   (match slo_us with
   | Some s when s <= 0. -> invalid_arg "Workload.generate: non-positive SLO"
   | _ -> ());
@@ -78,4 +85,5 @@ let generate ~seed ~rate_rps ~requests ?slo_us (mix : mix) : request list =
         rq_model = pick_model rng mix;
         rq_arrival_us = !now;
         rq_slo_us = slo_us;
+        rq_gen = gen;
       })

@@ -26,6 +26,9 @@ let shape t = t.shape
 let dtype t = t.dtype
 let numel t = Array.length t.data
 
+(** The flat row-major buffer itself (not a copy). *)
+let data t = t.data
+
 let get t idx = t.data.(Shape.ravel t.shape idx)
 let set t idx v = t.data.(Shape.ravel t.shape idx) <- v
 

@@ -12,6 +12,7 @@ let () =
       ("kernelgen", Test_kernelgen.suite);
       ("schedule", Test_schedule.suite);
       ("models", Test_models.suite);
+      ("gpt", Test_gpt.suite);
       ("pipeline", Test_pipeline.suite);
       ("robustness", Test_robustness.suite);
       ("baselines", Test_baselines.suite);

@@ -170,7 +170,8 @@ let test_efficientnet_submodules () =
 let test_zoo_find () =
   Alcotest.(check bool) "finds bert" true (Option.is_some (Zoo.find "bert"));
   Alcotest.(check bool) "unknown none" true (Option.is_none (Zoo.find "vgg"));
-  Alcotest.(check int) "six models" 6 (List.length Zoo.all)
+  Alcotest.(check bool) "gpt present" true (Option.is_some (Zoo.find "gpt"));
+  Alcotest.(check int) "seven models" 7 (List.length Zoo.all)
 
 let suite =
   [

@@ -97,6 +97,38 @@ let test_ansor_prefers_occupancy () =
   let s = Ansor.schedule_te dev p te in
   Alcotest.(check bool) "more than one block" true (Sched.grid_blocks te s > 1)
 
+let test_tile_candidates_never_empty () =
+  (* regression: dims smaller than every tile option used to filter to [],
+     which emptied the candidate cross-product and silently fell back to
+     the grid-1 elementwise schedule — fatal for single-token decode
+     shapes like (1, hidden) *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun space ->
+          let cs = Ansor.tile_candidates ~space d in
+          Alcotest.(check bool)
+            (Fmt.str "non-empty for d=%d" d)
+            true (cs <> []);
+          List.iter
+            (fun t ->
+              Alcotest.(check bool)
+                (Fmt.str "tile %d legal for d=%d" t d)
+                true
+                (t >= 1 && t <= max 1 d))
+            cs)
+        [ Ansor.Full; Ansor.Reduced ])
+    [ 1; 2; 7; 8; 9; 16; 100; 512 ]
+
+let test_ansor_single_row_gemm_gets_grid () =
+  (* the decode shape: (1, hidden) x (hidden, hidden).  With one output
+     row the grid must come from an rsplit of the reduction, not collapse
+     to a single block *)
+  let p, te = gemm_program ~m:1 ~n:512 ~k:512 () in
+  let s = Ansor.schedule_te dev p te in
+  Alcotest.(check bool) "rsplit-driven grid" true (Sched.grid_blocks te s > 1);
+  Alcotest.(check bool) "rsplit chosen" true (s.Sched.rsplit > 1)
+
 let test_schedule_program_covers_all () =
   let g = Bert.create ~cfg:Bert.tiny () in
   let p = Lower.run g in
@@ -185,6 +217,10 @@ let suite =
       test_tensor_core_eligibility;
     Alcotest.test_case "ansor feasible" `Quick test_ansor_feasible_schedules;
     Alcotest.test_case "ansor occupancy" `Quick test_ansor_prefers_occupancy;
+    Alcotest.test_case "tile candidates never empty" `Quick
+      test_tile_candidates_never_empty;
+    Alcotest.test_case "ansor single-row gemm grid" `Quick
+      test_ansor_single_row_gemm_gets_grid;
     Alcotest.test_case "schedule covers all" `Quick test_schedule_program_covers_all;
     Alcotest.test_case "schedule memoization" `Quick
       test_schedule_memoization_consistent;

@@ -136,8 +136,8 @@ let test_sel_prefers_shortest () =
     (mmoe.Scheduler.art_solo_us < bert.Scheduler.art_solo_us);
   let reqs =
     [
-      { Workload.rq_id = 0; rq_model = "BERT"; rq_arrival_us = 0.; rq_slo_us = None };
-      { Workload.rq_id = 1; rq_model = "MMoE"; rq_arrival_us = 0.; rq_slo_us = None };
+      { Workload.rq_id = 0; rq_model = "BERT"; rq_arrival_us = 0.; rq_slo_us = None; rq_gen = 0 };
+      { Workload.rq_id = 1; rq_model = "MMoE"; rq_arrival_us = 0.; rq_slo_us = None; rq_gen = 0 };
     ]
   in
   let first policy =
@@ -155,7 +155,7 @@ let test_sel_prefers_shortest () =
 let test_unknown_model_rejected () =
   let bert = artifact_of ~model:"BERT" (tiny_report (Option.get (Zoo.find "bert"))) in
   let reqs =
-    [ { Workload.rq_id = 0; rq_model = "nope"; rq_arrival_us = 0.; rq_slo_us = None } ]
+    [ { Workload.rq_id = 0; rq_model = "nope"; rq_arrival_us = 0.; rq_slo_us = None; rq_gen = 0 } ]
   in
   Alcotest.check_raises "unknown model"
     (Invalid_argument "Scheduler.run: no artifact for model nope") (fun () ->
@@ -309,15 +309,78 @@ let test_fault_retries_without_perturbing_others () =
   Alcotest.(check int) "the faulted request completed on its retry" 1
     retried.Scheduler.c_retries
 
+(* The documented backoff contract: the k-th retry (1-based) is dispatched
+   exactly [k * backoff_us] after the fault that triggered it.  Pin the
+   schedule so chaos-bench recovery numbers stay reproducible against the
+   spec. *)
+let test_retry_backoff_schedule () =
+  let a = light_artifact () in
+  let stages = [| 1 |] in
+  let plan c attempt = Faultinject.chaos_plan c ~rq_id:0 ~attempt ~stages in
+  let faulty c attempt =
+    List.exists
+      (function Faultinject.Kernel_fault _ -> true | _ -> false)
+      (plan c attempt)
+  in
+  let chaos =
+    let rec search seed =
+      if seed > 20000 then Alcotest.fail "no suitable chaos seed found"
+      else
+        let c =
+          { Faultinject.chaos_zero with
+            Faultinject.ch_seed = seed;
+            ch_fault_rate = 0.5 }
+        in
+        if faulty c 0 && faulty c 1 && plan c 2 = [] then c
+        else search (seed + 1)
+    in
+    search 0
+  in
+  let backoff = 50. in
+  let reqs = batch_of "light" 1 in
+  let o =
+    run_batch ~streams:1 ~retries:2 ~backoff_us:backoff ~chaos [ a ] reqs
+  in
+  match (o.Scheduler.o_aborted, o.Scheduler.o_completed) with
+  | [ ab0; ab1 ], [ c ] ->
+      Alcotest.(check int) "completed on the second retry" 2
+        c.Scheduler.c_retries;
+      Alcotest.(check (float 1e-6)) "retry 1 dispatches 1 * backoff after its fault"
+        (ab0.Scheduler.a_end_us +. (1. *. backoff))
+        ab1.Scheduler.a_dispatch_us;
+      Alcotest.(check (float 1e-6)) "retry 2 dispatches 2 * backoff after its fault"
+        (ab1.Scheduler.a_end_us +. (2. *. backoff))
+        c.Scheduler.c_dispatch_us
+  | abs, cs ->
+      Alcotest.failf "expected 2 aborted + 1 completed, got %d + %d"
+        (List.length abs) (List.length cs)
+
+(* Nearest-rank percentile edge cases: tiny samples, exact rank
+   boundaries, and NaN hygiene. *)
+let test_percentile_edges () =
+  let p = Serve_report.percentile in
+  Alcotest.(check (float 0.)) "n=1 p50" 7. (p [ 7. ] 50.);
+  Alcotest.(check (float 0.)) "n=1 p99" 7. (p [ 7. ] 99.);
+  Alcotest.(check (float 0.)) "n=2 p50 is the lower sample" 1. (p [ 2.; 1. ] 50.);
+  Alcotest.(check (float 0.)) "n=2 p95 is the upper sample" 2. (p [ 2.; 1. ] 95.);
+  let hundred = List.init 100 (fun i -> float_of_int (100 - i)) in
+  Alcotest.(check (float 0.)) "p50 of 1..100 is 50" 50. (p hundred 50.);
+  Alcotest.(check (float 0.)) "p99 of 1..100 is 99" 99. (p hundred 99.);
+  Alcotest.(check (float 0.)) "p100 of 1..100 is 100" 100. (p hundred 100.);
+  Alcotest.(check bool) "empty is nan" true (Float.is_nan (p [] 50.));
+  Alcotest.(check bool) "all-NaN is nan" true (Float.is_nan (p [ nan ] 50.));
+  Alcotest.(check (float 0.)) "NaN samples are dropped, not sorted" 3.
+    (p [ nan; 3.; nan; 1. ] 95.)
+
 let test_deadline_frees_slot_for_next_request () =
   let a = synthetic_artifact () in
   let solo = a.Scheduler.art_solo_us in
   let reqs =
     [
       { Workload.rq_id = 0; rq_model = "busy"; rq_arrival_us = 0.;
-        rq_slo_us = Some (solo /. 2.) };
+        rq_slo_us = Some (solo /. 2.); rq_gen = 0 };
       { Workload.rq_id = 1; rq_model = "busy"; rq_arrival_us = 0.;
-        rq_slo_us = None };
+        rq_slo_us = None; rq_gen = 0 };
     ]
   in
   let o = run_batch ~streams:1 [ a ] reqs in
@@ -524,6 +587,133 @@ let test_batched_service_attribution () =
         (s.Serve_report.s_mean_batch = 4.)
   | cs -> Alcotest.failf "expected 4 completions, got %d" (List.length cs)
 
+(* ---- generation: prefill/decode lifecycle ---- *)
+
+(* a prefill artifact plus two decode position buckets of the same model;
+   all share one light kernel so timing stays uncontended and exact *)
+let gen_artifacts () =
+  [
+    Scheduler.artifact_of_prog dev ~model:"lm" (light_prog ());
+    Scheduler.artifact_of_prog dev ~model:"lm" ~pos:4 (light_prog ());
+    Scheduler.artifact_of_prog dev ~model:"lm" ~pos:8 (light_prog ());
+  ]
+
+let gen_request ?(id = 0) gen =
+  { Workload.rq_id = id; rq_model = "lm"; rq_arrival_us = 0.; rq_slo_us = None;
+    rq_gen = gen }
+
+let run_gen ?retries ?chaos reqs =
+  Scheduler.run dev
+    (Scheduler.cfg ?retries ?chaos ~gen_prompt:4 ~policy:Scheduler.Fifo
+       ~max_streams:1 ())
+    ~artifacts:(gen_artifacts ()) reqs
+
+let test_generation_lifecycle () =
+  let o = run_gen [ gen_request 3 ] in
+  Alcotest.(check int) "nothing failed or dropped" 0
+    (List.length o.Scheduler.o_failed + List.length o.Scheduler.o_dropped);
+  let cs =
+    List.sort
+      (fun (a : Scheduler.completed) b ->
+        compare a.Scheduler.c_finish_us b.Scheduler.c_finish_us)
+      o.Scheduler.o_completed
+  in
+  Alcotest.(check int) "1 prefill + 3 decode completions" 4 (List.length cs);
+  (match List.map (fun (c : Scheduler.completed) -> c.Scheduler.c_phase) cs with
+  | [ Scheduler.Prefill; Scheduler.Decode 1; Scheduler.Decode 2;
+      Scheduler.Decode 3 ] ->
+      ()
+  | ps ->
+      Alcotest.failf "unexpected phase sequence: %s"
+        (String.concat ", " (List.map Scheduler.phase_to_string ps)));
+  (* each decode step enters the queue the instant the previous phase
+     finishes — the carried KV state is handed off, never recomputed *)
+  let rec chain = function
+    | (a : Scheduler.completed) :: (b : Scheduler.completed) :: rest ->
+        Alcotest.(check (float 0.)) "next phase issued at previous finish"
+          a.Scheduler.c_finish_us b.Scheduler.c_issue_us;
+        chain (b :: rest)
+    | _ -> ()
+  in
+  chain cs;
+  (* only the last decode step is the request's terminal completion *)
+  Alcotest.(check (list bool))
+    "terminal only at the last decode step"
+    [ false; false; false; true ]
+    (List.map Scheduler.is_terminal cs);
+  let s = Serve_report.summarize o in
+  Alcotest.(check int) "summary counts one request" 1 s.Serve_report.s_requests;
+  Alcotest.(check int) "one prefill" 1 s.Serve_report.s_prefills;
+  Alcotest.(check int) "three decode steps" 3 s.Serve_report.s_decodes;
+  Alcotest.(check bool) "positive decode throughput" true
+    (s.Serve_report.s_tokens_per_s > 0.);
+  Alcotest.(check string) "generation run reproduces byte-identically"
+    (outcome_bytes o)
+    (outcome_bytes (run_gen [ gen_request 3 ]))
+
+let test_decode_fault_retries_same_position () =
+  let stages = [| 1 |] in
+  let plan c rq attempt = Faultinject.chaos_plan c ~rq_id:rq ~attempt ~stages in
+  let has_fault p =
+    List.exists
+      (function Faultinject.Kernel_fault _ -> true | _ -> false)
+      p
+  in
+  (* decode step t of request 0 draws its chaos plan from rq_id + 7919*t:
+     find a seed that faults decode step 1's first attempt only, leaving
+     the prefill, the retry, and decode step 2 clean *)
+  let d1 = 7919 and d2 = 2 * 7919 in
+  let chaos =
+    let rec search seed =
+      if seed > 20000 then Alcotest.fail "no suitable chaos seed found"
+      else
+        let c =
+          { Faultinject.chaos_zero with
+            Faultinject.ch_seed = seed;
+            ch_fault_rate = 0.3 }
+        in
+        if
+          plan c 0 0 = []
+          && has_fault (plan c d1 0)
+          && plan c d1 1 = []
+          && plan c d2 0 = []
+        then c
+        else search (seed + 1)
+    in
+    search 0
+  in
+  let o = run_gen ~retries:1 ~chaos [ gen_request 2 ] in
+  Alcotest.(check int) "no failures" 0 (List.length o.Scheduler.o_failed);
+  Alcotest.(check int) "prefill + 2 decode completions" 3
+    (List.length o.Scheduler.o_completed);
+  (* the fault hit decode step 1 and only decode step 1 *)
+  (match o.Scheduler.o_aborted with
+  | [ ab ] ->
+      Alcotest.(check string) "aborted attempt was decode step 1" "decode:1"
+        (Scheduler.phase_to_string ab.Scheduler.a_phase);
+      Alcotest.(check int) "it was the first attempt" 0 ab.Scheduler.a_try
+  | abs -> Alcotest.failf "expected 1 aborted attempt, got %d" (List.length abs));
+  (* the retry re-ran the SAME step at the same KV position: the completed
+     decode 1 carries one retry, and its issue instant is unchanged from
+     the original hand-off (KV is immutable input, nothing re-issues) *)
+  let find_phase p =
+    List.find
+      (fun (c : Scheduler.completed) -> c.Scheduler.c_phase = p)
+      o.Scheduler.o_completed
+  in
+  let pre = find_phase Scheduler.Prefill in
+  let dec1 = find_phase (Scheduler.Decode 1) in
+  let dec2 = find_phase (Scheduler.Decode 2) in
+  Alcotest.(check int) "decode 1 completed on its retry" 1
+    dec1.Scheduler.c_retries;
+  Alcotest.(check (float 0.)) "retried step still issued at the prefill finish"
+    pre.Scheduler.c_finish_us dec1.Scheduler.c_issue_us;
+  Alcotest.(check int) "decode 2 rode through clean" 0 dec2.Scheduler.c_retries;
+  Alcotest.(check (float 0.)) "decode 2 issued at decode 1's (retried) finish"
+    dec1.Scheduler.c_finish_us dec2.Scheduler.c_issue_us;
+  Alcotest.(check bool) "terminal completion is decode 2" true
+    (Scheduler.is_terminal dec2 && not (Scheduler.is_terminal dec1))
+
 let suite =
   [
     Alcotest.test_case "single stream equals solo Sim" `Quick
@@ -546,6 +736,9 @@ let suite =
       test_zero_fault_chaos_is_baseline;
     Alcotest.test_case "fault retries without perturbing others" `Quick
       test_fault_retries_without_perturbing_others;
+    Alcotest.test_case "retry backoff schedule matches the spec" `Quick
+      test_retry_backoff_schedule;
+    Alcotest.test_case "percentile edge cases" `Quick test_percentile_edges;
     Alcotest.test_case "deadline frees the slot" `Quick
       test_deadline_frees_slot_for_next_request;
     Alcotest.test_case "queue cap sheds deterministically" `Quick
@@ -560,4 +753,7 @@ let suite =
       test_batch_fault_retries_members_individually;
     Alcotest.test_case "batched service attribution" `Quick
       test_batched_service_attribution;
+    Alcotest.test_case "generation lifecycle" `Quick test_generation_lifecycle;
+    Alcotest.test_case "decode fault retries same position" `Quick
+      test_decode_fault_retries_same_position;
   ]
