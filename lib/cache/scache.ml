@@ -14,15 +14,19 @@
     writer cannot leave a torn cache behind.
 
     Determinism contract: entries only ever come from full-space searches
-    ({!Ansor.space} [Full]; the reduced retry space bypasses the store), so
-    a warm cache reproduces the cold serial search bit for bit. *)
+    ({!Ansor.space} [Full]; the reduced retry space bypasses the store),
+    and every key records the {!Ansor.mode} that produced its schedule
+    ([mode=construct] / [mode=exhaustive]), so a warm cache reproduces the
+    cold serial run of the same mode bit for bit and the two modes never
+    serve each other's entries. *)
 
 let format_marker = "souffle-scache"
 
 (** Bump when the serialized [Sched.t] shape or the key derivation changes:
     caches written by older builds are then ignored wholesale instead of
-    misinterpreted. *)
-let format_version = 1
+    misinterpreted.  Version 2: keys carry the producing scheduler mode
+    ([|mode=...]). *)
+let format_version = 2
 
 type t = {
   entries : (string, Sched.t) Hashtbl.t;

@@ -37,6 +37,12 @@ type config = {
   device : Device.t;
   level : level;
   ansor : Ansor.config;
+  search_mode : Ansor.mode;
+      (** how schedules are produced: {!Ansor.Construct} (default) builds
+          one schedule per TE by greedy construction under the analytic
+          cost model; {!Ansor.Exhaustive} enumerates the full candidate
+          space.  A failing constructive pass falls back to the exhaustive
+          search (then to the reduced space) before anything degrades *)
   sched_cache : Scache.t option;
       (** persistent cross-run schedule cache; warm entries skip the Ansor
           candidate search entirely *)
@@ -60,6 +66,7 @@ let default_config =
     device = Device.a100;
     level = V4;
     ansor = Ansor.default_config;
+    search_mode = Ansor.Construct;
     sched_cache = None;
     batch = 1;
     pos = 0;
@@ -67,9 +74,9 @@ let default_config =
   }
 
 let config ?(device = Device.a100) ?(level = V4)
-    ?(ansor = Ansor.default_config) ?sched_cache ?(batch = 1) ?(pos = 0)
-    ?(mega = false) () =
-  { device; level; ansor; sched_cache; batch; pos; mega }
+    ?(ansor = Ansor.default_config) ?(search_mode = Ansor.Construct)
+    ?sched_cache ?(batch = 1) ?(pos = 0) ?(mega = false) () =
+  { device; level; ansor; search_mode; sched_cache; batch; pos; mega }
 
 (** One step of the graceful-degradation ladder: [d_subject] (the whole
     program, or one subprogram's head TE) was retried at [d_to] after
@@ -293,29 +300,49 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
           | Some c -> Scache.add c key s);
     }
   in
-  (* Schedule with one retry: a failing full-space search is re-run on the
-     reduced candidate set before the whole program degrades a level.  A
-     recovery is a warning diagnostic, not a degradation step — the chosen
-     optimization level is untouched, only this search ran narrower. *)
+  (* Schedule with retries: constructive scheduling (the default mode)
+     falls back to the exhaustive full-space search, which falls back to
+     the reduced candidate set, before the whole program degrades a level.
+     Each recovery is a warning diagnostic, not a degradation step — the
+     chosen optimization level is untouched, only this search ran
+     differently. *)
   let schedule p2 =
-    match
+    let recovered ~what ~via d scheds =
+      note
+        (Diag.warning ~subject:"program" Diag.Schedule
+           (Fmt.str "%s failed (%s); recovered on %s" what d.Diag.message via));
+      Ok scheds
+    in
+    let with_reduced_fallback r =
+      match r with
+      | Ok _ as ok -> ok
+      | Error d -> (
+          match
+            Ansor.schedule_program_result ~config:cfg.ansor
+              ~space:Ansor.Reduced ~store cfg.device p2
+          with
+          | Ok scheds ->
+              recovered ~what:"full-space search"
+                ~via:"the reduced candidate set" d scheds
+          | Error _ -> Error d)
+    in
+    let exhaustive () =
       Ansor.schedule_program_result ~config:cfg.ansor ~store cfg.device p2
-    with
-    | Ok _ as ok -> ok
-    | Error d -> (
+    in
+    match cfg.search_mode with
+    | Ansor.Exhaustive -> with_reduced_fallback (exhaustive ())
+    | Ansor.Construct -> (
         match
-          Ansor.schedule_program_result ~config:cfg.ansor ~space:Ansor.Reduced
-            ~store cfg.device p2
+          Construct.schedule_program_result ~config:cfg.ansor ~store
+            cfg.device p2
         with
-        | Ok scheds ->
-            note
-              (Diag.warning ~subject:"program" Diag.Schedule
-                 (Fmt.str
-                    "full-space search failed (%s); recovered on the reduced \
-                     candidate set"
-                    d.Diag.message));
-            Ok scheds
-        | Error _ -> Error d)
+        | Ok _ as ok -> ok
+        | Error d -> (
+            match exhaustive () with
+            | Ok scheds ->
+                recovered ~what:"constructive scheduling"
+                  ~via:"the exhaustive search" d scheds
+            | Error _ as e -> with_reduced_fallback e))
   in
   (* ---- front end: whole-program passes at rank [r] ---- *)
   let front_end r =
@@ -451,13 +478,38 @@ let compile_result ?(cfg = default_config) ?(strict = false) (p : Program.t)
       let garr = Array.of_list groups in
       let ranks = Array.make (Array.length garr) r in
       let subranks = Hashtbl.create 8 in
+      (* Settled-group memo: [emit_checked] below re-emits every group each
+         time the dataflow check degrades one of them.  A group whose
+         (subject, requested rank, kernel index) is unchanged reuses its
+         emitted kernels instead of re-running emission and IR
+         verification; results are also recorded under the settled rank,
+         so re-requesting a group at the rank it degraded to is a hit
+         too.  The kernel index is part of the key because it is baked
+         into kernel names — a group whose position shifted must
+         re-emit. *)
+      let ememo : (string * int * int, Kernel_ir.kernel list * int) Hashtbl.t
+          =
+        Hashtbl.create 8
+      in
+      let emit_group_memo ~index r (g : Emit.group) =
+        let subject =
+          match g.Emit.g_tes with n :: _ -> n | [] -> "<empty group>"
+        in
+        match Hashtbl.find_opt ememo (subject, r, index) with
+        | Some res -> Ok res
+        | None -> (
+            match emit_group ~p2 ~an ~scheds ~subranks ~index r g with
+            | Ok ((_, settled) as res) ->
+                Hashtbl.replace ememo (subject, r, index) res;
+                Hashtbl.replace ememo (subject, settled, index) res;
+                Ok res
+            | Error _ as e -> e)
+      in
       let emit_all () =
         let rec go i idx acc =
           if i >= Array.length garr then Ok (List.rev acc)
           else
-            match
-              emit_group ~p2 ~an ~scheds ~subranks ~index:idx ranks.(i) garr.(i)
-            with
+            match emit_group_memo ~index:idx ranks.(i) garr.(i) with
             | Ok (ks, settled) ->
                 ranks.(i) <- settled;
                 go (i + 1) (idx + List.length ks) (ks :: acc)

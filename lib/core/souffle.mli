@@ -25,6 +25,12 @@ type config = {
   device : Device.t;
   level : level;
   ansor : Ansor.config;
+  search_mode : Ansor.mode;
+      (** how schedules are produced: {!Ansor.Construct} (default) builds
+          one schedule per TE by greedy construction under the analytic
+          cost model; {!Ansor.Exhaustive} enumerates the full candidate
+          space.  A failing constructive pass falls back to the exhaustive
+          search (then to the reduced space) before anything degrades *)
   sched_cache : Scache.t option;
       (** persistent cross-run schedule cache; warm entries skip the Ansor
           candidate search entirely *)
@@ -43,13 +49,14 @@ type config = {
 }
 
 val default_config : config
-(** A100, level V4, default scheduler efficiency, no persistent cache,
-    batch 1, position 0, mega off. *)
+(** A100, level V4, default scheduler efficiency, constructive scheduling,
+    no persistent cache, batch 1, position 0, mega off. *)
 
 val config :
   ?device:Device.t ->
   ?level:level ->
   ?ansor:Ansor.config ->
+  ?search_mode:Ansor.mode ->
   ?sched_cache:Scache.t ->
   ?batch:int ->
   ?pos:int ->

@@ -409,6 +409,11 @@ let emit_kernel (dev : Device.t) (p : Program.t) (an : Analysis.t)
   in
   kernel
 
+(** Emit a whole grouping in one call (baselines, ablations, tests; the
+    Souffle ladder drives {!emit_kernel_result} per group instead).  Each
+    kernel is emitted under its own ["emit-kernel"] span — the same span
+    name the ladder path opens — so per-phase profiles aggregate emission
+    time identically whichever entry point ran. *)
 let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
     (scheds : (string, Sched.t) Hashtbl.t) (opts : options)
     (groups : group list) : Kernel_ir.prog =
@@ -417,7 +422,20 @@ let emit (dev : Device.t) (p : Program.t) (an : Analysis.t)
   {
     Kernel_ir.pname = "prog";
     kernels =
-      List.mapi (fun gi g -> emit_kernel dev p an scheds opts ~index:gi g) groups;
+      List.mapi
+        (fun gi g ->
+          let subject =
+            match g.g_tes with n :: _ -> n | [] -> "<empty group>"
+          in
+          Obs.span
+            ~meta:
+              [
+                ("subprogram", subject);
+                ("tes", string_of_int (List.length g.g_tes));
+              ]
+            "emit-kernel"
+            (fun () -> emit_kernel dev p an scheds opts ~index:gi g))
+        groups;
   }
 
 (** {!emit_kernel} as a total function: fault-injection aware, exceptions

@@ -36,6 +36,21 @@ type config = {
 let default_config =
   { eff_cap = 0.60; search_domains = Domain.recommended_domain_count () }
 
+(** How a schedule was produced.  {!Exhaustive} is this module's candidate
+    enumeration; {!Construct} is the greedy construction-based scheduler
+    ([Construct] in this library), which builds one schedule directly under
+    the same cost model.  The mode is part of {!structural_key}, so cached
+    and memoized schedules always record which procedure produced them and
+    the two modes never alias each other's entries. *)
+type mode = Construct | Exhaustive
+
+let mode_tag = function Construct -> "construct" | Exhaustive -> "exhaustive"
+
+let mode_of_string = function
+  | "construct" -> Some Construct
+  | "exhaustive" -> Some Exhaustive
+  | _ -> None
+
 (** Candidate-space selection: {!Reduced} is the fallback space the
     degradation ladder retries with after a search failure — small enough
     to be near-instant, still covering the shapes that matter.  Reduced
@@ -294,14 +309,15 @@ let schedule_te ?(config = default_config) ?(space = Full) (dev : Device.t)
 (* ---- structural keys and schedule stores ---------------------------- *)
 
 (** Canonical structural key of a TE for schedule reuse: device, the
-    scheduling-relevant part of the search configuration ([eff_cap] — and
-    deliberately {e not} [search_domains], which never changes results),
-    and the TE's structure (output shape, reduction axes, provenance tag,
-    arithmetic ops, access count, output and input dtypes).  Two TEs with
-    equal keys receive bit-identical schedules, which is what makes both
-    the per-program memo table and the persistent cross-run cache sound. *)
-let structural_key ?(config = default_config) (dev : Device.t)
-    (p : Program.t) (te : Te.t) : string =
+    scheduling mode that produced the schedule, the scheduling-relevant
+    part of the search configuration ([eff_cap] — and deliberately {e not}
+    [search_domains], which never changes results), and the TE's structure
+    (output shape, reduction axes, provenance tag, arithmetic ops, access
+    count, output and input dtypes).  Two TEs with equal keys receive
+    bit-identical schedules, which is what makes both the per-program memo
+    table and the persistent cross-run cache sound. *)
+let structural_key ?(mode = Exhaustive) ?(config = default_config)
+    (dev : Device.t) (p : Program.t) (te : Te.t) : string =
   let in_dtypes =
     Te.inputs te
     |> List.map (fun name ->
@@ -310,8 +326,8 @@ let structural_key ?(config = default_config) (dev : Device.t)
            | None -> "?")
     |> String.concat ","
   in
-  Fmt.str "%s|eff=%.4f|out=%s|red=%s|tag=%s|ops=%d|acc=%d|dt=%s<-%s"
-    dev.Device.name config.eff_cap
+  Fmt.str "%s|mode=%s|eff=%.4f|out=%s|red=%s|tag=%s|ops=%d|acc=%d|dt=%s<-%s"
+    dev.Device.name (mode_tag mode) config.eff_cap
     (Shape.to_string te.Te.out_shape)
     (String.concat "x"
        (List.map string_of_int (Array.to_list (Te.reduce_axes te))))
@@ -332,8 +348,20 @@ type store = {
 (* ---- whole-program scheduling --------------------------------------- *)
 
 (* Fan-out is only worth a domain spawn when several keys actually need
-   searching. *)
+   searching... *)
 let min_parallel_keys = 2
+
+(* ...and when the total work is large enough to amortize spawn + join
+   overhead (~100µs per domain).  Work is measured in candidate
+   evaluations: an exhaustive key visits the full cross-product (a few
+   hundred evaluations, ~1µs each), a constructed key a few dozen, so the
+   threshold corresponds to several milliseconds of serial search — below
+   that, spawning was measured to win ~nothing (the 1.05x "speedup" of the
+   zoo bench) and can even lose. *)
+let min_parallel_work = 8192
+
+(* Approximate candidate evaluations one key costs under each mode. *)
+let evals_hint = function Exhaustive -> 384 | Construct -> 50
 
 (* Split [items] into [n] contiguous chunks whose concatenation is
    [items]. *)
@@ -356,23 +384,44 @@ let chunk n items =
   in
   go 0 items
 
+(** The per-TE procedure {!schedule_program} runs for every unresolved key,
+    together with the {!mode} tag recorded in those keys.  The default is
+    this module's exhaustive search; [Construct.scheduler] plugs the
+    construction-based one in without this module depending on it. *)
+type scheduler = {
+  s_mode : mode;
+  s_schedule :
+    config:config -> space:space -> Device.t -> Program.t -> Te.t -> Sched.t;
+}
+
+let exhaustive_scheduler : scheduler =
+  {
+    s_mode = Exhaustive;
+    s_schedule =
+      (fun ~config ~space dev p te -> schedule_te ~config ~space dev p te);
+  }
+
 (** Schedule every TE of a program.  Identical structures are searched once
     (memoized on {!structural_key}, since models repeat identical layers
     many times); keys the [store] already knows skip the search entirely;
     the remaining keys are searched across [config.search_domains] domains.
     The resulting table is bit-identical regardless of domain count or
-    store warmth built from {!Full}-space searches. *)
-let schedule_program ?(config = default_config) ?(space = Full) ?store
-    (dev : Device.t) (p : Program.t) : (string, Sched.t) Hashtbl.t =
+    store warmth built from {!Full}-space searches of the same
+    [scheduler]. *)
+let schedule_program ?(scheduler = exhaustive_scheduler)
+    ?(config = default_config) ?(space = Full) ?store (dev : Device.t)
+    (p : Program.t) : (string, Sched.t) Hashtbl.t =
   Obs.span ~meta:[ ("tes", string_of_int (List.length p.Program.tes)) ]
     "ansor"
   @@ fun () ->
+  let mode = scheduler.s_mode in
+  let schedule_one te = scheduler.s_schedule ~config ~space dev p te in
   (* the unique structural keys, in first-occurrence program order *)
   let key_of = Hashtbl.create 64 in
   let uniq = ref [] in
   List.iter
     (fun (te : Te.t) ->
-      let key = structural_key ~config dev p te in
+      let key = structural_key ~mode ~config dev p te in
       if not (Hashtbl.mem key_of key) then begin
         Hashtbl.add key_of key te;
         uniq := (key, te) :: !uniq
@@ -397,7 +446,12 @@ let schedule_program ?(config = default_config) ?(space = Full) ?store
   let domains =
     min config.search_domains (max 1 searched)
   in
-  if searched >= min_parallel_keys && domains > 1 then begin
+  let parallel =
+    searched >= min_parallel_keys
+    && domains > 1
+    && searched * evals_hint mode >= min_parallel_work
+  in
+  if parallel then begin
     (* Workers must not touch the Obs collector (single-domain state), so
        per-key timings are measured locally and re-emitted as marker spans
        after the join.  The program's name index is primed first: workers
@@ -407,7 +461,7 @@ let schedule_program ?(config = default_config) ?(space = Full) ?store
       List.map
         (fun (key, te) ->
           let t0 = Unix.gettimeofday () in
-          let s = schedule_te ~config ~space dev p te in
+          let s = schedule_one te in
           (key, te, s, (Unix.gettimeofday () -. t0) *. 1e6))
         part
     in
@@ -446,7 +500,7 @@ let schedule_program ?(config = default_config) ?(space = Full) ?store
       (fun (key, te) ->
         let s =
           Obs.span ~meta:[ ("te", te.Te.name) ] "ansor-search" (fun () ->
-              schedule_te ~config ~space dev p te)
+              schedule_one te)
         in
         Hashtbl.replace resolved key s)
       missing;
@@ -463,12 +517,13 @@ let schedule_program ?(config = default_config) ?(space = Full) ?store
   | _ -> ());
   Obs.annotate "store_hits" (string_of_int store_hits);
   Obs.annotate "searched" (string_of_int searched);
-  Obs.annotate "domains" (string_of_int (if searched >= min_parallel_keys then domains else 1));
+  Obs.annotate "domains" (string_of_int (if parallel then domains else 1));
+  Obs.annotate "mode" (mode_tag mode);
   (* merge into the per-TE table in program order *)
   let table = Hashtbl.create 64 in
   List.iter
     (fun (te : Te.t) ->
-      let key = structural_key ~config dev p te in
+      let key = structural_key ~mode ~config dev p te in
       match Hashtbl.find_opt resolved key with
       | Some s -> Hashtbl.replace table te.Te.name { s with Sched.te_name = te.Te.name }
       | None -> assert false)
@@ -477,8 +532,8 @@ let schedule_program ?(config = default_config) ?(space = Full) ?store
 
 (** {!schedule_program} as a total function: fault-injection aware,
     exceptions converted to a typed diagnostic. *)
-let schedule_program_result ?config ?space ?store (dev : Device.t)
+let schedule_program_result ?scheduler ?config ?space ?store (dev : Device.t)
     (p : Program.t) : ((string, Sched.t) Hashtbl.t, Diag.t) result =
   Diag.guard Diag.Schedule (fun () ->
       Faultinject.trip Diag.Schedule;
-      schedule_program ?config ?space ?store dev p)
+      schedule_program ?scheduler ?config ?space ?store dev p)

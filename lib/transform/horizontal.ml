@@ -18,19 +18,23 @@ module SSet = Program.SSet
    (first-occurrence numbering), so that e.g. the three QKV GEMMs compare
    equal. *)
 let template (e : Expr.t) : Expr.t * string list =
-  let names = ref [] in
+  let idx_of : (string, int) Hashtbl.t = Hashtbl.create 8 in
+  let names = ref [] and next = ref 0 in
   let hole name =
-    let rec idx i = function
-      | [] ->
-          names := !names @ [ name ];
+    let i =
+      match Hashtbl.find_opt idx_of name with
+      | Some i -> i
+      | None ->
+          let i = !next in
+          Hashtbl.add idx_of name i;
+          incr next;
+          names := name :: !names;
           i
-      | n :: _ when n = name -> i
-      | _ :: rest -> idx (i + 1) rest
     in
-    Fmt.str "$%d" (idx 0 !names)
+    Fmt.str "$%d" i
   in
   let t = Expr.map_reads (fun name idxs -> Expr.Read (hole name, idxs)) e in
-  (t, !names)
+  (t, List.rev !names)
 
 (* Dependency depth of every TE: longest producer chain from the inputs. *)
 let depths (p : Program.t) : int SMap.t =
@@ -182,12 +186,18 @@ let apply (p : Program.t) : Program.t * stats =
           (g, merged))
         groups
     in
-    let member_names =
-      List.concat_map
-        (fun (g, _) -> List.map (fun (te : Te.t) -> te.Te.name) g.members)
-        merged_tes
-      |> SSet.of_list
-    in
+    (* member name -> (), plus head-member name -> merged TE, so the
+       rewrite pass below is O(1) per TE instead of scanning the group
+       list for every member *)
+    let member_names : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+    let merged_by_head : (string, Te.t) Hashtbl.t = Hashtbl.create 64 in
+    List.iter
+      (fun (g, merged) ->
+        List.iter
+          (fun (te : Te.t) -> Hashtbl.replace member_names te.Te.name ())
+          g.members;
+        Hashtbl.replace merged_by_head (List.hd g.members).Te.name merged)
+      merged_tes;
     let rewrite_reads (te : Te.t) =
       Te.map_body
         (Expr.map_reads (fun name idxs ->
@@ -208,15 +218,10 @@ let apply (p : Program.t) : Program.t * stats =
     let tes =
       List.concat_map
         (fun (te : Te.t) ->
-          if SSet.mem te.Te.name member_names then begin
+          if Hashtbl.mem member_names te.Te.name then begin
             (* replace the first member of each group by its merged TE *)
-            match
-              List.find_opt
-                (fun (g, _) ->
-                  (List.hd g.members).Te.name = te.Te.name)
-                merged_tes
-            with
-            | Some (_, merged) ->
+            match Hashtbl.find_opt merged_by_head te.Te.name with
+            | Some merged ->
                 (* a merged TE may itself read members of other groups *)
                 [ rewrite_reads merged ]
             | None -> []

@@ -37,9 +37,39 @@ let fuse ~(producer : Te.t) ~(consumer : Te.t) : Te.t =
 type stats = { chains_fused : int; movement_folded : int }
 
 (* One inlining round; returns the new program and how many rewrites
-   happened. *)
-let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
-  let cons = Program.consumers p in
+   happened.
+
+   [inputs_of] memoizes each TE's read-name list by TE name across rounds:
+   a body is only re-traversed after the TE was rewritten (its entry is
+   dropped below), so fixpoint iteration does not re-scan the bodies of the
+   untouched majority every round.  The selection predicate only needs
+   consumer *tallies* — how many TEs read a tensor and how many of those
+   reduce — so rounds tally into a hash table in one pass instead of
+   materializing per-tensor consumer lists. *)
+let round ~fold_into_reduce ~(inputs_of : (string, string list) Hashtbl.t)
+    (p : Program.t) : Program.t * stats =
+  let inputs (te : Te.t) =
+    match Hashtbl.find_opt inputs_of te.Te.name with
+    | Some l -> l
+    | None ->
+        let l = Te.inputs te in
+        Hashtbl.add inputs_of te.Te.name l;
+        l
+  in
+  let n = List.length p.Program.tes in
+  (* tensor name -> (total consumers, reduction consumers) *)
+  let tally : (string, int * int) Hashtbl.t = Hashtbl.create (2 * max 1 n) in
+  List.iter
+    (fun (te : Te.t) ->
+      let red = if Te.has_reduction te then 1 else 0 in
+      List.iter
+        (fun i ->
+          let t, r =
+            Option.value ~default:(0, 0) (Hashtbl.find_opt tally i)
+          in
+          Hashtbl.replace tally i (t + 1, r + red))
+        (inputs te))
+    p.Program.tes;
   let outputs = Program.SSet.of_list p.Program.outputs in
   let chains = ref 0 and moved = ref 0 in
   (* Decide for each one-relies-on-one TE whether to inline it into all of
@@ -48,13 +78,11 @@ let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
     if Te.has_reduction te then false
     else if Program.SSet.mem te.Te.name outputs then false
     else begin
-      match Program.SMap.find_opt te.Te.name cons with
-      | None | Some [] -> false
-      | Some consumers ->
+      match Hashtbl.find_opt tally te.Te.name with
+      | None | Some (0, _) -> false
+      | Some (total, reducers) ->
           let movement = Expr.is_data_movement (Te.body_expr te) in
-          let all_compute_consumers =
-            List.for_all (fun (c : Te.t) -> not (Te.has_reduction c)) consumers
-          in
+          let all_compute_consumers = reducers = 0 in
           if movement then begin
             (* folding pure data movement anywhere is free; into reductions
                it needs the flag (Souffle: yes; restricted baselines: no) *)
@@ -64,38 +92,38 @@ let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
             (* arithmetic bodies: only into one-relies-on-one consumers, and
                only when not shared (sharing is served by the §6.5 cache;
                inlining would recompute) *)
-            all_compute_consumers && List.length consumers = 1
+            all_compute_consumers && total = 1
     end
   in
-  let selected =
-    List.filter should_inline p.Program.tes
-    |> List.map (fun (te : Te.t) -> te.Te.name)
-    |> Program.SSet.of_list
-  in
+  let selected : (string, unit) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (te : Te.t) ->
+      if should_inline te then Hashtbl.replace selected te.Te.name ())
+    p.Program.tes;
   (* Only inline TEs whose own producers are not being inlined this round:
      chains resolve bottom-up over successive rounds, so each rewrite stays
      a single substitution step. *)
-  let to_inline =
-    List.filter
-      (fun (te : Te.t) ->
-        Program.SSet.mem te.Te.name selected
-        && not
-             (List.exists
-                (fun i -> Program.SSet.mem i selected)
-                (Te.inputs te)))
-      p.Program.tes
-    |> List.map (fun (te : Te.t) -> (te.Te.name, te))
-  in
-  if to_inline = [] then (p, { chains_fused = 0; movement_folded = 0 })
+  let inline_map : (string, Te.t) Hashtbl.t = Hashtbl.create 64 in
+  List.iter
+    (fun (te : Te.t) ->
+      if
+        Hashtbl.mem selected te.Te.name
+        && not (List.exists (fun i -> Hashtbl.mem selected i) (inputs te))
+      then Hashtbl.add inline_map te.Te.name te)
+    p.Program.tes;
+  if Hashtbl.length inline_map = 0 then
+    (p, { chains_fused = 0; movement_folded = 0 })
   else begin
-    let inline_map = List.to_seq to_inline |> Hashtbl.of_seq in
     (* Don't inline a TE into another TE that is itself being inlined this
        round *and* forms a chain — handle chains over multiple rounds to
        keep each rewrite simple. *)
     let new_tes =
       List.filter_map
         (fun (te : Te.t) ->
-          if Hashtbl.mem inline_map te.Te.name then None
+          if Hashtbl.mem inline_map te.Te.name then begin
+            Hashtbl.remove inputs_of te.Te.name;
+            None
+          end
           else begin
             let te' =
               List.fold_left
@@ -107,8 +135,9 @@ let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
                       else incr chains;
                       fuse ~producer ~consumer:acc
                   | None -> acc)
-                te (Te.inputs te)
+                te (inputs te)
             in
+            if te' != te then Hashtbl.remove inputs_of te.Te.name;
             Some te'
           end)
         p.Program.tes
@@ -119,10 +148,13 @@ let round ~fold_into_reduce (p : Program.t) : Program.t * stats =
 
 (** Iterate inlining to a fixpoint. *)
 let apply ?(fold_into_reduce = true) (p : Program.t) : Program.t * stats =
+  let inputs_of : (string, string list) Hashtbl.t =
+    Hashtbl.create (2 * max 1 (List.length p.Program.tes))
+  in
   let rec go p acc rounds =
     if rounds > 64 then (p, acc)
     else begin
-      let p', s = round ~fold_into_reduce p in
+      let p', s = round ~fold_into_reduce ~inputs_of p in
       if s.chains_fused = 0 && s.movement_folded = 0 then (p, acc)
       else
         go p'

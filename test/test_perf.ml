@@ -48,6 +48,53 @@ let test_parallel_compile_identical () =
   Alcotest.(check bool) "kernel IR identical" true
     (serial.Souffle.prog = parallel.Souffle.prog)
 
+(* ---- constructive scheduling ---- *)
+
+let test_construct_quality_parity () =
+  (* kernel-quality oracle: per zoo model, the constructed schedules'
+     simulated end-to-end runtime must stay within 5% of the enumerative
+     search's, with no degradation in either mode *)
+  List.iter
+    (fun (name, p) ->
+      let at search_mode =
+        match
+          Souffle.compile_result ~cfg:(Souffle.config ~search_mode ()) p
+        with
+        | Ok r -> r
+        | Error _ -> Alcotest.failf "%s: compile failed" name
+      in
+      let c = at Ansor.Construct and e = at Ansor.Exhaustive in
+      Alcotest.(check (list Alcotest.string))
+        (name ^ ": no degradation in either mode")
+        []
+        (List.map
+           (fun d -> d.Souffle.d_subject)
+           (c.Souffle.degraded @ e.Souffle.degraded));
+      let tc = Sim.time_ms c.Souffle.sim and te = Sim.time_ms e.Souffle.sim in
+      let rel = if te > 0. then (tc -. te) /. te else 0. in
+      if rel > 0.05 then
+        Alcotest.failf
+          "%s: constructed schedules cost %.1f%% simulated runtime vs \
+           exhaustive (%.4f ms vs %.4f ms)"
+          name (100. *. rel) tc te)
+    (tiny_programs ())
+
+let test_construct_parallel_matches_serial () =
+  (* construction is per-TE and deterministic; fanning the per-key work out
+     over domains must not change the schedule table *)
+  List.iter
+    (fun (name, p) ->
+      let at domains =
+        Ansor.schedule_program ~scheduler:Construct.scheduler
+          ~config:{ Ansor.default_config with Ansor.search_domains = domains }
+          Device.a100 p
+      in
+      Alcotest.(check bool)
+        (name ^ ": constructed table identical across search domains")
+        true
+        (sorted_bindings (at 1) = sorted_bindings (at 4)))
+    (tiny_programs ())
+
 (* ---- persistent cache ---- *)
 
 let tmp name = Filename.concat (Filename.get_temp_dir_name ()) name
@@ -93,6 +140,32 @@ let test_cache_corrupt_and_stale () =
   Sys.remove corrupt;
   Sys.remove stale
 
+let test_cache_roundtrip_construct () =
+  (* constructed entries persist like searched ones, and the two modes key
+     separately: an exhaustive pass against a construct-populated cache
+     must miss (and vice versa), never serve the other mode's schedules *)
+  let p = Lower.run (Mmoe.create ~cfg:Mmoe.tiny ()) in
+  let c = Scache.create () in
+  ignore (Construct.schedule_program ~store:(Scache.store c) Device.a100 p);
+  let n_construct = Scache.length c in
+  Alcotest.(check bool) "construction populated the cache" true
+    (n_construct > 0);
+  let path = tmp "scache_construct_roundtrip.json" in
+  Scache.save c path;
+  let c' = Scache.load path in
+  Alcotest.(check int) "constructed entries survive the round trip"
+    n_construct (Scache.length c');
+  ignore (Construct.schedule_program ~store:(Scache.store c') Device.a100 p);
+  Alcotest.(check bool) "warm construct pass adds nothing" false
+    (Scache.dirty c');
+  Alcotest.(check bool) "warm construct pass hit the cache" true
+    (Scache.hits c' > 0);
+  (* the enumerative search against the same cache keys differently *)
+  ignore (Ansor.schedule_program ~store:(Scache.store c') Device.a100 p);
+  Alcotest.(check bool) "exhaustive entries key separately" true
+    (Scache.length c' > n_construct);
+  Sys.remove path
+
 let test_warm_cache_skips_search () =
   let p = Lower.run (Bert.create ~cfg:Bert.tiny ()) in
   let cache = Scache.create () in
@@ -131,19 +204,57 @@ let test_schedule_fault_recovers_via_retry () =
   match result with
   | Error _ -> Alcotest.fail "compile failed despite the retry"
   | Ok r ->
-      (* recovered at the SAME optimization level: no degradation step *)
+      (* recovered at the SAME optimization level: no degradation step —
+         the default constructive pass took the fault and the exhaustive
+         enumeration fallback answered *)
       Alcotest.(check (list Alcotest.string)) "no degradation recorded" []
         (List.map (fun d -> d.Souffle.d_subject) r.Souffle.degraded);
-      Alcotest.(check bool) "reduced-space retry recorded as a warning" true
+      Alcotest.(check bool) "exhaustive-search retry recorded as a warning"
+        true
         (List.exists
            (fun d ->
              d.Diag.pass = Diag.Schedule
              && (not (Diag.is_error d))
-             && Astring_contains.contains d.Diag.message "reduced")
+             && Astring_contains.contains d.Diag.message "exhaustive")
            r.Souffle.diags);
       (match Souffle.verify ~rtol:1e-3 r with
       | Ok () -> ()
       | Error m -> Alcotest.failf "retry result not preserved: %s" m)
+
+(* ---- toposort ---- *)
+
+let test_toposort_stable_wavefront () =
+  (* regression for the memoized longest-chain rewrite: the order must stay
+     the classic wavefront order — wave k holds every TE whose producers
+     all sit in earlier waves, original relative order kept inside a wave *)
+  let shape = [| 4 |] in
+  let x = ("x", { Program.shape; dtype = Dtype.F32 }) in
+  let u name input = Builder.unary ~name ~shape Expr.Relu input in
+  let a = u "a" "x" and d = u "d" "x" in
+  let b = u "b" "a" in
+  let c = u "c" "b" in
+  let scrambled =
+    Program.make ~inputs:[ x ] ~tes:[ c; a; b; d ] ~outputs:[ "c"; "d" ]
+  in
+  let sorted = Program.toposort scrambled in
+  Alcotest.(check (list Alcotest.string))
+    "wavefront order, stable within waves" [ "a"; "d"; "b"; "c" ]
+    (Program.te_names sorted);
+  (match Program.validate sorted with
+  | Ok () -> ()
+  | Error m -> Alcotest.failf "sorted program invalid: %s" m);
+  (* an already-sorted program re-sorts to itself *)
+  Alcotest.(check (list Alcotest.string))
+    "idempotent" (Program.te_names sorted)
+    (Program.te_names (Program.toposort sorted));
+  (* a dependency cycle is reported, not looped on *)
+  let e = u "e" "f" and f = u "f" "e" in
+  let cyclic = Program.make ~inputs:[ x ] ~tes:[ e; f ] ~outputs:[ "f" ] in
+  match Program.toposort cyclic with
+  | _ -> Alcotest.fail "cycle not detected"
+  | exception Invalid_argument m ->
+      Alcotest.(check bool) "cycle error names the pass" true
+        (Astring_contains.contains m "Program.toposort")
 
 let test_report_scheds_cover_transformed () =
   (* the report carries the successful attempt's schedule table, so
@@ -166,6 +277,14 @@ let suite =
   [
     Alcotest.test_case "parallel search matches serial" `Quick
       test_parallel_matches_serial;
+    Alcotest.test_case "construct quality parity with exhaustive" `Quick
+      test_construct_quality_parity;
+    Alcotest.test_case "construct parallel matches serial" `Quick
+      test_construct_parallel_matches_serial;
+    Alcotest.test_case "cache roundtrip of constructed entries" `Quick
+      test_cache_roundtrip_construct;
+    Alcotest.test_case "toposort stable wavefront order" `Quick
+      test_toposort_stable_wavefront;
     Alcotest.test_case "parallel compile identical" `Quick
       test_parallel_compile_identical;
     Alcotest.test_case "cache roundtrip" `Quick test_cache_roundtrip;
